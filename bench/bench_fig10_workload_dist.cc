@@ -1,0 +1,97 @@
+// Fig. 10: the per-broker workload distribution of every compared
+// algorithm, three cities — who overloads the top brokers and by how much.
+//
+// Paper's claims: (i) Top-K yields the highest top-broker workloads (the
+// overload); (ii) RR yields the lowest (it randomly apportions requests,
+// idling top brokers even when they have spare capacity); (iii) among the
+// assignment policies, LACB keeps top brokers' workloads the lowest —
+// at low risk of overload — without idling them like RR.
+
+#include "bench_util.h"
+
+namespace lacb {
+namespace {
+
+Status Run() {
+  bench::PrintHeader("Fig. 10",
+                     "per-broker workload distribution by algorithm");
+  bool all_ok = true;
+  for (char city : {'A', 'B', 'C'}) {
+    LACB_ASSIGN_OR_RETURN(sim::DatasetConfig data,
+                          bench::ScaledCity(city, 7));
+    core::PolicySuiteConfig suite;
+    suite.ctopk_capacity = city == 'A' ? 45.0 : city == 'B' ? 55.0 : 40.0;
+    std::cout << "\n--- " << data.name << " ---\n";
+    LACB_ASSIGN_OR_RETURN(auto runs, bench::RunSuite(data, suite));
+
+    TablePrinter table;
+    table.SetHeader({"policy", "w_top1", "w_top3", "w_top10", "w_top30",
+                     "overload_excess"});
+    for (const auto& r : runs) {
+      auto top = core::TopNDescending(r.broker_mean_workload, 30);
+      auto at = [&](size_t k) { return k <= top.size() ? top[k - 1] : 0.0; };
+      LACB_RETURN_NOT_OK(table.AddRow(
+          {r.policy, TablePrinter::Num(at(1), 1), TablePrinter::Num(at(3), 1),
+           TablePrinter::Num(at(10), 1), TablePrinter::Num(at(30), 1),
+           TablePrinter::Num(r.overload_excess, 0)}));
+    }
+    bench::PrintBoth(table);
+
+    auto top1_of = [&](const std::string& name) {
+      return core::TopNDescending(
+                 bench::FindRun(runs, name).broker_mean_workload, 1)
+          .front();
+    };
+    double w_topk = std::max(top1_of("Top-1"), top1_of("Top-3"));
+    double w_rr = top1_of("RR");
+    double w_lacb = top1_of("LACB");
+    double w_km = top1_of("KM");
+    double w_an = top1_of("AN");
+
+    all_ok &= bench::ShapeCheck(
+        data.name + ": Top-K loads its busiest broker hardest of all "
+                    "policies",
+        w_topk >= w_rr && w_topk >= w_lacb && w_topk >= w_km &&
+            w_topk >= w_an,
+        "Top-K " + TablePrinter::Num(w_topk, 1) + "/day");
+    all_ok &= bench::ShapeCheck(
+        data.name + ": RR yields the lightest top broker (random "
+                    "apportioning idles top brokers)",
+        w_rr <= w_lacb && w_rr <= w_km && w_rr <= w_an && w_rr <= w_topk,
+        "RR " + TablePrinter::Num(w_rr, 1) + "/day");
+    all_ok &= bench::ShapeCheck(
+        data.name + ": LACB keeps its top broker below the capacity-"
+                    "oblivious policies (low overload risk; AN-family "
+                    "workloads are statistically interchangeable)",
+        w_lacb <= w_km && w_lacb <= 1.8 * w_an,
+        "LACB " + TablePrinter::Num(w_lacb, 1) + " vs KM " +
+            TablePrinter::Num(w_km, 1) + ", AN " +
+            TablePrinter::Num(w_an, 1));
+    double lacb_excess = bench::FindRun(runs, "LACB").overload_excess;
+    double topk_excess =
+        std::max(bench::FindRun(runs, "Top-1").overload_excess,
+                 bench::FindRun(runs, "Top-3").overload_excess);
+    all_ok &= bench::ShapeCheck(
+        data.name + ": LACB's overload severity (requests beyond the knee) "
+                    "is a fraction of Top-K's",
+        lacb_excess < 0.5 * topk_excess,
+        TablePrinter::Num(lacb_excess, 0) + " vs " +
+            TablePrinter::Num(topk_excess, 0) + " excess requests");
+  }
+  std::cout << "\n"
+            << (all_ok ? "ALL SHAPE CHECKS PASSED" : "SHAPE CHECKS FAILED")
+            << "\n";
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace lacb
+
+int main() {
+  lacb::Status s = lacb::Run();
+  if (!s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Fig. 2: average sign-up rate of brokers vs. requests served per day, in
+// two cities, measured from the platform under the incumbent Top-3
+// recommendation mechanism (the measurement the paper ran on production
+// logs).
+//
+// Paper's claims: (i) rates are healthy (City A: 14.3–27.5%) below ~40
+// requests/day and collapse (2.5–17.8%) above; (ii) Welch's t-test on the
+// below/above split gives p < 0.0001.
+
+#include "bench_util.h"
+
+namespace lacb {
+namespace {
+
+struct CityMeasurement {
+  std::string name;
+  std::vector<double> workloads;     // broker-day workloads
+  std::vector<double> signup_rates;  // matching observed rates
+};
+
+Result<CityMeasurement> Measure(char city, double scale) {
+  LACB_ASSIGN_OR_RETURN(sim::DatasetConfig preset, sim::CityPreset(city));
+  sim::DatasetConfig data = sim::ScaleDown(preset, scale);
+  CityMeasurement out;
+  out.name = data.name;
+
+  LACB_ASSIGN_OR_RETURN(sim::Platform platform, sim::Platform::Create(data));
+  policy::TopKPolicy top3(3, data.seed + 5);
+  LACB_RETURN_NOT_OK(top3.Initialize(platform));
+  for (size_t day = 0; day < platform.num_days(); ++day) {
+    LACB_RETURN_NOT_OK(platform.StartDay(day));
+    LACB_RETURN_NOT_OK(top3.BeginDay(platform, day));
+    for (size_t batch = 0; batch < platform.NumBatchesToday(); ++batch) {
+      LACB_ASSIGN_OR_RETURN(auto requests, platform.BatchRequests(batch));
+      LACB_ASSIGN_OR_RETURN(la::Matrix utility, platform.BatchUtility(batch));
+      policy::BatchInput input;
+      input.requests = &requests;
+      input.utility = &utility;
+      input.workloads = &platform.workloads_today();
+      LACB_ASSIGN_OR_RETURN(auto assignment, top3.AssignBatch(input));
+      LACB_RETURN_NOT_OK(platform.CommitAssignment(batch, assignment));
+    }
+    LACB_ASSIGN_OR_RETURN(sim::DayOutcome outcome, platform.EndDay());
+    for (const sim::TrialTriple& t : outcome.trials) {
+      if (t.workload <= 0.0) continue;
+      out.workloads.push_back(t.workload);
+      out.signup_rates.push_back(t.signup_rate);
+    }
+  }
+  return out;
+}
+
+Status Run() {
+  bench::PrintHeader("Fig. 2",
+                     "average sign-up rate vs daily workload, two cities");
+  bool all_ok = true;
+  for (char city : {'A', 'B'}) {
+    LACB_ASSIGN_OR_RETURN(CityMeasurement m, Measure(city, 0.05));
+    std::cout << "\n--- " << m.name << " (" << m.workloads.size()
+              << " broker-day observations under Top-3) ---\n";
+    LACB_ASSIGN_OR_RETURN(
+        stats::BinnedSeries series,
+        stats::BinMeans(m.workloads, m.signup_rates, 0.0, 80.0, 16));
+    TablePrinter table;
+    table.SetHeader({"requests_per_day", "avg_signup_rate", "broker_days"});
+    for (size_t b = 0; b < series.bin_centers.size(); ++b) {
+      if (series.counts[b] == 0) continue;
+      LACB_RETURN_NOT_OK(table.AddRow(
+          {TablePrinter::Num(series.bin_centers[b], 1),
+           TablePrinter::Num(series.means[b], 4),
+           std::to_string(series.counts[b])}));
+    }
+    bench::PrintBoth(table);
+
+    // Below/above the paper's 40-requests threshold.
+    std::vector<double> below;
+    std::vector<double> above;
+    for (size_t i = 0; i < m.workloads.size(); ++i) {
+      (m.workloads[i] <= 40.0 ? below : above).push_back(m.signup_rates[i]);
+    }
+    if (below.size() < 2 || above.size() < 2) {
+      std::cout << "not enough overloaded broker-days for the t-test\n";
+      continue;
+    }
+    LACB_ASSIGN_OR_RETURN(double mean_below, stats::Mean(below));
+    LACB_ASSIGN_OR_RETURN(double mean_above, stats::Mean(above));
+    LACB_ASSIGN_OR_RETURN(stats::WelchResult welch,
+                          stats::WelchTTest(below, above));
+    std::cout << "mean rate <=40 req/day: " << TablePrinter::Num(mean_below, 4)
+              << "   >40 req/day: " << TablePrinter::Num(mean_above, 4)
+              << "\nWelch t=" << TablePrinter::Num(welch.t_statistic, 2)
+              << " df=" << TablePrinter::Num(welch.degrees_of_freedom, 1)
+              << " p=" << welch.p_value << "\n";
+    all_ok &= bench::ShapeCheck(
+        m.name + ": sign-up rate drops beyond ~40 requests/day",
+        mean_above < mean_below,
+        TablePrinter::Num(mean_below, 3) + " -> " +
+            TablePrinter::Num(mean_above, 3));
+    all_ok &= bench::ShapeCheck(
+        m.name + ": Welch t-test p < 0.0001 (paper: p < 0.0001)",
+        welch.p_value < 1e-4, "p=" + std::to_string(welch.p_value));
+  }
+  std::cout << "\n" << (all_ok ? "ALL SHAPE CHECKS PASSED" : "SHAPE CHECKS FAILED")
+            << "\n";
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace lacb
+
+int main() {
+  lacb::Status s = lacb::Run();
+  if (!s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,173 @@
+// Fig. 3: per-broker sign-up rate vs workload for the top (busiest) brokers
+// in City A, fit with 2-D Gaussian kernel density estimation.
+//
+// The paper measures June 1 – Aug 31 (≈92 days) of production logs; we run
+// the simulated platform for the same horizon, alternating the incumbent
+// Top-3 mechanism with occasional randomized days so every top broker is
+// observed across a wide workload range (production logs naturally contain
+// both light and heavy days).
+//
+// Paper's claims: (i) all of the busiest brokers show a decreasing sign-up
+// trend beyond their accustomed workload; (ii) the KDE mode (center of the
+// performance distribution, the "accustomed workload area") sits at a
+// moderate workload where the broker performs better than when overloaded;
+// (iii) patterns are broker-specific (modes and knees differ).
+
+#include <algorithm>
+#include <map>
+
+#include "bench_util.h"
+
+namespace lacb {
+namespace {
+
+struct BrokerTrace {
+  std::vector<double> workloads;
+  std::vector<double> rates;
+};
+
+Status Run() {
+  bench::PrintHeader(
+      "Fig. 3", "per-broker sign-up vs workload (KDE), top brokers, City A");
+  LACB_ASSIGN_OR_RETURN(sim::DatasetConfig preset, sim::CityPreset('A'));
+  // The motivation study covers ~92 days (June 1 - Aug 31), not Table IV's
+  // 21; extend the horizon and request volume proportionally.
+  preset.num_days = 92;
+  preset.num_requests = preset.num_requests * 92 / 21;
+  sim::DatasetConfig data = sim::ScaleDown(preset, 0.12);  // cheap policies only: afford a bigger cohort
+  LACB_ASSIGN_OR_RETURN(sim::Platform platform, sim::Platform::Create(data));
+  policy::TopKPolicy top3(3, data.seed + 5);
+  policy::RandomizedRecommendationPolicy rr(data.seed + 6);
+  LACB_RETURN_NOT_OK(top3.Initialize(platform));
+  LACB_RETURN_NOT_OK(rr.Initialize(platform));
+
+  std::map<size_t, BrokerTrace> traces;
+  for (size_t day = 0; day < platform.num_days(); ++day) {
+    policy::AssignmentPolicy* policy =
+        day % 6 == 5 ? static_cast<policy::AssignmentPolicy*>(&rr) : &top3;
+    LACB_RETURN_NOT_OK(platform.StartDay(day));
+    LACB_RETURN_NOT_OK(policy->BeginDay(platform, day));
+    for (size_t batch = 0; batch < platform.NumBatchesToday(); ++batch) {
+      LACB_ASSIGN_OR_RETURN(auto requests, platform.BatchRequests(batch));
+      LACB_ASSIGN_OR_RETURN(la::Matrix utility, platform.BatchUtility(batch));
+      policy::BatchInput input;
+      input.requests = &requests;
+      input.utility = &utility;
+      input.workloads = &platform.workloads_today();
+      LACB_ASSIGN_OR_RETURN(auto assignment, policy->AssignBatch(input));
+      LACB_RETURN_NOT_OK(platform.CommitAssignment(batch, assignment));
+    }
+    LACB_ASSIGN_OR_RETURN(sim::DayOutcome outcome, platform.EndDay());
+    LACB_RETURN_NOT_OK(policy->EndDay(outcome));
+    for (const sim::TrialTriple& t : outcome.trials) {
+      if (t.workload <= 0.0) continue;
+      traces[t.broker].workloads.push_back(t.workload);
+      traces[t.broker].rates.push_back(t.signup_rate);
+    }
+  }
+
+  // The busiest brokers overall (the paper takes the top-50 by volume and
+  // keeps the 21 that occasionally exceed 40 requests/day).
+  std::vector<std::pair<double, size_t>> volume;
+  for (const auto& [b, tr] : traces) {
+    double total = 0.0;
+    for (double w : tr.workloads) total += w;
+    volume.emplace_back(total, b);
+  }
+  std::sort(volume.rbegin(), volume.rend());
+  size_t take = std::min<size_t>(30, volume.size());
+
+  TablePrinter table;
+  table.SetHeader({"broker", "obs_days", "mode_workload", "mode_rate",
+                   "heavy_minus_light_rate", "light_beats_heavy"});
+  size_t decreasing = 0;
+  size_t moderate_mode = 0;
+  size_t considered = 0;
+  std::vector<double> modes;
+  // The paper keeps, among the top-50 by volume, those pushed past the
+  // city knee occasionally ("serve more than 40 requests"); 32 is the
+  // scaled analog. The claim under test is Fig. 3's caption: "most top
+  // brokers perform better in [the] light area compared with [the] large
+  // workload area".
+  constexpr double kHeavyDay = 32.0;
+  for (size_t i = 0; i < take && considered < 15; ++i) {
+    size_t b = volume[i].second;
+    const BrokerTrace& tr = traces[b];
+    if (tr.workloads.size() < 20) continue;
+    double w_max = *std::max_element(tr.workloads.begin(), tr.workloads.end());
+    // Mean workload over the ten heaviest days: the broker's "large
+    // workload area". Brokers never pushed past the knee are not in
+    // Fig. 3's cohort.
+    std::vector<size_t> order(tr.workloads.size());
+    for (size_t j = 0; j < order.size(); ++j) order[j] = j;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t c) {
+      return tr.workloads[a] > tr.workloads[c];
+    });
+    std::vector<double> heavy_band;
+    double heavy_w = 0.0;
+    for (size_t j = 0; j < std::min<size_t>(10, order.size()); ++j) {
+      heavy_band.push_back(tr.rates[order[j]]);
+      heavy_w += tr.workloads[order[j]];
+    }
+    heavy_w /= static_cast<double>(heavy_band.size());
+    if (heavy_w < kHeavyDay) continue;
+    // The "light area": the ten lightest working days.
+    std::vector<double> light_band;
+    for (size_t j = order.size(); j > 0 && light_band.size() < 10; --j) {
+      light_band.push_back(tr.rates[order[j - 1]]);
+    }
+    if (light_band.size() < 5) continue;
+    ++considered;
+    LACB_ASSIGN_OR_RETURN(stats::GaussianKde2D kde,
+                          stats::GaussianKde2D::Fit(tr.workloads, tr.rates));
+    stats::GaussianKde2D::Mode mode = kde.FindMode(0.0, w_max, 0.0, 0.4, 50);
+    modes.push_back(mode.x);
+    double slope = stats::Mean(heavy_band).value() -
+                   stats::Mean(light_band).value();
+    bool dec = slope < 0.0;
+    decreasing += dec ? 1 : 0;
+    moderate_mode += (mode.x >= 2.0 && mode.x <= 60.0) ? 1 : 0;
+    LACB_RETURN_NOT_OK(table.AddRow(
+        {std::to_string(b), std::to_string(tr.workloads.size()),
+         TablePrinter::Num(mode.x, 1), TablePrinter::Num(mode.y, 3),
+         TablePrinter::Num(slope, 5), dec ? "yes" : "no"}));
+  }
+  bench::PrintBoth(table);
+
+  bool all_ok = true;
+  all_ok &= bench::ShapeCheck(
+      "most top brokers perform better in the light area than the large "
+      "workload area (paper: all 21 of 21)",
+      decreasing * 10 >= considered * 8,
+      std::to_string(decreasing) + "/" + std::to_string(considered));
+  all_ok &= bench::ShapeCheck(
+      "KDE modes (accustomed areas) sit below the extreme workloads "
+      "(paper: ~10-20 req/day performs best)",
+      moderate_mode * 10 >= considered * 6,
+      std::to_string(moderate_mode) + "/" + std::to_string(considered));
+  // Broker-specific patterns: the modes are not all alike.
+  if (modes.size() >= 3) {
+    double lo = *std::min_element(modes.begin(), modes.end());
+    double hi = *std::max_element(modes.begin(), modes.end());
+    all_ok &= bench::ShapeCheck(
+        "accustomed areas are broker-specific (spread of KDE modes)",
+        hi > lo + 2.0,
+        TablePrinter::Num(lo, 1) + " .. " + TablePrinter::Num(hi, 1));
+  }
+  std::cout << "\n"
+            << (all_ok ? "ALL SHAPE CHECKS PASSED" : "SHAPE CHECKS FAILED")
+            << "\n";
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace lacb
+
+int main() {
+  lacb::Status s = lacb::Run();
+  if (!s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  return 0;
+}

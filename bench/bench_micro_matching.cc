@@ -1,0 +1,142 @@
+// Microbenchmarks (google-benchmark) of the matching substrate — the
+// complexity claims of Sec. VI: padded KM is O(|B|³), CBS selection is
+// expected O(|R||B|), and CBS + KM on the pruned graph is O(|R|³ + |R||B|).
+
+#include <benchmark/benchmark.h>
+
+#include "lacb/common/rng.h"
+#include "lacb/matching/assignment.h"
+#include "lacb/matching/min_cost_flow.h"
+#include "lacb/matching/selection.h"
+
+namespace lacb {
+namespace {
+
+la::Matrix RandomUtility(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  la::Matrix m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) m(r, c) = rng.Uniform();
+  }
+  return m;
+}
+
+// Padded square KM over the full broker set: the paper's O(|B|^3) VFGA core.
+void BM_KmPaddedSquare(benchmark::State& state) {
+  size_t brokers = static_cast<size_t>(state.range(0));
+  size_t requests = 10;
+  la::Matrix u = RandomUtility(requests, brokers, 42);
+  for (auto _ : state) {
+    la::Matrix square = matching::PadToSquare(u).value();
+    auto a = matching::MaxWeightAssignment(square).value();
+    benchmark::DoNotOptimize(a.total_weight);
+  }
+  state.SetComplexityN(static_cast<int64_t>(brokers));
+}
+BENCHMARK(BM_KmPaddedSquare)->RangeMultiplier(2)->Range(64, 1024)
+    ->Complexity(benchmark::oNCubed);
+
+// CBS + rectangular KM: the paper's O(|R|^3 + |R||B|) LACB-Opt core.
+void BM_CbsPlusKm(benchmark::State& state) {
+  size_t brokers = static_cast<size_t>(state.range(0));
+  size_t requests = 10;
+  la::Matrix u = RandomUtility(requests, brokers, 42);
+  Rng rng(7);
+  for (auto _ : state) {
+    auto cols = matching::CandidateColumns(u, &rng).value();
+    auto pruned = matching::RestrictColumns(u, cols).value();
+    auto a = matching::MaxWeightAssignment(pruned).value();
+    benchmark::DoNotOptimize(a.total_weight);
+  }
+  state.SetComplexityN(static_cast<int64_t>(brokers));
+}
+BENCHMARK(BM_CbsPlusKm)->RangeMultiplier(2)->Range(64, 1024)
+    ->Complexity(benchmark::oN);
+
+// Rectangular KM without padding (what the dummy construction is equivalent
+// to): O(|R|^2 |B|).
+void BM_KmRectangular(benchmark::State& state) {
+  size_t brokers = static_cast<size_t>(state.range(0));
+  size_t requests = 10;
+  la::Matrix u = RandomUtility(requests, brokers, 42);
+  for (auto _ : state) {
+    auto a = matching::MaxWeightAssignment(u).value();
+    benchmark::DoNotOptimize(a.total_weight);
+  }
+}
+BENCHMARK(BM_KmRectangular)->RangeMultiplier(2)->Range(64, 1024);
+
+// Growth of KM in the request count at fixed |B| (the |R|^3 term).
+void BM_KmGrowingRequests(benchmark::State& state) {
+  size_t requests = static_cast<size_t>(state.range(0));
+  size_t brokers = 512;
+  la::Matrix u = RandomUtility(requests, brokers, 43);
+  Rng rng(8);
+  for (auto _ : state) {
+    auto cols = matching::CandidateColumns(u, &rng).value();
+    auto pruned = matching::RestrictColumns(u, cols).value();
+    auto a = matching::MaxWeightAssignment(pruned).value();
+    benchmark::DoNotOptimize(a.total_weight);
+  }
+  state.SetComplexityN(static_cast<int64_t>(requests));
+}
+BENCHMARK(BM_KmGrowingRequests)->RangeMultiplier(2)->Range(4, 64)
+    ->Complexity();
+
+// CBS selection alone: expected O(|B|) per request.
+void BM_CbsSelection(benchmark::State& state) {
+  size_t brokers = static_cast<size_t>(state.range(0));
+  Rng data_rng(9);
+  std::vector<double> utilities(brokers);
+  for (double& v : utilities) v = data_rng.Uniform();
+  Rng rng(10);
+  for (auto _ : state) {
+    auto top = matching::SelectTopK(utilities, 10, &rng).value();
+    benchmark::DoNotOptimize(top.size());
+  }
+  state.SetComplexityN(static_cast<int64_t>(brokers));
+}
+BENCHMARK(BM_CbsSelection)->RangeMultiplier(4)->Range(256, 16384)
+    ->Complexity(benchmark::oN);
+
+// Exhaustive top-k via sorting, for contrast with CBS quickselect.
+void BM_SortSelection(benchmark::State& state) {
+  size_t brokers = static_cast<size_t>(state.range(0));
+  Rng data_rng(9);
+  std::vector<double> utilities(brokers);
+  for (double& v : utilities) v = data_rng.Uniform();
+  for (auto _ : state) {
+    std::vector<size_t> idx(brokers);
+    for (size_t i = 0; i < brokers; ++i) idx[i] = i;
+    std::partial_sort(idx.begin(), idx.begin() + 10, idx.end(),
+                      [&](size_t a, size_t b) {
+                        return utilities[a] > utilities[b];
+                      });
+    benchmark::DoNotOptimize(idx[0]);
+  }
+}
+BENCHMARK(BM_SortSelection)->RangeMultiplier(4)->Range(256, 16384);
+
+// Min-cost-flow assignment oracle, for cost context vs KM.
+void BM_MinCostFlowAssignment(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  la::Matrix u = RandomUtility(n, n, 44);
+  for (auto _ : state) {
+    matching::MinCostFlow g(2 * n + 2);
+    size_t source = 0;
+    size_t sink = 2 * n + 1;
+    for (size_t r = 0; r < n; ++r) {
+      (void)g.AddEdge(source, 1 + r, 1, 0.0);
+      for (size_t c = 0; c < n; ++c) {
+        (void)g.AddEdge(1 + r, 1 + n + c, 1, -u(r, c));
+      }
+    }
+    for (size_t c = 0; c < n; ++c) (void)g.AddEdge(1 + n + c, sink, 1, 0.0);
+    auto res = g.Solve(source, sink).value();
+    benchmark::DoNotOptimize(res.cost);
+  }
+}
+BENCHMARK(BM_MinCostFlowAssignment)->RangeMultiplier(2)->Range(16, 128);
+
+}  // namespace
+}  // namespace lacb

@@ -1,0 +1,83 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Each bench binary regenerates one table/figure of the paper: it prints
+// the series the figure plots (aligned table + the same rows as CSV for
+// re-plotting) and a SHAPE CHECK block comparing the qualitative claim the
+// paper makes against what this run measured.
+
+#ifndef LACB_BENCH_BENCH_UTIL_H_
+#define LACB_BENCH_BENCH_UTIL_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lacb/lacb.h"
+
+namespace lacb::bench {
+
+/// \brief Prints the standard bench header.
+inline void PrintHeader(const std::string& figure, const std::string& what) {
+  std::cout << "==============================================================\n"
+            << "Reproducing " << figure << ": " << what << "\n"
+            << "==============================================================\n";
+}
+
+/// \brief Prints a shape-check line: the paper's qualitative claim, our
+/// measured value, and PASS/FAIL.
+inline bool ShapeCheck(const std::string& claim, bool holds,
+                       const std::string& measured) {
+  std::cout << (holds ? "[SHAPE OK]   " : "[SHAPE FAIL] ") << claim
+            << "  (measured: " << measured << ")\n";
+  return holds;
+}
+
+/// \brief City preset scaled for single-core benching.
+///
+/// Scale factors are per city so every scaled instance keeps the paper's
+/// operating regime: several-request batches, ≥60 batches/day (so brokers
+/// *can* be pushed past their knees), brokers ≫ per-batch requests. City B
+/// carries ~2.5× the per-broker demand of A/C (Table IV), so it scales
+/// further down.
+inline Result<sim::DatasetConfig> ScaledCity(char city, size_t days) {
+  LACB_ASSIGN_OR_RETURN(sim::DatasetConfig preset, sim::CityPreset(city));
+  double scale = city == 'A' ? 0.05 : city == 'B' ? 0.02 : 0.065;
+  preset.num_requests = preset.num_requests * days / preset.num_days;
+  preset.num_days = days;
+  return sim::ScaleDown(preset, scale);
+}
+
+/// \brief Runs a policy suite over a dataset, printing progress.
+inline Result<std::vector<core::PolicyRunResult>> RunSuite(
+    const sim::DatasetConfig& data, const core::PolicySuiteConfig& suite) {
+  LACB_ASSIGN_OR_RETURN(auto policies, core::MakePolicySuite(data, suite));
+  std::vector<core::PolicyRunResult> runs;
+  for (auto& p : policies) {
+    LACB_ASSIGN_OR_RETURN(core::PolicyRunResult run,
+                          core::RunPolicy(data, p.get()));
+    runs.push_back(std::move(run));
+  }
+  return runs;
+}
+
+/// \brief Finds a run by policy name (must exist).
+inline const core::PolicyRunResult& FindRun(
+    const std::vector<core::PolicyRunResult>& runs, const std::string& name) {
+  for (const auto& r : runs) {
+    if (r.policy == name) return r;
+  }
+  LACB_CHECK(false);
+  return runs.front();
+}
+
+/// \brief Emits both the aligned table and its CSV form.
+inline void PrintBoth(const TablePrinter& table) {
+  table.Print(std::cout);
+  std::cout << "\nCSV:\n";
+  table.PrintCsv(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace lacb::bench
+
+#endif  // LACB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,60 @@
+// Appeal handling demo (paper Sec. VI-B discussion): clients unsatisfied
+// with an assigned broker appeal; the platform zeroes the pair's utility,
+// restores the broker's workload, and re-queues the request into the next
+// time interval.
+//
+//   ./appeal_reassignment
+//
+// Runs the same instance with appeals off and on, showing that LACB-Opt
+// absorbs re-queued requests (appealed clients are eventually served)
+// while total utility degrades only mildly.
+
+#include <iostream>
+
+#include "lacb/lacb.h"
+
+int main() {
+  using namespace lacb;
+
+  sim::DatasetConfig base;
+  base.name = "appeals";
+  base.num_brokers = 60;
+  base.num_requests = 1800;
+  base.num_days = 6;
+  base.imbalance = 0.2;
+  base.seed = 515;
+
+  core::PolicySuiteConfig suite;
+  TablePrinter table;
+  table.SetHeader({"appeal_rate", "appeals", "served_requests",
+                   "total_utility", "utility_per_request"});
+
+  for (double rate : {0.0, 0.15, 0.4}) {
+    sim::DatasetConfig data = base;
+    data.appeal_rate = rate;
+    auto policy =
+        policy::LacbPolicy::Create(core::DefaultLacbConfig(data, suite, true));
+    if (!policy.ok()) {
+      std::cerr << policy.status() << "\n";
+      return 1;
+    }
+    auto run = core::RunPolicy(data, policy->get());
+    if (!run.ok()) {
+      std::cerr << run.status() << "\n";
+      return 1;
+    }
+    double served = 0.0;
+    for (double r : run->broker_requests) served += r;
+    (void)table.AddRow(
+        {TablePrinter::Num(rate, 2), std::to_string(run->total_appeals),
+         TablePrinter::Num(served, 0),
+         TablePrinter::Num(run->total_utility, 1),
+         TablePrinter::Num(served > 0 ? run->total_utility / served : 0.0,
+                           4)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nAppealed requests are re-queued into the next interval and"
+            << "\nre-assigned to a different broker, so served counts stay"
+            << "\nclose to the request volume even at high appeal rates.\n";
+  return 0;
+}

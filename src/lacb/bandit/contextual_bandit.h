@@ -1,0 +1,81 @@
+// Contextual bandit interface over real-valued arms.
+//
+// In the paper's formulation (Sec. V-B) the arms are candidate workload
+// capacities — real values, not opaque indices — and the feedback triple
+// (x, w, s) rewards the *observed workload* w, which need not equal the
+// chosen arm (a broker's realized workload is usually below the chosen
+// capacity). The interface therefore exposes arms by value: policies score
+// each candidate value under a context, and updates accept any value.
+
+#ifndef LACB_BANDIT_CONTEXTUAL_BANDIT_H_
+#define LACB_BANDIT_CONTEXTUAL_BANDIT_H_
+
+#include <vector>
+
+#include "lacb/common/result.h"
+#include "lacb/la/matrix.h"
+
+namespace lacb::bandit {
+
+using la::Vector;
+
+/// \brief A contextual bandit whose arms are real values.
+class ContextualBandit {
+ public:
+  virtual ~ContextualBandit() = default;
+
+  /// \brief Chooses the arm value maximizing the policy's acquisition score
+  /// (e.g. the UCB of Eq. 5) under `context`.
+  virtual Result<double> SelectValue(const Vector& context) = 0;
+
+  /// \brief Predicted mean reward of playing `value` under `context`
+  /// (no exploration bonus).
+  virtual Result<double> PredictReward(const Vector& context,
+                                       double value) const = 0;
+
+  /// \brief Feeds back one observation (x, w, s): reward `reward` was
+  /// obtained at arm value `value` under `context`.
+  virtual Status Observe(const Vector& context, double value,
+                         double reward) = 0;
+
+  /// \brief The candidate arm values C.
+  virtual const std::vector<double>& arm_values() const = 0;
+
+  /// \brief Context dimensionality expected by SelectValue/Observe.
+  virtual size_t context_dim() const = 0;
+};
+
+/// \brief Cumulative-regret tracker (paper Eq. 7).
+///
+/// The caller supplies, per trial, the reward actually obtained and the
+/// best achievable reward over all arms under that context (available in
+/// simulation, where the ground-truth reward model is known).
+class RegretTracker {
+ public:
+  /// \brief Records one trial.
+  void Record(double obtained_reward, double optimal_reward) {
+    cumulative_ += optimal_reward - obtained_reward;
+    history_.push_back(cumulative_);
+  }
+
+  double cumulative_regret() const { return cumulative_; }
+  size_t num_trials() const { return history_.size(); }
+
+  /// \brief Cumulative regret after each trial (for regret-curve plots).
+  const std::vector<double>& history() const { return history_; }
+
+  /// \brief Average per-trial regret.
+  double average_regret() const {
+    return history_.empty()
+               ? 0.0
+               : cumulative_ / static_cast<double>(history_.size());
+  }
+
+ private:
+  double cumulative_ = 0.0;
+  std::vector<double> history_;
+};
+
+}  // namespace lacb::bandit
+
+#endif  // LACB_BANDIT_CONTEXTUAL_BANDIT_H_

@@ -1,0 +1,76 @@
+#include "lacb/bandit/eps_greedy.h"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace lacb::bandit {
+
+EpsGreedy::EpsGreedy(EpsGreedyConfig config)
+    : config_(std::move(config)),
+      rng_(config_.seed),
+      sums_(config_.arm_values.size(), 0.0),
+      counts_(config_.arm_values.size(), 0) {}
+
+Result<EpsGreedy> EpsGreedy::Create(const EpsGreedyConfig& config) {
+  if (config.arm_values.empty()) {
+    return Status::InvalidArgument("EpsGreedy needs at least one arm value");
+  }
+  if (config.epsilon < 0.0 || config.epsilon > 1.0) {
+    return Status::InvalidArgument("EpsGreedy epsilon must be in [0,1]");
+  }
+  return EpsGreedy(config);
+}
+
+size_t EpsGreedy::NearestArm(double value) const {
+  size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < config_.arm_values.size(); ++i) {
+    double d = std::fabs(config_.arm_values[i] - value);
+    if (d < best_dist) {
+      best_dist = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+Result<double> EpsGreedy::SelectValue(const Vector& context) {
+  (void)context;
+  if (rng_.Bernoulli(config_.epsilon)) {
+    size_t i = static_cast<size_t>(rng_.UniformInt(
+        0, static_cast<int64_t>(config_.arm_values.size()) - 1));
+    return config_.arm_values[i];
+  }
+  // Play each arm once before going greedy.
+  size_t best = 0;
+  double best_mean = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < config_.arm_values.size(); ++i) {
+    if (counts_[i] == 0) return config_.arm_values[i];
+    double mean = sums_[i] / static_cast<double>(counts_[i]);
+    if (mean > best_mean) {
+      best_mean = mean;
+      best = i;
+    }
+  }
+  return config_.arm_values[best];
+}
+
+Result<double> EpsGreedy::PredictReward(const Vector& context,
+                                        double value) const {
+  (void)context;
+  size_t i = NearestArm(value);
+  if (counts_[i] == 0) return 0.0;
+  return sums_[i] / static_cast<double>(counts_[i]);
+}
+
+Status EpsGreedy::Observe(const Vector& context, double value,
+                          double reward) {
+  (void)context;
+  size_t i = NearestArm(value);
+  sums_[i] += reward;
+  ++counts_[i];
+  return Status::OK();
+}
+
+}  // namespace lacb::bandit

@@ -1,0 +1,57 @@
+// ε-greedy contextual bandit: a simple exploration baseline.
+//
+// Keeps a per-arm running mean reward conditioned on nothing (arms are
+// treated independently; the context is ignored for selection but stored
+// statistics still converge to the marginal best arm). Serves as the naive
+// baseline in the regret ablation bench: unlike UCB policies it neither
+// shrinks exploration with confidence nor shares information across arms.
+
+#ifndef LACB_BANDIT_EPS_GREEDY_H_
+#define LACB_BANDIT_EPS_GREEDY_H_
+
+#include <vector>
+
+#include "lacb/bandit/contextual_bandit.h"
+#include "lacb/common/rng.h"
+
+namespace lacb::bandit {
+
+/// \brief Configuration of an EpsGreedy policy.
+struct EpsGreedyConfig {
+  std::vector<double> arm_values;
+  size_t context_dim = 0;
+  /// Exploration probability.
+  double epsilon = 0.1;
+  uint64_t seed = 1;
+};
+
+/// \brief Context-free ε-greedy over the same value-arm interface.
+class EpsGreedy : public ContextualBandit {
+ public:
+  static Result<EpsGreedy> Create(const EpsGreedyConfig& config);
+
+  Result<double> SelectValue(const Vector& context) override;
+  Result<double> PredictReward(const Vector& context,
+                               double value) const override;
+  Status Observe(const Vector& context, double value, double reward) override;
+
+  const std::vector<double>& arm_values() const override {
+    return config_.arm_values;
+  }
+  size_t context_dim() const override { return config_.context_dim; }
+
+ private:
+  explicit EpsGreedy(EpsGreedyConfig config);
+
+  /// Index of the arm whose value is nearest to `value`.
+  size_t NearestArm(double value) const;
+
+  EpsGreedyConfig config_;
+  Rng rng_;
+  std::vector<double> sums_;
+  std::vector<size_t> counts_;
+};
+
+}  // namespace lacb::bandit
+
+#endif  // LACB_BANDIT_EPS_GREEDY_H_

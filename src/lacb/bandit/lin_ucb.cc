@@ -1,0 +1,80 @@
+#include "lacb/bandit/lin_ucb.h"
+
+#include <cmath>
+#include <utility>
+
+namespace lacb::bandit {
+
+LinUcb::LinUcb(LinUcbConfig config, la::ShermanMorrisonInverse a_inv)
+    : config_(std::move(config)),
+      a_inv_(std::move(a_inv)),
+      b_(config_.context_dim + 2, 0.0),
+      theta_(config_.context_dim + 2, 0.0) {}
+
+Result<LinUcb> LinUcb::Create(const LinUcbConfig& config) {
+  if (config.arm_values.empty()) {
+    return Status::InvalidArgument("LinUcb needs at least one arm value");
+  }
+  if (config.context_dim == 0) {
+    return Status::InvalidArgument("LinUcb context_dim must be positive");
+  }
+  if (config.alpha < 0.0) {
+    return Status::InvalidArgument("LinUcb alpha must be non-negative");
+  }
+  LACB_ASSIGN_OR_RETURN(
+      auto a_inv,
+      la::ShermanMorrisonInverse::Create(config.context_dim + 2,
+                                         config.lambda));
+  return LinUcb(config, std::move(a_inv));
+}
+
+Result<Vector> LinUcb::Features(const Vector& context, double value) const {
+  if (context.size() != config_.context_dim) {
+    return Status::InvalidArgument("LinUcb context dimension mismatch");
+  }
+  Vector phi;
+  phi.reserve(context.size() + 2);
+  phi.insert(phi.end(), context.begin(), context.end());
+  phi.push_back(value * config_.value_scale);
+  phi.push_back(1.0);  // intercept
+  return phi;
+}
+
+void LinUcb::RefreshTheta() {
+  theta_ = a_inv_.inverse().MatVec(b_).value();
+}
+
+Result<double> LinUcb::UcbScore(const Vector& context, double value) const {
+  LACB_ASSIGN_OR_RETURN(Vector phi, Features(context, value));
+  LACB_ASSIGN_OR_RETURN(double width2, a_inv_.QuadraticForm(phi));
+  return la::Dot(theta_, phi) + config_.alpha * std::sqrt(width2);
+}
+
+Result<double> LinUcb::SelectValue(const Vector& context) {
+  double best_value = config_.arm_values.front();
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (double v : config_.arm_values) {
+    LACB_ASSIGN_OR_RETURN(double score, UcbScore(context, v));
+    if (score > best_score) {
+      best_score = score;
+      best_value = v;
+    }
+  }
+  return best_value;
+}
+
+Result<double> LinUcb::PredictReward(const Vector& context,
+                                     double value) const {
+  LACB_ASSIGN_OR_RETURN(Vector phi, Features(context, value));
+  return la::Dot(theta_, phi);
+}
+
+Status LinUcb::Observe(const Vector& context, double value, double reward) {
+  LACB_ASSIGN_OR_RETURN(Vector phi, Features(context, value));
+  LACB_RETURN_NOT_OK(a_inv_.RankOneUpdate(phi));
+  la::Axpy(reward, phi, &b_);
+  RefreshTheta();
+  return Status::OK();
+}
+
+}  // namespace lacb::bandit

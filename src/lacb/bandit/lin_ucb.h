@@ -1,0 +1,64 @@
+// LinUCB: the standard linear-payoff UCB policy (paper Eq. 3; Li et al.).
+//
+// The feature map is φ(x, v) = [x; v; 1]. A ridge design matrix
+// A = λI + Σ φφᵀ and response vector b = Σ rφ give θ = A⁻¹ b, and the
+// acquisition score is θᵀφ + α √(φᵀ A⁻¹ φ). A⁻¹ is maintained with
+// Sherman–Morrison, so selection and updates are O(d²).
+
+#ifndef LACB_BANDIT_LIN_UCB_H_
+#define LACB_BANDIT_LIN_UCB_H_
+
+#include <vector>
+
+#include "lacb/bandit/contextual_bandit.h"
+#include "lacb/la/linalg.h"
+
+namespace lacb::bandit {
+
+/// \brief Configuration of a LinUcb policy.
+struct LinUcbConfig {
+  /// Candidate arm values (the capacity set C). Must be non-empty.
+  std::vector<double> arm_values;
+  size_t context_dim = 0;
+  /// Exploration coefficient α of Eq. 3.
+  double alpha = 1.0;
+  /// Ridge regularizer λ initializing A = λI.
+  double lambda = 1.0;
+  /// Arm values are multiplied by this before entering the feature map,
+  /// keeping them on the scale of the (normalized) context features.
+  double value_scale = 1.0;
+};
+
+/// \brief Linear UCB contextual bandit.
+class LinUcb : public ContextualBandit {
+ public:
+  static Result<LinUcb> Create(const LinUcbConfig& config);
+
+  Result<double> SelectValue(const Vector& context) override;
+  Result<double> PredictReward(const Vector& context,
+                               double value) const override;
+  Status Observe(const Vector& context, double value, double reward) override;
+
+  const std::vector<double>& arm_values() const override {
+    return config_.arm_values;
+  }
+  size_t context_dim() const override { return config_.context_dim; }
+
+  /// \brief UCB score of a single arm value (prediction + width).
+  Result<double> UcbScore(const Vector& context, double value) const;
+
+ private:
+  LinUcb(LinUcbConfig config, la::ShermanMorrisonInverse a_inv);
+
+  Result<Vector> Features(const Vector& context, double value) const;
+  void RefreshTheta();
+
+  LinUcbConfig config_;
+  la::ShermanMorrisonInverse a_inv_;
+  Vector b_;      // Σ r φ
+  Vector theta_;  // A⁻¹ b, refreshed on each observation
+};
+
+}  // namespace lacb::bandit
+
+#endif  // LACB_BANDIT_LIN_UCB_H_

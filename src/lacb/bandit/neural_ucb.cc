@@ -1,0 +1,217 @@
+#include "lacb/bandit/neural_ucb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace lacb::bandit {
+
+namespace {
+
+Status ValidateConfig(const NeuralUcbConfig& config) {
+  if (config.arm_values.empty()) {
+    return Status::InvalidArgument("NeuralUcb needs at least one arm value");
+  }
+  if (config.context_dim == 0) {
+    return Status::InvalidArgument("NeuralUcb context_dim must be positive");
+  }
+  if (config.alpha < 0.0) {
+    return Status::InvalidArgument("NeuralUcb alpha must be non-negative");
+  }
+  if (config.lambda <= 0.0) {
+    return Status::InvalidArgument("NeuralUcb lambda must be positive");
+  }
+  if (config.batch_size == 0) {
+    return Status::InvalidArgument("NeuralUcb batch_size must be positive");
+  }
+  return Status::OK();
+}
+
+nn::MlpConfig NetworkConfig(const NeuralUcbConfig& config) {
+  nn::MlpConfig net;
+  // Input: context, one RBF activation per arm anchor, and the raw scaled
+  // value (see NeuralUcb::NetInput).
+  net.layer_sizes.push_back(config.context_dim + config.arm_values.size() + 1);
+  for (size_t h : config.hidden_sizes) net.layer_sizes.push_back(h);
+  return net;
+}
+
+}  // namespace
+
+NeuralUcb::NeuralUcb(NeuralUcbConfig config, nn::Mlp net)
+    : config_(std::move(config)),
+      net_(std::move(net)),
+      optimizer_(config_.learning_rate),
+      train_rng_(config_.seed + 0x5eed) {
+  size_t d = net_.num_params();
+  if (config_.covariance == CovarianceMode::kFullMatrix) {
+    full_cov_ = std::make_unique<la::ShermanMorrisonInverse>(
+        la::ShermanMorrisonInverse::Create(d, config_.lambda).value());
+  } else {
+    diag_cov_ = std::make_unique<la::DiagonalInverse>(
+        la::DiagonalInverse::Create(d, config_.lambda).value());
+  }
+}
+
+Result<NeuralUcb> NeuralUcb::Create(const NeuralUcbConfig& config) {
+  LACB_RETURN_NOT_OK(ValidateConfig(config));
+  Rng rng(config.seed);
+  LACB_ASSIGN_OR_RETURN(nn::Mlp net, nn::Mlp::Create(NetworkConfig(config), &rng));
+  return NeuralUcb(config, std::move(net));
+}
+
+Result<NeuralUcb> NeuralUcb::CreateWithNetwork(const NeuralUcbConfig& config,
+                                               nn::Mlp network) {
+  LACB_RETURN_NOT_OK(ValidateConfig(config));
+  if (network.input_dim() !=
+      config.context_dim + config.arm_values.size() + 1) {
+    return Status::InvalidArgument(
+        "NeuralUcb network input dim must be context_dim + |arms| + 1");
+  }
+  return NeuralUcb(config, std::move(network));
+}
+
+Result<Vector> NeuralUcb::NetInput(const Vector& context,
+                                   double value) const {
+  if (context.size() != config_.context_dim) {
+    return Status::InvalidArgument("NeuralUcb context dimension mismatch");
+  }
+  Vector in;
+  in.reserve(context.size() + config_.arm_values.size() + 1);
+  in.insert(in.end(), context.begin(), context.end());
+  // Radial-basis features over the arm anchors make non-monotone reward
+  // shapes in the workload dimension (the capacity knee's interior peak)
+  // linearly separable for the network, while remaining smooth in the
+  // arbitrary observed workloads w fed back by Alg. 2. Bandwidth = the
+  // median arm spacing.
+  double bw = 1.0;
+  if (config_.arm_values.size() > 1) {
+    std::vector<double> sorted = config_.arm_values;
+    std::sort(sorted.begin(), sorted.end());
+    bw = std::max(1e-9, sorted[sorted.size() / 2] -
+                            sorted[sorted.size() / 2 - 1]);
+  }
+  for (double anchor : config_.arm_values) {
+    double z = (value - anchor) / bw;
+    in.push_back(std::exp(-0.5 * z * z));
+  }
+  in.push_back(value * config_.value_scale);
+  return in;
+}
+
+Result<double> NeuralUcb::Width2(const Vector& grad) const {
+  if (full_cov_ != nullptr) return full_cov_->QuadraticForm(grad);
+  return diag_cov_->QuadraticForm(grad);
+}
+
+Status NeuralUcb::CovarianceUpdate(const Vector& grad) {
+  if (full_cov_ != nullptr) return full_cov_->RankOneUpdate(grad);
+  return diag_cov_->RankOneUpdate(grad);
+}
+
+Result<double> NeuralUcb::UcbScore(const Vector& context,
+                                   double value) const {
+  LACB_ASSIGN_OR_RETURN(Vector in, NetInput(context, value));
+  LACB_ASSIGN_OR_RETURN(double mean, net_.Forward(in));
+  LACB_ASSIGN_OR_RETURN(Vector grad, net_.ParamGradient(in));
+  LACB_ASSIGN_OR_RETURN(double width2, Width2(grad));
+  return mean + config_.alpha * std::sqrt(width2);
+}
+
+Result<double> NeuralUcb::SelectValue(const Vector& context) {
+  // Alg. 1 lines 6-9: pick the arm with the maximal upper confidence bound,
+  // then update D with the chosen arm's gradient (line 12).
+  double best_value = config_.arm_values.front();
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (double v : config_.arm_values) {
+    LACB_ASSIGN_OR_RETURN(double score, UcbScore(context, v));
+    if (score > best_score) {
+      best_score = score;
+      best_value = v;
+    }
+  }
+  LACB_ASSIGN_OR_RETURN(Vector in, NetInput(context, best_value));
+  LACB_ASSIGN_OR_RETURN(Vector grad, net_.ParamGradient(in));
+  LACB_RETURN_NOT_OK(CovarianceUpdate(grad));
+  return best_value;
+}
+
+Result<double> NeuralUcb::PredictReward(const Vector& context,
+                                        double value) const {
+  LACB_ASSIGN_OR_RETURN(Vector in, NetInput(context, value));
+  return net_.Forward(in);
+}
+
+Status NeuralUcb::Observe(const Vector& context, double value,
+                          double reward) {
+  LACB_ASSIGN_OR_RETURN(Vector in, NetInput(context, value));
+  buffer_.push_back(nn::Example{std::move(in), reward});
+  if (buffer_.size() >= config_.batch_size) {
+    LACB_RETURN_NOT_OK(FlushTraining());
+  }
+  return Status::OK();
+}
+
+Status NeuralUcb::CopyCovariance(const NeuralUcb& other) {
+  if (other.net_.num_params() != net_.num_params()) {
+    return Status::InvalidArgument("CopyCovariance: parameter-count mismatch");
+  }
+  if ((full_cov_ != nullptr) != (other.full_cov_ != nullptr)) {
+    return Status::InvalidArgument("CopyCovariance: covariance-mode mismatch");
+  }
+  if (full_cov_ != nullptr) {
+    *full_cov_ = *other.full_cov_;
+  } else {
+    *diag_cov_ = *other.diag_cov_;
+  }
+  return Status::OK();
+}
+
+Status NeuralUcb::FlushTraining() {
+  if (buffer_.empty()) return Status::OK();
+  if (config_.replay_capacity == 0) {
+    // Paper-literal Alg. 1: train on the fresh buffer only.
+    for (size_t e = 0; e < config_.train_epochs; ++e) {
+      LACB_ASSIGN_OR_RETURN(Vector grad,
+                            net_.LossGradient(buffer_, config_.lambda));
+      LACB_RETURN_NOT_OK(optimizer_.Step(grad, &net_));
+    }
+    buffer_.clear();
+    ++training_passes_;
+    return Status::OK();
+  }
+  // Fold the buffer into the replay (ring eviction beyond capacity).
+  for (nn::Example& ex : buffer_) {
+    if (replay_.size() < config_.replay_capacity) {
+      replay_.push_back(std::move(ex));
+    } else {
+      replay_[replay_next_] = std::move(ex);
+      replay_next_ = (replay_next_ + 1) % config_.replay_capacity;
+    }
+  }
+  buffer_.clear();
+  // Minibatch SGD over the replay; the L2 term of Eq. 6 applies per step.
+  size_t mb = std::max<size_t>(1, config_.minibatch_size);
+  std::vector<nn::Example> batch;
+  for (size_t e = 0; e < config_.train_epochs; ++e) {
+    batch.clear();
+    size_t take = std::min(mb, replay_.size());
+    for (size_t i = 0; i < take; ++i) {
+      size_t j = static_cast<size_t>(train_rng_.UniformInt(
+          0, static_cast<int64_t>(replay_.size()) - 1));
+      batch.push_back(replay_[j]);
+    }
+    LACB_ASSIGN_OR_RETURN(Vector grad,
+                          net_.LossGradient(batch, config_.lambda));
+    // LossGradient sums over the batch; normalize so the step size is
+    // independent of the minibatch size.
+    double inv = 1.0 / static_cast<double>(take);
+    for (double& g : grad) g *= inv;
+    LACB_RETURN_NOT_OK(optimizer_.Step(grad, &net_));
+  }
+  ++training_passes_;
+  return Status::OK();
+}
+
+}  // namespace lacb::bandit

@@ -1,0 +1,93 @@
+#include "lacb/bandit/thompson.h"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace lacb::bandit {
+
+LinearThompson::LinearThompson(LinearThompsonConfig config,
+                               la::ShermanMorrisonInverse a_inv)
+    : config_(std::move(config)),
+      a_inv_(std::move(a_inv)),
+      b_(config_.context_dim + 2, 0.0),
+      theta_(config_.context_dim + 2, 0.0),
+      rng_(config_.seed) {}
+
+Result<LinearThompson> LinearThompson::Create(
+    const LinearThompsonConfig& config) {
+  if (config.arm_values.empty()) {
+    return Status::InvalidArgument("LinearThompson needs >= 1 arm value");
+  }
+  if (config.context_dim == 0) {
+    return Status::InvalidArgument("LinearThompson context_dim must be > 0");
+  }
+  if (config.posterior_scale < 0.0) {
+    return Status::InvalidArgument("posterior_scale must be non-negative");
+  }
+  LACB_ASSIGN_OR_RETURN(
+      auto a_inv,
+      la::ShermanMorrisonInverse::Create(config.context_dim + 2,
+                                         config.lambda));
+  return LinearThompson(config, std::move(a_inv));
+}
+
+Result<la::Vector> LinearThompson::Features(const Vector& context,
+                                            double value) const {
+  if (context.size() != config_.context_dim) {
+    return Status::InvalidArgument("LinearThompson context dim mismatch");
+  }
+  Vector phi;
+  phi.reserve(context.size() + 2);
+  phi.insert(phi.end(), context.begin(), context.end());
+  phi.push_back(value * config_.value_scale);
+  phi.push_back(1.0);
+  return phi;
+}
+
+Result<la::Vector> LinearThompson::SampleTheta() {
+  // A⁻¹ = L Lᵀ; θ̃ = θ̂ + v L z gives covariance v² A⁻¹.
+  LACB_ASSIGN_OR_RETURN(la::Matrix l, la::CholeskyFactor(a_inv_.inverse()));
+  size_t d = theta_.size();
+  Vector z(d);
+  for (double& v : z) v = rng_.Normal();
+  Vector sample = theta_;
+  for (size_t i = 0; i < d; ++i) {
+    double acc = 0.0;
+    for (size_t j = 0; j <= i; ++j) acc += l(i, j) * z[j];
+    sample[i] += config_.posterior_scale * acc;
+  }
+  return sample;
+}
+
+Result<double> LinearThompson::SelectValue(const Vector& context) {
+  LACB_ASSIGN_OR_RETURN(Vector theta, SampleTheta());
+  double best_value = config_.arm_values.front();
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (double v : config_.arm_values) {
+    LACB_ASSIGN_OR_RETURN(Vector phi, Features(context, v));
+    double score = la::Dot(theta, phi);
+    if (score > best_score) {
+      best_score = score;
+      best_value = v;
+    }
+  }
+  return best_value;
+}
+
+Result<double> LinearThompson::PredictReward(const Vector& context,
+                                             double value) const {
+  LACB_ASSIGN_OR_RETURN(Vector phi, Features(context, value));
+  return la::Dot(theta_, phi);
+}
+
+Status LinearThompson::Observe(const Vector& context, double value,
+                               double reward) {
+  LACB_ASSIGN_OR_RETURN(Vector phi, Features(context, value));
+  LACB_RETURN_NOT_OK(a_inv_.RankOneUpdate(phi));
+  la::Axpy(reward, phi, &b_);
+  LACB_ASSIGN_OR_RETURN(theta_, a_inv_.inverse().MatVec(b_));
+  return Status::OK();
+}
+
+}  // namespace lacb::bandit

@@ -1,0 +1,65 @@
+// Linear Thompson sampling over the same value-arm interface.
+//
+// Posterior sampling alternative to the UCB policies: maintains the ridge
+// posterior N(θ̂, v²A⁻¹) over the linear reward model on features
+// φ(x, v) = [x; v; 1] and, per decision, scores arms under one posterior
+// sample θ̃. Included as an additional exploration baseline for the regret
+// ablation (the paper's Sec. V-C considers UCB only).
+
+#ifndef LACB_BANDIT_THOMPSON_H_
+#define LACB_BANDIT_THOMPSON_H_
+
+#include <vector>
+
+#include "lacb/bandit/contextual_bandit.h"
+#include "lacb/common/rng.h"
+#include "lacb/la/linalg.h"
+
+namespace lacb::bandit {
+
+/// \brief Configuration of a LinearThompson policy.
+struct LinearThompsonConfig {
+  std::vector<double> arm_values;
+  size_t context_dim = 0;
+  /// Posterior scale v: larger explores more.
+  double posterior_scale = 0.5;
+  /// Ridge regularizer initializing A = λI.
+  double lambda = 1.0;
+  /// Arm values are multiplied by this before entering the feature map.
+  double value_scale = 1.0;
+  uint64_t seed = 1;
+};
+
+/// \brief Thompson sampling with a linear reward model.
+class LinearThompson : public ContextualBandit {
+ public:
+  static Result<LinearThompson> Create(const LinearThompsonConfig& config);
+
+  Result<double> SelectValue(const Vector& context) override;
+  Result<double> PredictReward(const Vector& context,
+                               double value) const override;
+  Status Observe(const Vector& context, double value, double reward) override;
+
+  const std::vector<double>& arm_values() const override {
+    return config_.arm_values;
+  }
+  size_t context_dim() const override { return config_.context_dim; }
+
+ private:
+  LinearThompson(LinearThompsonConfig config,
+                 la::ShermanMorrisonInverse a_inv);
+
+  Result<Vector> Features(const Vector& context, double value) const;
+  /// One posterior draw θ̃ = θ̂ + v·L z with L Lᵀ = A⁻¹, z ~ N(0, I).
+  Result<Vector> SampleTheta();
+
+  LinearThompsonConfig config_;
+  la::ShermanMorrisonInverse a_inv_;
+  Vector b_;
+  Vector theta_;
+  Rng rng_;
+};
+
+}  // namespace lacb::bandit
+
+#endif  // LACB_BANDIT_THOMPSON_H_

@@ -1,0 +1,141 @@
+#include "lacb/capacity/personalized_estimator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "lacb/stats/descriptive.h"
+
+namespace lacb::capacity {
+
+PersonalizedCapacityEstimator::PersonalizedCapacityEstimator(
+    PersonalizedEstimatorConfig config, std::unique_ptr<bandit::NeuralUcb> base,
+    size_t num_brokers)
+    : config_(std::move(config)),
+      base_(std::move(base)),
+      personal_(num_brokers),
+      observations_(num_brokers, 0),
+      history_(num_brokers) {}
+
+Result<PersonalizedCapacityEstimator> PersonalizedCapacityEstimator::Create(
+    const PersonalizedEstimatorConfig& config, size_t num_brokers) {
+  if (num_brokers == 0) {
+    return Status::InvalidArgument("estimator pool needs >= 1 broker");
+  }
+  LACB_ASSIGN_OR_RETURN(bandit::NeuralUcb base,
+                        bandit::NeuralUcb::Create(config.bandit));
+  return PersonalizedCapacityEstimator(
+      config, std::make_unique<bandit::NeuralUcb>(std::move(base)),
+      num_brokers);
+}
+
+Result<double> PersonalizedCapacityEstimator::Estimate(
+    size_t broker, const bandit::Vector& context) {
+  if (broker >= personal_.size()) {
+    return Status::OutOfRange("broker index out of range");
+  }
+  if (personal_[broker] != nullptr) {
+    return personal_[broker]->SelectValue(context);
+  }
+  return base_->SelectValue(context);
+}
+
+Status PersonalizedCapacityEstimator::MaybePersonalize(size_t broker) {
+  if (personal_[broker] != nullptr) return Status::OK();
+  if (observations_[broker] < config_.personalization_threshold) {
+    return Status::OK();
+  }
+  if (base_->training_passes() < config_.base_training_passes) {
+    return Status::OK();
+  }
+  // Layer transfer: copy the base network, freeze all but the last layer.
+  nn::Mlp net = base_->network();
+  for (size_t l = 0; l + 1 < net.num_layers(); ++l) {
+    LACB_RETURN_NOT_OK(net.SetLayerTrainable(l, false));
+  }
+  bandit::NeuralUcbConfig cfg = config_.bandit;
+  cfg.seed = config_.bandit.seed + 17 * (broker + 1);
+  // Brokers see ~one observation per day; the base's buffer size would
+  // leave the fine-tuned layer untrained for weeks.
+  cfg.batch_size = std::max<size_t>(1, config_.personal_batch_size);
+  cfg.learning_rate = config_.personal_learning_rate;
+  cfg.train_epochs = config_.personal_train_epochs;
+  LACB_ASSIGN_OR_RETURN(
+      bandit::NeuralUcb personal,
+      bandit::NeuralUcb::CreateWithNetwork(cfg, std::move(net)));
+  // The base's covariance comes along with its network: exploration
+  // confidence is part of what the transfer carries over.
+  LACB_RETURN_NOT_OK(personal.CopyCovariance(*base_));
+  // Warm-start the fine-tune: replay the broker's own history so the last
+  // layer adapts to it immediately rather than waiting for future days.
+  for (const HistoryEntry& h : history_[broker]) {
+    LACB_RETURN_NOT_OK(
+        personal.Observe(h.context, h.workload, h.signup_rate));
+  }
+  LACB_RETURN_NOT_OK(personal.FlushTraining());
+  personal_[broker] =
+      std::make_unique<bandit::NeuralUcb>(std::move(personal));
+  ++personalized_count_;
+  return Status::OK();
+}
+
+Status PersonalizedCapacityEstimator::Update(size_t broker,
+                                             const bandit::Vector& context,
+                                             double workload,
+                                             double signup_rate) {
+  if (broker >= personal_.size()) {
+    return Status::OutOfRange("broker index out of range");
+  }
+  ++observations_[broker];
+  if (history_[broker].size() < config_.history_capacity) {
+    history_[broker].push_back(HistoryEntry{context, workload, signup_rate});
+  }
+  if (personal_[broker] != nullptr) {
+    LACB_RETURN_NOT_OK(
+        personal_[broker]->Observe(context, workload, signup_rate));
+    if (config_.continue_base_training) {
+      LACB_RETURN_NOT_OK(base_->Observe(context, workload, signup_rate));
+    }
+    return Status::OK();
+  }
+  LACB_RETURN_NOT_OK(base_->Observe(context, workload, signup_rate));
+  return MaybePersonalize(broker);
+}
+
+Result<double> EstimateEmpiricalCapacity(
+    const std::vector<double>& workloads,
+    const std::vector<double>& signup_rates, double drop_fraction,
+    size_t num_bins) {
+  if (workloads.size() != signup_rates.size() || workloads.size() < 4) {
+    return Status::InvalidArgument(
+        "empirical capacity needs >= 4 paired observations");
+  }
+  if (drop_fraction <= 0.0 || drop_fraction >= 1.0) {
+    return Status::InvalidArgument("drop_fraction must be in (0,1)");
+  }
+  double max_w = *std::max_element(workloads.begin(), workloads.end());
+  if (max_w <= 0.0) {
+    return Status::InvalidArgument("all workloads are zero");
+  }
+  LACB_ASSIGN_OR_RETURN(
+      stats::BinnedSeries series,
+      stats::BinMeans(workloads, signup_rates, 0.0, max_w + 1e-9, num_bins));
+  // Running below-knee mean; the knee is the first bin whose mean drops
+  // below drop_fraction of it.
+  double running_sum = 0.0;
+  size_t running_count = 0;
+  for (size_t b = 0; b < series.means.size(); ++b) {
+    if (series.counts[b] == 0) continue;
+    if (running_count > 0) {
+      double below_mean = running_sum / static_cast<double>(running_count);
+      if (series.means[b] < drop_fraction * below_mean) {
+        return series.bin_centers[b];
+      }
+    }
+    running_sum += series.means[b];
+    ++running_count;
+  }
+  // No knee visible: the population never saturated; report the max.
+  return max_w;
+}
+
+}  // namespace lacb::capacity

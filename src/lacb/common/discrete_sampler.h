@@ -1,0 +1,63 @@
+// DiscreteSampler: O(log n) repeated sampling from a fixed categorical
+// distribution via a precomputed cumulative table. Use this instead of
+// Rng::Categorical / Rng::Zipf when drawing many times from one
+// distribution (e.g. request popularity over brokers).
+
+#ifndef LACB_COMMON_DISCRETE_SAMPLER_H_
+#define LACB_COMMON_DISCRETE_SAMPLER_H_
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "lacb/common/rng.h"
+
+namespace lacb {
+
+/// \brief Samples indices from a fixed non-negative weight vector.
+class DiscreteSampler {
+ public:
+  /// \brief Builds the cumulative table. Zero-total weights degrade to
+  /// uniform sampling.
+  explicit DiscreteSampler(const std::vector<double>& weights) {
+    cdf_.reserve(weights.size());
+    double acc = 0.0;
+    for (double w : weights) {
+      acc += std::max(0.0, w);
+      cdf_.push_back(acc);
+    }
+    uniform_fallback_ = (acc <= 0.0);
+  }
+
+  /// \brief Builds a Zipf(s) sampler over n ranks (rank 0 most likely).
+  static DiscreteSampler Zipf(size_t n, double s) {
+    std::vector<double> w(n);
+    for (size_t k = 0; k < n; ++k) {
+      w[k] = 1.0 / std::pow(static_cast<double>(k + 1), s);
+    }
+    return DiscreteSampler(w);
+  }
+
+  /// \brief Draws one index in [0, size()).
+  size_t Sample(Rng* rng) const {
+    if (cdf_.empty()) return 0;
+    if (uniform_fallback_) {
+      return static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(cdf_.size()) - 1));
+    }
+    double target = rng->Uniform() * cdf_.back();
+    auto it = std::upper_bound(cdf_.begin(), cdf_.end(), target);
+    if (it == cdf_.end()) return cdf_.size() - 1;
+    return static_cast<size_t>(it - cdf_.begin());
+  }
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+  bool uniform_fallback_ = false;
+};
+
+}  // namespace lacb
+
+#endif  // LACB_COMMON_DISCRETE_SAMPLER_H_

@@ -1,0 +1,63 @@
+// Minimal leveled logging plus CHECK macros for internal invariants.
+//
+// Library code uses LACB_CHECK only for conditions that indicate a bug in
+// the library itself (never for user input — user input errors are reported
+// via Status). Logging defaults to kInfo and writes to stderr.
+
+#ifndef LACB_COMMON_LOGGING_H_
+#define LACB_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace lacb {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Global log threshold; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+  bool enabled_;
+  bool fatal_;
+};
+
+}  // namespace internal
+}  // namespace lacb
+
+#define LACB_LOG(level)                                                 \
+  ::lacb::internal::LogMessage(::lacb::LogLevel::k##level, __FILE__,    \
+                               __LINE__)
+
+// Invariant check: aborts with a message when `cond` is false. For internal
+// bugs only; never triggered by user input.
+#define LACB_CHECK(cond)                                                  \
+  (cond) ? (void)0                                                        \
+         : (void)(::lacb::internal::LogMessage(::lacb::LogLevel::kError,  \
+                                               __FILE__, __LINE__, true)  \
+                  << "Check failed: " #cond " ")
+
+#define LACB_CHECK_GE(a, b) LACB_CHECK((a) >= (b))
+#define LACB_CHECK_GT(a, b) LACB_CHECK((a) > (b))
+#define LACB_CHECK_LE(a, b) LACB_CHECK((a) <= (b))
+#define LACB_CHECK_LT(a, b) LACB_CHECK((a) < (b))
+#define LACB_CHECK_EQ(a, b) LACB_CHECK((a) == (b))
+
+#endif  // LACB_COMMON_LOGGING_H_

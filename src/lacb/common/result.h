@@ -1,0 +1,80 @@
+// Result<T>: value-or-Status, the return type for fallible producers.
+
+#ifndef LACB_COMMON_RESULT_H_
+#define LACB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "lacb/common/status.h"
+
+namespace lacb {
+
+/// \brief Holds either a value of type T or a non-OK Status.
+///
+/// Constructing a Result from an OK Status is a programming error (there
+/// would be no value to return); it is converted to an Internal error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (the common success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// \brief The error status, or OK if a value is present.
+  const Status& status() const { return status_; }
+
+  /// \brief The contained value; must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// \brief Returns the value, or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present
+};
+
+/// \brief Assigns a Result's value to `lhs`, or returns its error status.
+#define LACB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define LACB_ASSIGN_OR_RETURN(lhs, expr) \
+  LACB_ASSIGN_OR_RETURN_IMPL(            \
+      LACB_CONCAT_(_result_, __LINE__), lhs, expr)
+
+#define LACB_CONCAT_INNER_(a, b) a##b
+#define LACB_CONCAT_(a, b) LACB_CONCAT_INNER_(a, b)
+
+}  // namespace lacb
+
+#endif  // LACB_COMMON_RESULT_H_

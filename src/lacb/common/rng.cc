@@ -1,0 +1,38 @@
+#include "lacb/common/rng.h"
+
+#include <cmath>
+
+namespace lacb {
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) {
+    return static_cast<size_t>(
+        UniformInt(0, static_cast<int64_t>(weights.size()) - 1));
+  }
+  double target = Uniform() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+size_t Rng::Zipf(size_t n, double s) {
+  // Inverse-CDF on the truncated harmonic series. n is small enough in our
+  // simulations (brokers per city) that a linear scan is fine; the loop is
+  // dominated by the categorical draw it replaces.
+  double h = 0.0;
+  for (size_t k = 1; k <= n; ++k) h += 1.0 / std::pow(static_cast<double>(k), s);
+  double target = Uniform() * h;
+  double acc = 0.0;
+  for (size_t k = 1; k <= n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k), s);
+    if (target < acc) return k - 1;
+  }
+  return n - 1;
+}
+
+}  // namespace lacb

@@ -1,0 +1,98 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the library draws from an Rng that is
+// explicitly seeded by the caller, so simulations, tests, and benchmarks are
+// reproducible run-to-run. Rng also supports cheap forking: `Fork(tag)`
+// derives an independent child stream, so per-broker/per-batch randomness
+// does not depend on iteration order.
+
+#ifndef LACB_COMMON_RNG_H_
+#define LACB_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace lacb {
+
+/// \brief Seeded pseudo-random source used throughout the library.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  /// \brief Derives an independent child generator from this seed and a tag.
+  ///
+  /// Forking does not consume state from the parent, so the child stream is
+  /// stable regardless of how much the parent has been used.
+  Rng Fork(uint64_t tag) const {
+    // SplitMix64 finalizer mixes seed and tag into a well-spread child seed.
+    uint64_t z = seed_ + 0x9e3779b97f4a7c15ULL * (tag + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return Rng(z ^ (z >> 31));
+  }
+
+  /// \brief Uniform double in [0, 1).
+  double Uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// \brief Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// \brief Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// \brief Normal deviate with the given mean and standard deviation.
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// \brief Log-normal deviate (parameters of the underlying normal).
+  double LogNormal(double mu, double sigma) {
+    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  /// \brief Bernoulli draw with success probability p.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// \brief Poisson deviate with the given mean.
+  int64_t Poisson(double mean) {
+    return std::poisson_distribution<int64_t>(mean)(engine_);
+  }
+
+  /// \brief Index in [0, weights.size()) drawn proportionally to weights.
+  ///
+  /// Weights must be non-negative; if they sum to zero the draw is uniform.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// \brief Zipf-distributed rank in [0, n) with exponent s (s > 0).
+  ///
+  /// Rank 0 is the most likely outcome; used to model long-tail popularity.
+  size_t Zipf(size_t n, double s);
+
+  /// \brief Fisher–Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  uint64_t seed_;
+};
+
+}  // namespace lacb
+
+#endif  // LACB_COMMON_RNG_H_

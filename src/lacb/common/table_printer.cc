@@ -1,0 +1,62 @@
+#include "lacb/common/table_printer.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace lacb {
+
+void TablePrinter::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+Status TablePrinter::AddRow(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    return Status::InvalidArgument("row width does not match header width");
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+std::string TablePrinter::Num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    os << "\n";
+  };
+  print_row(header_);
+  std::string rule;
+  for (size_t c = 0; c < header_.size(); ++c) {
+    rule += std::string(widths[c], '-') + "  ";
+  }
+  os << rule << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TablePrinter::PrintCsv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ",";
+      os << row[c];
+    }
+    os << "\n";
+  };
+  print_row(header_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace lacb

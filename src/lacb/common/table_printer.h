@@ -1,0 +1,45 @@
+// TablePrinter / CsvWriter: formatting helpers for benchmark output.
+//
+// Every bench binary prints the series a paper figure plots, in two forms:
+// an aligned human-readable table and (optionally) CSV rows suitable for
+// re-plotting. These helpers keep that output consistent across benches.
+
+#ifndef LACB_COMMON_TABLE_PRINTER_H_
+#define LACB_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "lacb/common/status.h"
+
+namespace lacb {
+
+/// \brief Collects rows of string cells and prints them column-aligned.
+class TablePrinter {
+ public:
+  /// \brief Sets the header row. Must be called before AddRow.
+  void SetHeader(std::vector<std::string> header);
+
+  /// \brief Appends a data row; its width must match the header.
+  Status AddRow(std::vector<std::string> row);
+
+  /// \brief Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 3);
+
+  /// \brief Writes the aligned table to `os`.
+  void Print(std::ostream& os) const;
+
+  /// \brief Writes the table as CSV to `os`.
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lacb
+
+#endif  // LACB_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,91 @@
+#include "lacb/core/engine.h"
+
+#include <algorithm>
+
+#include "lacb/common/stopwatch.h"
+
+namespace lacb::core {
+
+Result<PolicyRunResult> RunPolicy(const sim::DatasetConfig& config,
+                                  policy::AssignmentPolicy* policy) {
+  if (policy == nullptr) {
+    return Status::InvalidArgument("RunPolicy requires a policy");
+  }
+  LACB_ASSIGN_OR_RETURN(sim::Platform platform, sim::Platform::Create(config));
+
+  PolicyRunResult result;
+  result.policy = policy->name();
+  result.dataset = config.name;
+  size_t n = platform.num_brokers();
+  result.broker_utility.assign(n, 0.0);
+  result.broker_requests.assign(n, 0.0);
+  result.broker_peak_workload.assign(n, 0.0);
+  result.broker_mean_workload.assign(n, 0.0);
+
+  LACB_RETURN_NOT_OK(policy->Initialize(platform));
+
+  size_t days = platform.num_days();
+  for (size_t day = 0; day < days; ++day) {
+    LACB_RETURN_NOT_OK(platform.StartDay(day));
+    Stopwatch day_timer;
+    double policy_time = 0.0;
+
+    {
+      Stopwatch sw;
+      LACB_RETURN_NOT_OK(policy->BeginDay(platform, day));
+      policy_time += sw.ElapsedSeconds();
+    }
+
+    size_t batches = platform.NumBatchesToday();
+    for (size_t batch = 0; batch < batches; ++batch) {
+      LACB_ASSIGN_OR_RETURN(std::vector<sim::Request> requests,
+                            platform.BatchRequests(batch));
+      LACB_ASSIGN_OR_RETURN(la::Matrix utility, platform.BatchUtility(batch));
+      policy::BatchInput input;
+      input.requests = &requests;
+      input.utility = &utility;
+      input.workloads = &platform.workloads_today();
+      input.day = day;
+      input.batch = batch;
+
+      Stopwatch sw;
+      LACB_ASSIGN_OR_RETURN(std::vector<int64_t> assignment,
+                            policy->AssignBatch(input));
+      policy_time += sw.ElapsedSeconds();
+
+      LACB_RETURN_NOT_OK(platform.CommitAssignment(batch, assignment));
+    }
+
+    LACB_ASSIGN_OR_RETURN(sim::DayOutcome outcome, platform.EndDay());
+    {
+      Stopwatch sw;
+      LACB_RETURN_NOT_OK(policy->EndDay(outcome));
+      policy_time += sw.ElapsedSeconds();
+    }
+
+    result.daily_utility.push_back(outcome.realized_utility);
+    result.daily_policy_seconds.push_back(policy_time);
+    result.total_utility += outcome.realized_utility;
+    result.policy_seconds += policy_time;
+    result.total_appeals += outcome.appeals;
+    for (size_t b = 0; b < n; ++b) {
+      result.broker_utility[b] += outcome.per_broker_utility[b];
+      double w = outcome.per_broker_workload[b];
+      result.broker_requests[b] += w;
+      result.broker_peak_workload[b] =
+          std::max(result.broker_peak_workload[b], w);
+      double knee = platform.brokers()[b].latent.true_capacity;
+      if (w > knee) {
+        ++result.overloaded_broker_days;
+        result.overload_excess += w - knee;
+      }
+    }
+  }
+  double d = static_cast<double>(std::max<size_t>(1, days));
+  for (size_t b = 0; b < n; ++b) {
+    result.broker_mean_workload[b] = result.broker_requests[b] / d;
+  }
+  return result;
+}
+
+}  // namespace lacb::core

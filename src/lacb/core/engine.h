@@ -1,0 +1,58 @@
+// Engine: runs one assignment policy through a simulated matching instance
+// and collects the metrics every paper figure is built from.
+//
+// A fresh Platform is created per run from the dataset configuration, so
+// every compared policy faces the *same* brokers, requests, and ground
+// truth (paired comparison). Timing covers policy compute only (BeginDay +
+// AssignBatch), mirroring the paper's "running time" axis which measures
+// the assignment algorithms, not the environment.
+
+#ifndef LACB_CORE_ENGINE_H_
+#define LACB_CORE_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "lacb/policy/assignment_policy.h"
+#include "lacb/sim/dataset.h"
+#include "lacb/sim/platform.h"
+
+namespace lacb::core {
+
+/// \brief Everything measured over one policy × dataset run.
+struct PolicyRunResult {
+  std::string policy;
+  std::string dataset;
+
+  /// Σ realized utility (u_{r,b} × quality at the broker's daily workload).
+  double total_utility = 0.0;
+  /// Policy compute time (seconds) across the whole horizon.
+  double policy_seconds = 0.0;
+
+  /// Per-day series (cumulative forms are derived by benches).
+  std::vector<double> daily_utility;
+  std::vector<double> daily_policy_seconds;
+
+  /// Per-broker aggregates over the horizon.
+  std::vector<double> broker_utility;
+  std::vector<double> broker_requests;       // total served
+  std::vector<double> broker_peak_workload;  // max daily workload
+  std::vector<double> broker_mean_workload;  // mean daily workload
+
+  /// Broker-days on which the daily workload exceeded the broker's latent
+  /// capacity knee (ground-truth overload count; evaluation-only metric).
+  size_t overloaded_broker_days = 0;
+  /// Σ over broker-days of max(0, workload − latent knee): overload
+  /// *severity*, which separates one broker being buried (top-k) from many
+  /// brokers being nudged slightly past their knees.
+  double overload_excess = 0.0;
+  size_t total_appeals = 0;
+};
+
+/// \brief Runs `policy` over a fresh instance of `config`.
+Result<PolicyRunResult> RunPolicy(const sim::DatasetConfig& config,
+                                  policy::AssignmentPolicy* policy);
+
+}  // namespace lacb::core
+
+#endif  // LACB_CORE_ENGINE_H_

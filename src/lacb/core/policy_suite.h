@@ -1,0 +1,48 @@
+// Factory for the paper's compared-algorithm suite (Sec. VII-A):
+// Top-1, Top-3, RR, KM, CTop-1, CTop-3, AN, LACB, LACB-Opt.
+
+#ifndef LACB_CORE_POLICY_SUITE_H_
+#define LACB_CORE_POLICY_SUITE_H_
+
+#include <memory>
+#include <vector>
+
+#include "lacb/policy/an_policy.h"
+#include "lacb/policy/km_policy.h"
+#include "lacb/policy/lacb_policy.h"
+#include "lacb/policy/recommendation.h"
+#include "lacb/sim/dataset.h"
+
+namespace lacb::core {
+
+/// \brief Suite-wide knobs.
+struct PolicySuiteConfig {
+  /// Empirical city-wide capacity for CTop-K (paper: 45/55/40 for A/B/C).
+  double ctopk_capacity = 45.0;
+  /// Padded (O(|B|³)) KM for the KM-based policies, as in the paper.
+  bool pad_to_square = true;
+  /// Include the cubic-time policies (KM, AN, LACB); benches at very large
+  /// |B| may drop them exactly like the paper's timeout handling.
+  bool include_cubic = true;
+  uint64_t seed = 99;
+};
+
+/// \brief NeuralUCB configuration shared by AN and LACB for a dataset:
+/// paper constants (α=0.001, λ=0.001, batchSize=16, 3-layer MLP), arms from
+/// the dataset's candidate capacities, diagonal covariance.
+bandit::NeuralUcbConfig DefaultBanditConfig(const sim::DatasetConfig& dataset,
+                                            uint64_t seed);
+
+/// \brief LACB configuration with the paper's β=0.25, γ=0.9, δ=0.8.
+policy::LacbPolicyConfig DefaultLacbConfig(const sim::DatasetConfig& dataset,
+                                           const PolicySuiteConfig& suite,
+                                           bool use_cbs);
+
+/// \brief Builds the full compared suite in the paper's order.
+Result<std::vector<std::unique_ptr<policy::AssignmentPolicy>>>
+MakePolicySuite(const sim::DatasetConfig& dataset,
+                const PolicySuiteConfig& suite);
+
+}  // namespace lacb::core
+
+#endif  // LACB_CORE_POLICY_SUITE_H_

@@ -1,0 +1,134 @@
+#include "lacb/gbdt/booster.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace lacb::gbdt {
+
+Result<Booster> Booster::Fit(const std::vector<std::vector<double>>& features,
+                             const std::vector<double>& targets,
+                             const BoosterConfig& config) {
+  if (features.empty() || features.size() != targets.size()) {
+    return Status::InvalidArgument(
+        "booster fit needs non-empty, equal-length features and targets");
+  }
+  if (config.num_rounds == 0) {
+    return Status::InvalidArgument("num_rounds must be positive");
+  }
+  if (config.shrinkage <= 0.0 || config.shrinkage > 1.0) {
+    return Status::InvalidArgument("shrinkage must be in (0,1]");
+  }
+  if (config.subsample <= 0.0 || config.subsample > 1.0) {
+    return Status::InvalidArgument("subsample must be in (0,1]");
+  }
+  if (config.early_stopping_rounds > 0 &&
+      (config.validation_fraction <= 0.0 ||
+       config.validation_fraction >= 1.0)) {
+    return Status::InvalidArgument(
+        "early stopping requires a validation fraction in (0,1)");
+  }
+
+  Rng rng(config.seed);
+  size_t n = features.size();
+  // Train/validation split (shuffled).
+  std::vector<size_t> index(n);
+  std::iota(index.begin(), index.end(), 0);
+  rng.Shuffle(&index);
+  size_t val_n = static_cast<size_t>(config.validation_fraction *
+                                     static_cast<double>(n));
+  std::vector<size_t> val_rows(index.begin(),
+                               index.begin() + static_cast<long>(val_n));
+  std::vector<size_t> train_rows(index.begin() + static_cast<long>(val_n),
+                                 index.end());
+  if (train_rows.empty()) {
+    return Status::InvalidArgument("validation fraction leaves no train data");
+  }
+
+  double base = 0.0;
+  for (size_t r : train_rows) base += targets[r];
+  base /= static_cast<double>(train_rows.size());
+
+  std::vector<double> prediction(n, base);
+  std::vector<RegressionTree> trees;
+  double best_val = std::numeric_limits<double>::infinity();
+  size_t best_round = 0;
+  size_t rounds_since_best = 0;
+
+  for (size_t round = 0; round < config.num_rounds; ++round) {
+    // Residual targets over a (sub)sample of the training rows.
+    std::vector<size_t> rows;
+    if (config.subsample >= 1.0) {
+      rows = train_rows;
+    } else {
+      for (size_t r : train_rows) {
+        if (rng.Bernoulli(config.subsample)) rows.push_back(r);
+      }
+      if (rows.size() < 2 * config.tree.min_samples_per_leaf) {
+        rows = train_rows;
+      }
+    }
+    std::vector<std::vector<double>> sub_features;
+    std::vector<double> residuals;
+    sub_features.reserve(rows.size());
+    residuals.reserve(rows.size());
+    for (size_t r : rows) {
+      sub_features.push_back(features[r]);
+      residuals.push_back(targets[r] - prediction[r]);
+    }
+    LACB_ASSIGN_OR_RETURN(RegressionTree tree,
+                          RegressionTree::Fit(sub_features, residuals,
+                                              config.tree));
+    // Update cached predictions for all rows.
+    for (size_t r = 0; r < n; ++r) {
+      LACB_ASSIGN_OR_RETURN(double t, tree.Predict(features[r]));
+      prediction[r] += config.shrinkage * t;
+    }
+    trees.push_back(std::move(tree));
+
+    if (config.early_stopping_rounds > 0 && !val_rows.empty()) {
+      double val_mse = 0.0;
+      for (size_t r : val_rows) {
+        double e = prediction[r] - targets[r];
+        val_mse += e * e;
+      }
+      val_mse /= static_cast<double>(val_rows.size());
+      if (val_mse + 1e-12 < best_val) {
+        best_val = val_mse;
+        best_round = trees.size();
+        rounds_since_best = 0;
+      } else if (++rounds_since_best >= config.early_stopping_rounds) {
+        trees.erase(trees.begin() + static_cast<long>(best_round),
+                    trees.end());
+        break;
+      }
+    }
+  }
+  return Booster(base, config.shrinkage, std::move(trees));
+}
+
+Result<double> Booster::Predict(const std::vector<double>& row) const {
+  double out = base_score_;
+  for (const RegressionTree& tree : trees_) {
+    LACB_ASSIGN_OR_RETURN(double t, tree.Predict(row));
+    out += shrinkage_ * t;
+  }
+  return out;
+}
+
+Result<double> Booster::MeanSquaredError(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<double>& targets) const {
+  if (features.size() != targets.size() || features.empty()) {
+    return Status::InvalidArgument("MSE needs equal-length non-empty data");
+  }
+  double mse = 0.0;
+  for (size_t i = 0; i < features.size(); ++i) {
+    LACB_ASSIGN_OR_RETURN(double p, Predict(features[i]));
+    double e = p - targets[i];
+    mse += e * e;
+  }
+  return mse / static_cast<double>(features.size());
+}
+
+}  // namespace lacb::gbdt

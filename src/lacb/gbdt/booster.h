@@ -1,0 +1,69 @@
+// Gradient-boosted regression trees (squared loss), the "XGBoost-style"
+// learner the paper's production utility model uses.
+//
+// Standard boosting on the squared loss: each round fits a regression tree
+// to the current residuals and adds it with a shrinkage factor. Supports
+// row subsampling (stochastic gradient boosting) and early stopping on a
+// validation split.
+
+#ifndef LACB_GBDT_BOOSTER_H_
+#define LACB_GBDT_BOOSTER_H_
+
+#include <vector>
+
+#include "lacb/common/result.h"
+#include "lacb/common/rng.h"
+#include "lacb/gbdt/tree.h"
+
+namespace lacb::gbdt {
+
+/// \brief Training options for the boosted ensemble.
+struct BoosterConfig {
+  TreeConfig tree;
+  size_t num_rounds = 100;
+  /// Shrinkage (learning rate) applied to each tree's contribution.
+  double shrinkage = 0.1;
+  /// Fraction of rows sampled per round (1.0 = no subsampling).
+  double subsample = 1.0;
+  /// Rounds without validation improvement before stopping (0 disables;
+  /// requires a validation fraction > 0).
+  size_t early_stopping_rounds = 0;
+  /// Fraction of the data held out for early stopping.
+  double validation_fraction = 0.0;
+  uint64_t seed = 1;
+};
+
+/// \brief A trained gradient-boosted tree ensemble.
+class Booster {
+ public:
+  /// \brief Fits the ensemble; `features` is num_rows × num_features.
+  static Result<Booster> Fit(const std::vector<std::vector<double>>& features,
+                             const std::vector<double>& targets,
+                             const BoosterConfig& config);
+
+  /// \brief Predicted value for one feature row.
+  Result<double> Predict(const std::vector<double>& row) const;
+
+  /// \brief Mean squared error over a dataset.
+  Result<double> MeanSquaredError(
+      const std::vector<std::vector<double>>& features,
+      const std::vector<double>& targets) const;
+
+  size_t num_trees() const { return trees_.size(); }
+  double base_score() const { return base_score_; }
+
+ private:
+  Booster(double base_score, double shrinkage,
+          std::vector<RegressionTree> trees)
+      : base_score_(base_score),
+        shrinkage_(shrinkage),
+        trees_(std::move(trees)) {}
+
+  double base_score_;
+  double shrinkage_;
+  std::vector<RegressionTree> trees_;
+};
+
+}  // namespace lacb::gbdt
+
+#endif  // LACB_GBDT_BOOSTER_H_

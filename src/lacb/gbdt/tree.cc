@@ -1,0 +1,160 @@
+#include "lacb/gbdt/tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace lacb::gbdt {
+
+namespace {
+
+struct Builder {
+  const std::vector<std::vector<double>>& features;
+  const std::vector<double>& targets;
+  const TreeConfig& config;
+  std::vector<int32_t> nodes_feature;
+  std::vector<double> nodes_threshold;
+  std::vector<int32_t> nodes_left;
+  std::vector<int32_t> nodes_right;
+  std::vector<double> nodes_value;
+
+  int32_t NewNode() {
+    nodes_feature.push_back(-1);
+    nodes_threshold.push_back(0.0);
+    nodes_left.push_back(-1);
+    nodes_right.push_back(-1);
+    nodes_value.push_back(0.0);
+    return static_cast<int32_t>(nodes_feature.size()) - 1;
+  }
+
+  double LeafValue(const std::vector<size_t>& rows) const {
+    double sum = 0.0;
+    for (size_t r : rows) sum += targets[r];
+    return sum / (static_cast<double>(rows.size()) + config.leaf_l2);
+  }
+
+  // Best split of `rows` on one feature by exact sorted scan; returns the
+  // SSE-reduction gain (negative if no valid split).
+  struct Split {
+    double gain = -1.0;
+    size_t feature = 0;
+    double threshold = 0.0;
+  };
+
+  Split BestSplit(const std::vector<size_t>& rows) const {
+    Split best;
+    size_t n = rows.size();
+    double total_sum = 0.0;
+    for (size_t r : rows) total_sum += targets[r];
+    double parent_score = total_sum * total_sum / static_cast<double>(n);
+
+    size_t num_features = features.front().size();
+    std::vector<size_t> order(rows);
+    for (size_t f = 0; f < num_features; ++f) {
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return features[a][f] < features[b][f];
+      });
+      double left_sum = 0.0;
+      for (size_t i = 0; i + 1 < n; ++i) {
+        left_sum += targets[order[i]];
+        size_t left_n = i + 1;
+        size_t right_n = n - left_n;
+        // Splits between equal feature values are not realizable.
+        if (features[order[i]][f] == features[order[i + 1]][f]) continue;
+        if (left_n < config.min_samples_per_leaf ||
+            right_n < config.min_samples_per_leaf) {
+          continue;
+        }
+        double right_sum = total_sum - left_sum;
+        double score = left_sum * left_sum / static_cast<double>(left_n) +
+                       right_sum * right_sum / static_cast<double>(right_n);
+        double gain = score - parent_score;
+        if (gain > best.gain) {
+          best.gain = gain;
+          best.feature = f;
+          best.threshold = 0.5 * (features[order[i]][f] +
+                                  features[order[i + 1]][f]);
+        }
+      }
+    }
+    return best;
+  }
+
+  int32_t Build(const std::vector<size_t>& rows, size_t depth) {
+    int32_t node = NewNode();
+    if (depth >= config.max_depth ||
+        rows.size() < 2 * config.min_samples_per_leaf) {
+      nodes_value[node] = LeafValue(rows);
+      return node;
+    }
+    Split split = BestSplit(rows);
+    if (split.gain < config.min_split_gain) {
+      nodes_value[node] = LeafValue(rows);
+      return node;
+    }
+    std::vector<size_t> left_rows;
+    std::vector<size_t> right_rows;
+    for (size_t r : rows) {
+      (features[r][split.feature] < split.threshold ? left_rows : right_rows)
+          .push_back(r);
+    }
+    nodes_feature[node] = static_cast<int32_t>(split.feature);
+    nodes_threshold[node] = split.threshold;
+    nodes_left[node] = Build(left_rows, depth + 1);
+    nodes_right[node] = Build(right_rows, depth + 1);
+    return node;
+  }
+};
+
+}  // namespace
+
+Result<RegressionTree> RegressionTree::Fit(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<double>& targets, const TreeConfig& config) {
+  if (features.empty() || features.size() != targets.size()) {
+    return Status::InvalidArgument(
+        "tree fit needs non-empty, equal-length features and targets");
+  }
+  size_t num_features = features.front().size();
+  if (num_features == 0) {
+    return Status::InvalidArgument("tree fit needs at least one feature");
+  }
+  for (const auto& row : features) {
+    if (row.size() != num_features) {
+      return Status::InvalidArgument("tree fit: ragged feature rows");
+    }
+  }
+  if (config.min_samples_per_leaf == 0) {
+    return Status::InvalidArgument("min_samples_per_leaf must be positive");
+  }
+
+  Builder builder{features, targets, config, {}, {}, {}, {}, {}};
+  std::vector<size_t> all(features.size());
+  std::iota(all.begin(), all.end(), 0);
+  builder.Build(all, 0);
+
+  std::vector<Node> nodes(builder.nodes_feature.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    nodes[i].feature = builder.nodes_feature[i];
+    nodes[i].threshold = builder.nodes_threshold[i];
+    nodes[i].left = builder.nodes_left[i];
+    nodes[i].right = builder.nodes_right[i];
+    nodes[i].value = builder.nodes_value[i];
+  }
+  return RegressionTree(std::move(nodes), num_features);
+}
+
+Result<double> RegressionTree::Predict(const std::vector<double>& row) const {
+  if (row.size() != num_features_) {
+    return Status::InvalidArgument("tree predict: feature-count mismatch");
+  }
+  int32_t node = 0;
+  while (nodes_[static_cast<size_t>(node)].feature >= 0) {
+    const Node& n = nodes_[static_cast<size_t>(node)];
+    node = row[static_cast<size_t>(n.feature)] < n.threshold ? n.left
+                                                             : n.right;
+  }
+  return nodes_[static_cast<size_t>(node)].value;
+}
+
+}  // namespace lacb::gbdt

@@ -1,0 +1,65 @@
+// Regression tree for the gradient-boosting substrate.
+//
+// The paper's utility input u_{r,b} is produced in production by an
+// XGBoost model over (request, broker) features (Sec. III: "can be learned
+// from historical assignments using models such as XGBoost"). This module
+// provides the tree learner that lacb::gbdt::Booster stacks: binary trees
+// grown greedily on variance reduction with exact split search over
+// pre-sorted features, depth/leaf-size limits, and optional L2 leaf
+// shrinkage à la XGBoost.
+
+#ifndef LACB_GBDT_TREE_H_
+#define LACB_GBDT_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lacb/common/result.h"
+
+namespace lacb::gbdt {
+
+/// \brief Training options for one regression tree.
+struct TreeConfig {
+  size_t max_depth = 4;
+  size_t min_samples_per_leaf = 8;
+  /// L2 regularization on leaf values (XGBoost's λ): leaf = Σr / (n + λ).
+  double leaf_l2 = 1.0;
+  /// Minimum total gain (SSE reduction) to accept a split.
+  double min_split_gain = 1e-7;
+};
+
+/// \brief A trained binary regression tree over dense feature rows.
+class RegressionTree {
+ public:
+  /// \brief Fits a tree to `targets` over row-major `features`
+  /// (num_rows × num_features).
+  static Result<RegressionTree> Fit(const std::vector<std::vector<double>>& features,
+                                    const std::vector<double>& targets,
+                                    const TreeConfig& config);
+
+  /// \brief Predicted value for one feature row.
+  Result<double> Predict(const std::vector<double>& row) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_features() const { return num_features_; }
+
+ private:
+  struct Node {
+    // Internal nodes: split on features[feature] < threshold.
+    int32_t feature = -1;  // -1 marks a leaf
+    double threshold = 0.0;
+    int32_t left = -1;
+    int32_t right = -1;
+    double value = 0.0;  // leaf prediction
+  };
+
+  RegressionTree(std::vector<Node> nodes, size_t num_features)
+      : nodes_(std::move(nodes)), num_features_(num_features) {}
+
+  std::vector<Node> nodes_;
+  size_t num_features_;
+};
+
+}  // namespace lacb::gbdt
+
+#endif  // LACB_GBDT_TREE_H_

@@ -1,0 +1,199 @@
+#include "lacb/matching/assignment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace lacb::matching {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Potential-based shortest-augmenting-path Kuhn–Munkres, minimizing total
+// cost; rows are 1..n, columns 1..m, n <= m. Every row gets a column.
+// Classic formulation (e.g. e-maxx); O(n²m).
+Assignment SolveMinCost(const la::Matrix& cost) {
+  size_t n = cost.rows();
+  size_t m = cost.cols();
+  std::vector<double> u(n + 1, 0.0), v(m + 1, 0.0);
+  std::vector<size_t> p(m + 1, 0), way(m + 1, 0);
+  for (size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    size_t j0 = 0;
+    std::vector<double> minv(m + 1, kInf);
+    std::vector<bool> used(m + 1, false);
+    do {
+      used[j0] = true;
+      size_t i0 = p[j0];
+      size_t j1 = 0;
+      double delta = kInf;
+      for (size_t j = 1; j <= m; ++j) {
+        if (used[j]) continue;
+        double cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (size_t j = 0; j <= m; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+  Assignment out;
+  out.col_of_row.assign(n, kUnmatched);
+  for (size_t j = 1; j <= m; ++j) {
+    if (p[j] != 0) {
+      out.col_of_row[p[j] - 1] = static_cast<int64_t>(j - 1);
+      out.total_weight += cost(p[j] - 1, j - 1);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Assignment> MaxWeightAssignment(const la::Matrix& weights) {
+  if (weights.rows() == 0) return Assignment{};
+  if (weights.rows() > weights.cols()) {
+    return Status::InvalidArgument(
+        "MaxWeightAssignment requires rows <= cols");
+  }
+  la::Matrix cost(weights.rows(), weights.cols());
+  for (size_t i = 0; i < weights.rows(); ++i) {
+    for (size_t j = 0; j < weights.cols(); ++j) {
+      cost(i, j) = -weights(i, j);
+    }
+  }
+  Assignment a = SolveMinCost(cost);
+  a.total_weight = -a.total_weight;
+  return a;
+}
+
+Result<Assignment> MaxWeightAssignmentAllowSkip(const la::Matrix& weights) {
+  if (weights.rows() == 0) return Assignment{};
+  size_t n = weights.rows();
+  size_t m = weights.cols();
+  // Append n zero-weight "skip" columns: a row matched to one of them is
+  // effectively unmatched, so no row is ever forced onto a negative edge.
+  la::Matrix augmented(n, m + n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) augmented(i, j) = weights(i, j);
+  }
+  LACB_ASSIGN_OR_RETURN(Assignment a, MaxWeightAssignment(augmented));
+  Assignment out;
+  out.col_of_row.assign(n, kUnmatched);
+  for (size_t i = 0; i < n; ++i) {
+    int64_t j = a.col_of_row[i];
+    if (j >= 0 && static_cast<size_t>(j) < m) {
+      out.col_of_row[i] = j;
+      out.total_weight += weights(i, static_cast<size_t>(j));
+    }
+  }
+  return out;
+}
+
+Result<la::Matrix> PadToSquare(const la::Matrix& weights) {
+  if (weights.rows() > weights.cols()) {
+    return Status::InvalidArgument("PadToSquare requires rows <= cols");
+  }
+  la::Matrix out(weights.cols(), weights.cols(), 0.0);
+  for (size_t i = 0; i < weights.rows(); ++i) {
+    for (size_t j = 0; j < weights.cols(); ++j) {
+      out(i, j) = weights(i, j);
+    }
+  }
+  return out;
+}
+
+Result<Assignment> GreedyAssignment(const la::Matrix& weights) {
+  struct Edge {
+    double w;
+    size_t r;
+    size_t c;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(weights.rows() * weights.cols());
+  for (size_t r = 0; r < weights.rows(); ++r) {
+    for (size_t c = 0; c < weights.cols(); ++c) {
+      edges.push_back(Edge{weights(r, c), r, c});
+    }
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const Edge& a, const Edge& b) { return a.w > b.w; });
+  Assignment out;
+  out.col_of_row.assign(weights.rows(), kUnmatched);
+  std::vector<bool> col_used(weights.cols(), false);
+  size_t matched = 0;
+  for (const Edge& e : edges) {
+    if (matched == weights.rows()) break;
+    if (out.col_of_row[e.r] != kUnmatched || col_used[e.c]) continue;
+    out.col_of_row[e.r] = static_cast<int64_t>(e.c);
+    col_used[e.c] = true;
+    out.total_weight += e.w;
+    ++matched;
+  }
+  return out;
+}
+
+namespace {
+
+void BruteForceRecurse(const la::Matrix& w, size_t row,
+                       std::vector<int64_t>* current, double current_weight,
+                       std::vector<bool>* col_used, Assignment* best) {
+  if (row == w.rows()) {
+    if (current_weight > best->total_weight) {
+      best->total_weight = current_weight;
+      best->col_of_row = *current;
+    }
+    return;
+  }
+  for (size_t c = 0; c < w.cols(); ++c) {
+    if ((*col_used)[c]) continue;
+    (*col_used)[c] = true;
+    (*current)[row] = static_cast<int64_t>(c);
+    BruteForceRecurse(w, row + 1, current, current_weight + w(row, c),
+                      col_used, best);
+    (*col_used)[c] = false;
+  }
+  (*current)[row] = kUnmatched;
+}
+
+}  // namespace
+
+Result<Assignment> BruteForceAssignment(const la::Matrix& weights) {
+  if (weights.rows() > weights.cols()) {
+    return Status::InvalidArgument(
+        "BruteForceAssignment requires rows <= cols");
+  }
+  if (weights.rows() > 9) {
+    return Status::InvalidArgument(
+        "BruteForceAssignment is a test oracle; rows must be <= 9");
+  }
+  Assignment best;
+  best.col_of_row.assign(weights.rows(), kUnmatched);
+  best.total_weight = -kInf;
+  std::vector<int64_t> current(weights.rows(), kUnmatched);
+  std::vector<bool> col_used(weights.cols(), false);
+  BruteForceRecurse(weights, 0, &current, 0.0, &col_used, &best);
+  if (weights.rows() == 0) best.total_weight = 0.0;
+  return best;
+}
+
+}  // namespace lacb::matching

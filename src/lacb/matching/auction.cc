@@ -1,0 +1,112 @@
+#include "lacb/matching/auction.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+namespace lacb::matching {
+
+Result<Assignment> AuctionAssignment(const la::Matrix& weights,
+                                     const AuctionOptions& options) {
+  size_t rows = weights.rows();
+  size_t cols = weights.cols();
+  if (rows == 0) return Assignment{};
+  if (rows > cols) {
+    return Status::InvalidArgument("AuctionAssignment requires rows <= cols");
+  }
+  if (options.epsilon <= 0.0 || options.scaling <= 1.0) {
+    return Status::InvalidArgument(
+        "AuctionAssignment needs epsilon > 0 and scaling > 1");
+  }
+  if (rows < cols) {
+    // ε-scaling with persistent prices is only sound when every column ends
+    // up assigned (otherwise stale prices on finally-unassigned columns
+    // break ε-complementary slackness). Reduce to the symmetric case with
+    // zero-weight dummy rows; the optimum over the real rows is unchanged.
+    LACB_ASSIGN_OR_RETURN(la::Matrix square, PadToSquare(weights));
+    LACB_ASSIGN_OR_RETURN(Assignment padded,
+                          AuctionAssignment(square, options));
+    Assignment out;
+    out.col_of_row.assign(rows, kUnmatched);
+    for (size_t r = 0; r < rows; ++r) {
+      out.col_of_row[r] = padded.col_of_row[r];
+      if (out.col_of_row[r] != kUnmatched) {
+        out.total_weight +=
+            weights(r, static_cast<size_t>(out.col_of_row[r]));
+      }
+    }
+    return out;
+  }
+
+  double w_min = weights(0, 0);
+  double w_max = weights(0, 0);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      w_min = std::min(w_min, weights(r, c));
+      w_max = std::max(w_max, weights(r, c));
+    }
+  }
+  double range = std::max(1e-12, w_max - w_min);
+
+  std::vector<double> price(cols, 0.0);
+  std::vector<int64_t> row_of_col(cols, kUnmatched);
+  std::vector<int64_t> col_of_row(rows, kUnmatched);
+
+  double eps = std::max(options.epsilon,
+                        range * options.initial_epsilon_fraction);
+  size_t iterations = 0;
+  while (true) {
+    // Each phase restarts the assignment but keeps prices (ε-scaling).
+    std::fill(row_of_col.begin(), row_of_col.end(), kUnmatched);
+    std::fill(col_of_row.begin(), col_of_row.end(), kUnmatched);
+    std::deque<size_t> unassigned;
+    for (size_t r = 0; r < rows; ++r) unassigned.push_back(r);
+
+    while (!unassigned.empty()) {
+      if (++iterations > options.max_iterations) {
+        return Status::Internal("auction exceeded its iteration budget");
+      }
+      size_t r = unassigned.front();
+      unassigned.pop_front();
+      // Find the best and second-best net value for bidder r.
+      double best = -std::numeric_limits<double>::infinity();
+      double second = best;
+      size_t best_col = 0;
+      for (size_t c = 0; c < cols; ++c) {
+        double net = weights(r, c) - price[c];
+        if (net > best) {
+          second = best;
+          best = net;
+          best_col = c;
+        } else if (net > second) {
+          second = net;
+        }
+      }
+      // Bid: raise the price by the margin plus ε (ε ensures progress).
+      double increment =
+          (second == -std::numeric_limits<double>::infinity()
+               ? range
+               : best - second) +
+          eps;
+      price[best_col] += increment;
+      int64_t displaced = row_of_col[best_col];
+      row_of_col[best_col] = static_cast<int64_t>(r);
+      col_of_row[r] = static_cast<int64_t>(best_col);
+      if (displaced != kUnmatched) {
+        col_of_row[static_cast<size_t>(displaced)] = kUnmatched;
+        unassigned.push_back(static_cast<size_t>(displaced));
+      }
+    }
+    if (eps <= options.epsilon) break;
+    eps = std::max(options.epsilon, eps / options.scaling);
+  }
+
+  Assignment out;
+  out.col_of_row = col_of_row;
+  for (size_t r = 0; r < rows; ++r) {
+    out.total_weight += weights(r, static_cast<size_t>(col_of_row[r]));
+  }
+  return out;
+}
+
+}  // namespace lacb::matching

@@ -1,0 +1,80 @@
+#include "lacb/matching/hopcroft_karp.h"
+
+#include <limits>
+#include <queue>
+
+namespace lacb::matching {
+
+namespace {
+constexpr size_t kInf = std::numeric_limits<size_t>::max();
+}
+
+HopcroftKarp::HopcroftKarp(size_t left, size_t right)
+    : left_(left),
+      right_(right),
+      adjacency_(left),
+      match_left_(left, -1),
+      match_right_(right, -1),
+      dist_(left, kInf) {}
+
+Status HopcroftKarp::AddEdge(size_t u, size_t v) {
+  if (u >= left_ || v >= right_) {
+    return Status::OutOfRange("HopcroftKarp edge endpoint out of range");
+  }
+  adjacency_[u].push_back(v);
+  return Status::OK();
+}
+
+bool HopcroftKarp::Bfs() {
+  std::queue<size_t> queue;
+  for (size_t u = 0; u < left_; ++u) {
+    if (match_left_[u] == -1) {
+      dist_[u] = 0;
+      queue.push(u);
+    } else {
+      dist_[u] = kInf;
+    }
+  }
+  bool found_augmenting = false;
+  while (!queue.empty()) {
+    size_t u = queue.front();
+    queue.pop();
+    for (size_t v : adjacency_[u]) {
+      int64_t w = match_right_[v];
+      if (w == -1) {
+        found_augmenting = true;
+      } else if (dist_[static_cast<size_t>(w)] == kInf) {
+        dist_[static_cast<size_t>(w)] = dist_[u] + 1;
+        queue.push(static_cast<size_t>(w));
+      }
+    }
+  }
+  return found_augmenting;
+}
+
+bool HopcroftKarp::Dfs(size_t u) {
+  for (size_t v : adjacency_[u]) {
+    int64_t w = match_right_[v];
+    if (w == -1 ||
+        (dist_[static_cast<size_t>(w)] == dist_[u] + 1 &&
+         Dfs(static_cast<size_t>(w)))) {
+      match_left_[u] = static_cast<int64_t>(v);
+      match_right_[v] = static_cast<int64_t>(u);
+      return true;
+    }
+  }
+  dist_[u] = kInf;
+  return false;
+}
+
+size_t HopcroftKarp::Solve() {
+  size_t matching = 0;
+  while (Bfs()) {
+    for (size_t u = 0; u < left_; ++u) {
+      if (match_left_[u] == -1 && Dfs(u)) ++matching;
+    }
+  }
+  return matching;
+}
+
+}  // namespace lacb::matching

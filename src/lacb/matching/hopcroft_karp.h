@@ -1,0 +1,47 @@
+// Hopcroft–Karp maximum-cardinality bipartite matching.
+//
+// O(E√V) matching on an unweighted bipartite graph. Used for feasibility
+// analysis on capacity-filtered eligibility graphs (can every request get
+// *some* broker below capacity?) and as a cardinality oracle in tests.
+
+#ifndef LACB_MATCHING_HOPCROFT_KARP_H_
+#define LACB_MATCHING_HOPCROFT_KARP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lacb/common/result.h"
+
+namespace lacb::matching {
+
+/// \brief Maximum-cardinality matching on a bipartite adjacency list.
+class HopcroftKarp {
+ public:
+  /// \brief `left` and `right` are the two partition sizes.
+  HopcroftKarp(size_t left, size_t right);
+
+  /// \brief Adds an edge between left vertex u and right vertex v.
+  Status AddEdge(size_t u, size_t v);
+
+  /// \brief Computes the maximum matching; returns its cardinality.
+  size_t Solve();
+
+  /// \brief After Solve: matched right vertex per left vertex (-1 if none).
+  const std::vector<int64_t>& right_of_left() const { return match_left_; }
+  const std::vector<int64_t>& left_of_right() const { return match_right_; }
+
+ private:
+  bool Bfs();
+  bool Dfs(size_t u);
+
+  size_t left_;
+  size_t right_;
+  std::vector<std::vector<size_t>> adjacency_;
+  std::vector<int64_t> match_left_;
+  std::vector<int64_t> match_right_;
+  std::vector<size_t> dist_;
+};
+
+}  // namespace lacb::matching
+
+#endif  // LACB_MATCHING_HOPCROFT_KARP_H_

@@ -1,0 +1,124 @@
+#include "lacb/matching/min_cost_flow.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace lacb::matching {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+MinCostFlow::MinCostFlow(size_t num_nodes) : graph_(num_nodes) {}
+
+Result<size_t> MinCostFlow::AddEdge(size_t from, size_t to, int64_t capacity,
+                                    double cost) {
+  if (from >= graph_.size() || to >= graph_.size()) {
+    return Status::OutOfRange("MinCostFlow::AddEdge node out of range");
+  }
+  if (capacity < 0) {
+    return Status::InvalidArgument("MinCostFlow capacity must be >= 0");
+  }
+  size_t fwd_index = graph_[from].size();
+  graph_[from].push_back(Edge{to, capacity, cost, graph_[to].size()});
+  graph_[to].push_back(Edge{from, 0, -cost, fwd_index});
+  edge_locator_.emplace_back(from, fwd_index);
+  original_capacity_.push_back(capacity);
+  return edge_locator_.size() - 1;
+}
+
+Result<MinCostFlow::FlowResult> MinCostFlow::Solve(size_t source, size_t sink,
+                                                   int64_t max_flow) {
+  if (source >= graph_.size() || sink >= graph_.size()) {
+    return Status::OutOfRange("MinCostFlow::Solve node out of range");
+  }
+  if (source == sink) {
+    return Status::InvalidArgument("source and sink must differ");
+  }
+  size_t n = graph_.size();
+  std::vector<double> potential(n, 0.0);
+
+  // Bellman–Ford establishes valid potentials when negative costs exist.
+  {
+    std::vector<double> dist(n, kInf);
+    dist[source] = 0.0;
+    for (size_t iter = 0; iter + 1 < n; ++iter) {
+      bool changed = false;
+      for (size_t u = 0; u < n; ++u) {
+        if (dist[u] == kInf) continue;
+        for (const Edge& e : graph_[u]) {
+          if (e.capacity <= 0) continue;
+          double nd = dist[u] + e.cost;
+          if (nd < dist[e.to] - 1e-12) {
+            dist[e.to] = nd;
+            changed = true;
+          }
+        }
+      }
+      if (!changed) break;
+    }
+    for (size_t u = 0; u < n; ++u) {
+      potential[u] = dist[u] == kInf ? 0.0 : dist[u];
+    }
+  }
+
+  FlowResult result;
+  std::vector<double> dist(n);
+  std::vector<size_t> prev_node(n), prev_edge(n);
+  std::vector<bool> reachable(n);
+  while (result.flow < max_flow) {
+    // Dijkstra on reduced costs.
+    std::fill(dist.begin(), dist.end(), kInf);
+    std::fill(reachable.begin(), reachable.end(), false);
+    using Item = std::pair<double, size_t>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+    dist[source] = 0.0;
+    pq.emplace(0.0, source);
+    while (!pq.empty()) {
+      auto [d, u] = pq.top();
+      pq.pop();
+      if (d > dist[u] + 1e-12) continue;
+      reachable[u] = true;
+      for (size_t ei = 0; ei < graph_[u].size(); ++ei) {
+        const Edge& e = graph_[u][ei];
+        if (e.capacity <= 0) continue;
+        double reduced = e.cost + potential[u] - potential[e.to];
+        double nd = dist[u] + reduced;
+        if (nd < dist[e.to] - 1e-12) {
+          dist[e.to] = nd;
+          prev_node[e.to] = u;
+          prev_edge[e.to] = ei;
+          pq.emplace(nd, e.to);
+        }
+      }
+    }
+    if (dist[sink] == kInf) break;
+    for (size_t u = 0; u < n; ++u) {
+      if (dist[u] < kInf) potential[u] += dist[u];
+    }
+    // Bottleneck along the augmenting path.
+    int64_t push = max_flow - result.flow;
+    for (size_t v = sink; v != source; v = prev_node[v]) {
+      push = std::min(push, graph_[prev_node[v]][prev_edge[v]].capacity);
+    }
+    for (size_t v = sink; v != source; v = prev_node[v]) {
+      Edge& e = graph_[prev_node[v]][prev_edge[v]];
+      e.capacity -= push;
+      graph_[v][e.rev].capacity += push;
+      result.cost += e.cost * static_cast<double>(push);
+    }
+    result.flow += push;
+  }
+  return result;
+}
+
+Result<int64_t> MinCostFlow::FlowOn(size_t edge_id) const {
+  if (edge_id >= edge_locator_.size()) {
+    return Status::OutOfRange("MinCostFlow::FlowOn edge out of range");
+  }
+  auto [node, index] = edge_locator_[edge_id];
+  return original_capacity_[edge_id] - graph_[node][index].capacity;
+}
+
+}  // namespace lacb::matching

@@ -1,0 +1,63 @@
+// Successive-shortest-path min-cost max-flow.
+//
+// An independent combinatorial solver used two ways: (i) as a test oracle
+// cross-checking the Kuhn–Munkres implementation on random instances, and
+// (ii) to solve capacity-constrained assignment exactly when a broker may
+// take several requests per batch (an extension beyond the paper's
+// one-request-per-broker-per-batch KM formulation).
+//
+// Costs may be negative on first use (utilities enter negated); the first
+// potential initialization runs Bellman–Ford, subsequent iterations use
+// Dijkstra with Johnson potentials.
+
+#ifndef LACB_MATCHING_MIN_COST_FLOW_H_
+#define LACB_MATCHING_MIN_COST_FLOW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lacb/common/result.h"
+
+namespace lacb::matching {
+
+/// \brief Min-cost max-flow network on integer capacities and real costs.
+class MinCostFlow {
+ public:
+  explicit MinCostFlow(size_t num_nodes);
+
+  /// \brief Adds a directed edge; returns its id (for flow queries).
+  Result<size_t> AddEdge(size_t from, size_t to, int64_t capacity,
+                         double cost);
+
+  /// \brief Sends up to `max_flow` units from `source` to `sink` at minimum
+  /// total cost. Lower `max_flow` bounds allow partial-flow use; pass
+  /// INT64_MAX for a full max-flow.
+  struct FlowResult {
+    int64_t flow = 0;
+    double cost = 0.0;
+  };
+  Result<FlowResult> Solve(size_t source, size_t sink,
+                           int64_t max_flow = INT64_MAX);
+
+  /// \brief Flow currently on edge `edge_id` (after Solve).
+  Result<int64_t> FlowOn(size_t edge_id) const;
+
+  size_t num_nodes() const { return graph_.size(); }
+
+ private:
+  struct Edge {
+    size_t to;
+    int64_t capacity;  // residual
+    double cost;
+    size_t rev;  // index of reverse edge in graph_[to]
+  };
+
+  std::vector<std::vector<Edge>> graph_;
+  // (node, index-within-node) locator for each added forward edge.
+  std::vector<std::pair<size_t, size_t>> edge_locator_;
+  std::vector<int64_t> original_capacity_;
+};
+
+}  // namespace lacb::matching
+
+#endif  // LACB_MATCHING_MIN_COST_FLOW_H_

@@ -1,0 +1,104 @@
+#include "lacb/matching/selection.h"
+
+#include <algorithm>
+
+namespace lacb::matching {
+
+namespace {
+
+// Core of Alg. 3 on an index set. Iterative form of the paper's recursion
+// with a three-way partition around a random pivot value: elements strictly
+// heavier than the pivot must all be kept or recursed into; pivot-equal
+// elements are interchangeable and fill any remainder; strictly lighter
+// elements are only consulted when the heavy+equal sides fall short.
+void SelectTopKIndices(const std::vector<double>& utilities,
+                       std::vector<size_t> pool, size_t k, Rng* rng,
+                       std::vector<size_t>* out) {
+  while (k > 0) {
+    if (pool.size() <= k) {
+      out->insert(out->end(), pool.begin(), pool.end());
+      return;
+    }
+    size_t pivot_pos = static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(pool.size()) - 1));
+    double p = utilities[pool[pivot_pos]];
+    std::vector<size_t> heavy;
+    std::vector<size_t> equal;
+    std::vector<size_t> light;
+    for (size_t idx : pool) {
+      if (utilities[idx] > p) {
+        heavy.push_back(idx);
+      } else if (utilities[idx] < p) {
+        light.push_back(idx);
+      } else {
+        equal.push_back(idx);
+      }
+    }
+    if (heavy.size() >= k) {
+      pool = std::move(heavy);
+      continue;
+    }
+    out->insert(out->end(), heavy.begin(), heavy.end());
+    k -= heavy.size();
+    if (equal.size() >= k) {
+      // Pivot-equal elements are interchangeable: any k complete a top-k.
+      out->insert(out->end(), equal.begin(), equal.begin() + k);
+      return;
+    }
+    out->insert(out->end(), equal.begin(), equal.end());
+    k -= equal.size();
+    pool = std::move(light);
+  }
+}
+
+}  // namespace
+
+Result<std::vector<size_t>> SelectTopK(const std::vector<double>& utilities,
+                                       size_t k, Rng* rng) {
+  if (rng == nullptr) {
+    return Status::InvalidArgument("SelectTopK requires an Rng");
+  }
+  std::vector<size_t> out;
+  if (k == 0) return out;
+  std::vector<size_t> pool(utilities.size());
+  for (size_t i = 0; i < pool.size(); ++i) pool[i] = i;
+  SelectTopKIndices(utilities, std::move(pool), k, rng, &out);
+  return out;
+}
+
+Result<std::vector<size_t>> CandidateColumns(const la::Matrix& utility,
+                                             Rng* rng) {
+  size_t num_rows = utility.rows();
+  size_t num_cols = utility.cols();
+  std::vector<bool> keep(num_cols, false);
+  std::vector<double> row(num_cols);
+  for (size_t r = 0; r < num_rows; ++r) {
+    for (size_t c = 0; c < num_cols; ++c) row[c] = utility(r, c);
+    LACB_ASSIGN_OR_RETURN(std::vector<size_t> top,
+                          SelectTopK(row, num_rows, rng));
+    for (size_t c : top) keep[c] = true;
+  }
+  std::vector<size_t> out;
+  for (size_t c = 0; c < num_cols; ++c) {
+    if (keep[c]) out.push_back(c);
+  }
+  return out;
+}
+
+Result<la::Matrix> RestrictColumns(const la::Matrix& utility,
+                                   const std::vector<size_t>& columns) {
+  la::Matrix out(utility.rows(), columns.size());
+  for (size_t c = 0; c < columns.size(); ++c) {
+    if (columns[c] >= utility.cols()) {
+      return Status::OutOfRange("RestrictColumns column out of range");
+    }
+  }
+  for (size_t r = 0; r < utility.rows(); ++r) {
+    for (size_t c = 0; c < columns.size(); ++c) {
+      out(r, c) = utility(r, columns[c]);
+    }
+  }
+  return out;
+}
+
+}  // namespace lacb::matching

@@ -1,0 +1,42 @@
+// Candidate Broker Selection (paper Alg. 3) and its batch-level wrapper.
+//
+// Theorem 2 of the paper shows a maximum-weight assignment never needs more
+// than the |R| heaviest neighbours of each request; CBS extracts that
+// candidate set with a randomized quickselect in expected O(|B|) per
+// request, so each batch's KM can run on an |R| × O(|R|²) graph instead of
+// the full |B|-vertex one.
+
+#ifndef LACB_MATCHING_SELECTION_H_
+#define LACB_MATCHING_SELECTION_H_
+
+#include <vector>
+
+#include "lacb/common/result.h"
+#include "lacb/common/rng.h"
+#include "lacb/la/matrix.h"
+
+namespace lacb::matching {
+
+/// \brief Indices of the k largest entries of `utilities` (unordered).
+///
+/// Randomized quickselect per Alg. 3: partition around a random pivot value
+/// drawn from the data, recurse into the heavy side. If k >= size, all
+/// indices are returned. Expected O(n).
+Result<std::vector<size_t>> SelectTopK(const std::vector<double>& utilities,
+                                       size_t k, Rng* rng);
+
+/// \brief Union over requests of each request's top-|R| candidate columns.
+///
+/// `utility` is |R| × |B|. Returns a sorted list of distinct column indices
+/// sufficient for an optimal assignment (Corollary 1); its size is at most
+/// |R|². Expected O(|R||B|).
+Result<std::vector<size_t>> CandidateColumns(const la::Matrix& utility,
+                                             Rng* rng);
+
+/// \brief Restriction of `utility` to the given columns (in order).
+Result<la::Matrix> RestrictColumns(const la::Matrix& utility,
+                                   const std::vector<size_t>& columns);
+
+}  // namespace lacb::matching
+
+#endif  // LACB_MATCHING_SELECTION_H_

@@ -1,0 +1,229 @@
+#include "lacb/nn/mlp.h"
+
+#include <cmath>
+#include <utility>
+
+namespace lacb::nn {
+
+Mlp::Mlp(std::vector<size_t> layer_sizes, bool use_bias, Vector params)
+    : layer_sizes_(std::move(layer_sizes)),
+      use_bias_(use_bias),
+      params_(std::move(params)) {
+  size_t offset = 0;
+  size_t n_layers = layer_sizes_.size();
+  weight_offsets_.resize(n_layers);
+  bias_offsets_.resize(n_layers);
+  layer_trainable_.assign(n_layers, true);
+  for (size_t l = 0; l < n_layers; ++l) {
+    weight_offsets_[l] = offset;
+    offset += out_dim(l) * in_dim(l);
+    bias_offsets_[l] = offset;
+    if (use_bias_) offset += out_dim(l);
+  }
+  LACB_CHECK_EQ(offset, params_.size());
+}
+
+size_t Mlp::in_dim(size_t layer) const { return layer_sizes_[layer]; }
+
+size_t Mlp::out_dim(size_t layer) const {
+  return layer + 1 < layer_sizes_.size() ? layer_sizes_[layer + 1] : 1;
+}
+
+Result<Mlp> Mlp::Create(const MlpConfig& config, Rng* rng) {
+  if (config.layer_sizes.empty()) {
+    return Status::InvalidArgument("MLP needs at least an input layer size");
+  }
+  for (size_t s : config.layer_sizes) {
+    if (s == 0) return Status::InvalidArgument("MLP layer sizes must be > 0");
+  }
+  size_t n_layers = config.layer_sizes.size();
+  size_t total = 0;
+  for (size_t l = 0; l < n_layers; ++l) {
+    size_t in = config.layer_sizes[l];
+    size_t out = l + 1 < n_layers ? config.layer_sizes[l + 1] : 1;
+    total += in * out + (config.use_bias ? out : 0);
+  }
+  Vector params(total, 0.0);
+  // Initialize weights layer by layer (biases stay zero).
+  size_t offset = 0;
+  for (size_t l = 0; l < n_layers; ++l) {
+    size_t in = config.layer_sizes[l];
+    size_t out = l + 1 < n_layers ? config.layer_sizes[l + 1] : 1;
+    double stddev = config.init_stddev > 0.0
+                        ? config.init_stddev
+                        : std::sqrt(2.0 / static_cast<double>(in));
+    for (size_t i = 0; i < in * out; ++i) {
+      params[offset + i] = rng->Normal(0.0, stddev);
+    }
+    offset += in * out + (config.use_bias ? out : 0);
+  }
+  return Mlp(config.layer_sizes, config.use_bias, std::move(params));
+}
+
+Status Mlp::ForwardWithCache(const Vector& x, ForwardCache* cache) const {
+  if (x.size() != input_dim()) {
+    return Status::InvalidArgument("MLP forward: input dimension mismatch");
+  }
+  size_t n_layers = layer_sizes_.size();
+  cache->activations.assign(n_layers + 1, {});
+  cache->pre.assign(n_layers, {});
+  cache->activations[0] = x;
+  for (size_t l = 0; l < n_layers; ++l) {
+    size_t in = in_dim(l);
+    size_t out = out_dim(l);
+    const Vector& a = cache->activations[l];
+    Vector z(out, 0.0);
+    const double* w = params_.data() + weight_offsets_[l];
+    for (size_t i = 0; i < out; ++i) {
+      const double* row = w + i * in;
+      double acc = use_bias_ ? params_[bias_offsets_[l] + i] : 0.0;
+      for (size_t j = 0; j < in; ++j) acc += row[j] * a[j];
+      z[i] = acc;
+    }
+    cache->pre[l] = z;
+    bool is_output = (l + 1 == n_layers);
+    if (is_output) {
+      cache->output = z[0];
+      cache->activations[l + 1] = std::move(z);
+    } else {
+      Vector act(out);
+      for (size_t i = 0; i < out; ++i) act[i] = z[i] > 0.0 ? z[i] : 0.0;
+      cache->activations[l + 1] = std::move(act);
+    }
+  }
+  return Status::OK();
+}
+
+Result<double> Mlp::Forward(const Vector& x) const {
+  ForwardCache cache;
+  LACB_RETURN_NOT_OK(ForwardWithCache(x, &cache));
+  return cache.output;
+}
+
+void Mlp::AccumulateParamGradient(const ForwardCache& cache, double out_grad,
+                                  Vector* grad) const {
+  size_t n_layers = layer_sizes_.size();
+  // delta holds d(output)/d(pre-activation of current layer), scaled.
+  Vector delta(1, out_grad);
+  for (size_t li = n_layers; li > 0; --li) {
+    size_t l = li - 1;
+    size_t in = in_dim(l);
+    size_t out = out_dim(l);
+    const Vector& a = cache.activations[l];
+    double* gw = grad->data() + weight_offsets_[l];
+    for (size_t i = 0; i < out; ++i) {
+      double d = delta[i];
+      if (use_bias_) (*grad)[bias_offsets_[l] + i] += d;
+      if (d == 0.0) continue;
+      double* row = gw + i * in;
+      for (size_t j = 0; j < in; ++j) row[j] += d * a[j];
+    }
+    if (l == 0) break;
+    // Propagate delta to the previous layer through Wᵀ and the ReLU mask.
+    const double* w = params_.data() + weight_offsets_[l];
+    Vector prev(in, 0.0);
+    for (size_t i = 0; i < out; ++i) {
+      double d = delta[i];
+      if (d == 0.0) continue;
+      const double* row = w + i * in;
+      for (size_t j = 0; j < in; ++j) prev[j] += d * row[j];
+    }
+    const Vector& pre_prev = cache.pre[l - 1];
+    for (size_t j = 0; j < in; ++j) {
+      if (pre_prev[j] <= 0.0) prev[j] = 0.0;
+    }
+    delta = std::move(prev);
+  }
+}
+
+Result<Vector> Mlp::ParamGradient(const Vector& x) const {
+  ForwardCache cache;
+  LACB_RETURN_NOT_OK(ForwardWithCache(x, &cache));
+  Vector grad(params_.size(), 0.0);
+  AccumulateParamGradient(cache, 1.0, &grad);
+  return grad;
+}
+
+Result<Vector> Mlp::LossGradient(const std::vector<Example>& batch,
+                                 double l2) const {
+  Vector grad(params_.size(), 0.0);
+  ForwardCache cache;
+  for (const Example& ex : batch) {
+    LACB_RETURN_NOT_OK(ForwardWithCache(ex.x, &cache));
+    double residual = cache.output - ex.target;
+    AccumulateParamGradient(cache, 2.0 * residual, &grad);
+  }
+  if (l2 > 0.0) {
+    for (size_t i = 0; i < grad.size(); ++i) grad[i] += 2.0 * l2 * params_[i];
+  }
+  return grad;
+}
+
+Result<double> Mlp::Loss(const std::vector<Example>& batch, double l2) const {
+  double loss = 0.0;
+  for (const Example& ex : batch) {
+    LACB_ASSIGN_OR_RETURN(double y, Forward(ex.x));
+    double r = y - ex.target;
+    loss += r * r;
+  }
+  if (l2 > 0.0) loss += l2 * la::Dot(params_, params_);
+  return loss;
+}
+
+Status Mlp::SetParams(Vector params) {
+  if (params.size() != params_.size()) {
+    return Status::InvalidArgument("SetParams size mismatch");
+  }
+  params_ = std::move(params);
+  return Status::OK();
+}
+
+Status Mlp::SetLayerTrainable(size_t layer, bool trainable) {
+  if (layer >= layer_trainable_.size()) {
+    return Status::OutOfRange("layer index out of range");
+  }
+  layer_trainable_[layer] = trainable;
+  return Status::OK();
+}
+
+Result<Mlp::LayerSpan> Mlp::LayerParamSpan(size_t layer) const {
+  if (layer >= layer_sizes_.size()) {
+    return Status::OutOfRange("layer index out of range");
+  }
+  size_t end = layer + 1 < layer_sizes_.size() ? weight_offsets_[layer + 1]
+                                               : params_.size();
+  return LayerSpan{weight_offsets_[layer], end};
+}
+
+void Mlp::MaskFrozen(Vector* grad) const {
+  for (size_t l = 0; l < layer_trainable_.size(); ++l) {
+    if (layer_trainable_[l]) continue;
+    LayerSpan span = LayerParamSpan(l).value();
+    for (size_t i = span.begin; i < span.end; ++i) (*grad)[i] = 0.0;
+  }
+}
+
+Status Mlp::ApplyGradient(const Vector& grad) {
+  if (grad.size() != params_.size()) {
+    return Status::InvalidArgument("ApplyGradient size mismatch");
+  }
+  Vector masked = grad;
+  MaskFrozen(&masked);
+  for (size_t i = 0; i < params_.size(); ++i) params_[i] -= masked[i];
+  return Status::OK();
+}
+
+double Mlp::MaxLayerOperatorNorm() const {
+  double best = 0.0;
+  for (size_t l = 0; l < layer_sizes_.size(); ++l) {
+    size_t in = in_dim(l);
+    size_t out = out_dim(l);
+    la::Matrix w(out, in);
+    const double* src = params_.data() + weight_offsets_[l];
+    for (size_t i = 0; i < out * in; ++i) w.data()[i] = src[i];
+    best = std::max(best, w.OperatorNormEstimate());
+  }
+  return best;
+}
+
+}  // namespace lacb::nn

@@ -1,0 +1,122 @@
+// Fully connected MLP with ReLU activations and a scalar output.
+//
+// This implements the reward mapping function S_θ(x, c) of the paper's
+// Eq. (4). Beyond the usual forward/backward passes, the bandit module
+// needs the *parameter* gradient g_θ(x) = ∇_θ S_θ(x) of the scalar output
+// (Eq. 5), so the network exposes it directly as a flattened vector. All
+// parameters are stored flattened, which makes optimizers, covariance
+// matrices over gradients, and layer freezing (Sec. V-D layer transfer)
+// straightforward.
+
+#ifndef LACB_NN_MLP_H_
+#define LACB_NN_MLP_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "lacb/common/result.h"
+#include "lacb/common/rng.h"
+#include "lacb/la/matrix.h"
+
+namespace lacb::nn {
+
+using la::Vector;
+
+/// \brief Architecture and initialization of an Mlp.
+struct MlpConfig {
+  /// Layer widths from input to the last hidden layer; the output layer is
+  /// always scalar. E.g. {10, 64, 32} is a 3-layer net 10 -> 64 -> 32 -> 1.
+  std::vector<size_t> layer_sizes;
+  /// Include bias terms. The paper's Eq. (4) writes none; biases are kept
+  /// optional (and on by default) because they materially help training.
+  bool use_bias = true;
+  /// Stddev of the Gaussian initialization (Alg. 1 line 3). Non-positive
+  /// selects He initialization (sqrt(2/fan_in)) per layer.
+  double init_stddev = -1.0;
+};
+
+/// \brief One training example: input vector and scalar target.
+struct Example {
+  Vector x;
+  double target = 0.0;
+};
+
+/// \brief Scalar-output multi-layer perceptron.
+class Mlp {
+ public:
+  /// \brief Builds a randomly initialized network.
+  static Result<Mlp> Create(const MlpConfig& config, Rng* rng);
+
+  size_t input_dim() const { return layer_sizes_.front(); }
+  size_t num_layers() const { return layer_sizes_.size(); }  // incl. output
+  size_t num_params() const { return params_.size(); }
+
+  /// \brief Forward pass; x must have input_dim() entries.
+  Result<double> Forward(const Vector& x) const;
+
+  /// \brief Gradient of the scalar output w.r.t. all parameters, flattened
+  /// in the same layout as params().
+  Result<Vector> ParamGradient(const Vector& x) const;
+
+  /// \brief Gradient of the batch loss Σ (S(x)−t)² + l2·‖θ‖² (paper Eq. 6).
+  Result<Vector> LossGradient(const std::vector<Example>& batch,
+                              double l2) const;
+
+  /// \brief Batch loss value (for convergence tests).
+  Result<double> Loss(const std::vector<Example>& batch, double l2) const;
+
+  const Vector& params() const { return params_; }
+  Status SetParams(Vector params);
+
+  /// \brief Marks a layer (0-based, output layer = num_layers()-1) as frozen;
+  /// frozen layers receive zero gradient from ApplyGradient.
+  Status SetLayerTrainable(size_t layer, bool trainable);
+
+  /// \brief In-place params ← params − grad ⊙ trainable_mask (the caller
+  /// scales grad by the learning rate; see optimizer.h for stateful rules).
+  Status ApplyGradient(const Vector& grad);
+
+  /// \brief Zeroes gradient entries of frozen layers (used by optimizers).
+  void MaskFrozen(Vector* grad) const;
+
+  /// \brief Parameter index range [begin, end) of a layer's weights+biases.
+  struct LayerSpan {
+    size_t begin;
+    size_t end;
+  };
+  Result<LayerSpan> LayerParamSpan(size_t layer) const;
+
+  /// \brief Largest per-layer operator norm (the ξ of Theorem 1).
+  double MaxLayerOperatorNorm() const;
+
+ private:
+  Mlp(std::vector<size_t> layer_sizes, bool use_bias, Vector params);
+
+  // Weight matrix of `layer` has shape out_dim(layer) x in_dim(layer),
+  // stored row-major at weight_offsets_[layer]; biases (if any) follow.
+  size_t in_dim(size_t layer) const;
+  size_t out_dim(size_t layer) const;
+
+  struct ForwardCache {
+    // activations[0] = x; activations[l+1] = post-activation of layer l.
+    std::vector<Vector> activations;
+    // pre[l] = pre-activation of layer l.
+    std::vector<Vector> pre;
+    double output = 0.0;
+  };
+  Status ForwardWithCache(const Vector& x, ForwardCache* cache) const;
+  // Backprop of d(output); writes flattened gradient scaled by out_grad.
+  void AccumulateParamGradient(const ForwardCache& cache, double out_grad,
+                               Vector* grad) const;
+
+  std::vector<size_t> layer_sizes_;  // input + hidden widths (output is 1)
+  bool use_bias_;
+  Vector params_;
+  std::vector<size_t> weight_offsets_;
+  std::vector<size_t> bias_offsets_;
+  std::vector<bool> layer_trainable_;
+};
+
+}  // namespace lacb::nn
+
+#endif  // LACB_NN_MLP_H_

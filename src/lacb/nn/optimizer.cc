@@ -1,0 +1,60 @@
+#include "lacb/nn/optimizer.h"
+
+#include <cmath>
+
+namespace lacb::nn {
+
+Status Sgd::Step(const Vector& grad, Mlp* net) {
+  if (grad.size() != net->num_params()) {
+    return Status::InvalidArgument("Sgd::Step gradient size mismatch");
+  }
+  if (momentum_ == 0.0) {
+    Vector update(grad.size());
+    for (size_t i = 0; i < grad.size(); ++i) update[i] = lr_ * grad[i];
+    return net->ApplyGradient(update);
+  }
+  if (velocity_.size() != grad.size()) velocity_.assign(grad.size(), 0.0);
+  Vector update(grad.size());
+  for (size_t i = 0; i < grad.size(); ++i) {
+    velocity_[i] = momentum_ * velocity_[i] + grad[i];
+    update[i] = lr_ * velocity_[i];
+  }
+  return net->ApplyGradient(update);
+}
+
+Status Adam::Step(const Vector& grad, Mlp* net) {
+  if (grad.size() != net->num_params()) {
+    return Status::InvalidArgument("Adam::Step gradient size mismatch");
+  }
+  if (m_.size() != grad.size()) {
+    m_.assign(grad.size(), 0.0);
+    v_.assign(grad.size(), 0.0);
+    t_ = 0;
+  }
+  ++t_;
+  double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  Vector update(grad.size());
+  for (size_t i = 0; i < grad.size(); ++i) {
+    m_[i] = beta1_ * m_[i] + (1.0 - beta1_) * grad[i];
+    v_[i] = beta2_ * v_[i] + (1.0 - beta2_) * grad[i] * grad[i];
+    double mhat = m_[i] / bc1;
+    double vhat = v_[i] / bc2;
+    update[i] = lr_ * mhat / (std::sqrt(vhat) + eps_);
+  }
+  return net->ApplyGradient(update);
+}
+
+Result<double> TrainFullBatch(const std::vector<Example>& data, double l2,
+                              size_t epochs, Optimizer* opt, Mlp* net) {
+  if (data.empty()) {
+    return Status::InvalidArgument("TrainFullBatch: empty dataset");
+  }
+  for (size_t e = 0; e < epochs; ++e) {
+    LACB_ASSIGN_OR_RETURN(Vector grad, net->LossGradient(data, l2));
+    LACB_RETURN_NOT_OK(opt->Step(grad, net));
+  }
+  return net->Loss(data, l2);
+}
+
+}  // namespace lacb::nn

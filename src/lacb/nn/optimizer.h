@@ -1,0 +1,74 @@
+// First-order optimizers operating on an Mlp's flattened parameters.
+//
+// Alg. 1 of the paper updates θ by plain gradient descent on the batch loss
+// (Eq. 6); SGD reproduces that. Adam is provided because the base-network
+// pre-training in the personalization path converges much faster with it.
+
+#ifndef LACB_NN_OPTIMIZER_H_
+#define LACB_NN_OPTIMIZER_H_
+
+#include <memory>
+
+#include "lacb/nn/mlp.h"
+
+namespace lacb::nn {
+
+/// \brief Interface for stateful first-order update rules.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// \brief Applies one step: consumes the raw loss gradient and updates the
+  /// network's parameters in place (respecting frozen layers).
+  virtual Status Step(const Vector& grad, Mlp* net) = 0;
+
+  /// \brief Resets internal state (moments, step counter).
+  virtual void Reset() = 0;
+};
+
+/// \brief Plain (optionally momentum) stochastic gradient descent.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double learning_rate, double momentum = 0.0)
+      : lr_(learning_rate), momentum_(momentum) {}
+
+  Status Step(const Vector& grad, Mlp* net) override;
+  void Reset() override { velocity_.clear(); }
+
+ private:
+  double lr_;
+  double momentum_;
+  Vector velocity_;
+};
+
+/// \brief Adam (Kingma & Ba) with bias correction.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double learning_rate, double beta1 = 0.9,
+                double beta2 = 0.999, double epsilon = 1e-8)
+      : lr_(learning_rate), beta1_(beta1), beta2_(beta2), eps_(epsilon) {}
+
+  Status Step(const Vector& grad, Mlp* net) override;
+  void Reset() override {
+    m_.clear();
+    v_.clear();
+    t_ = 0;
+  }
+
+ private:
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  Vector m_;
+  Vector v_;
+  int64_t t_ = 0;
+};
+
+/// \brief Runs `epochs` full-batch training passes; returns the final loss.
+Result<double> TrainFullBatch(const std::vector<Example>& data, double l2,
+                              size_t epochs, Optimizer* opt, Mlp* net);
+
+}  // namespace lacb::nn
+
+#endif  // LACB_NN_OPTIMIZER_H_

@@ -1,0 +1,78 @@
+// AssignmentPolicy: the interface every compared algorithm implements.
+//
+// The engine (lacb::core) drives a policy through the platform's day/batch
+// protocol: Initialize once, BeginDay before each day's batches, AssignBatch
+// per batch, EndDay with the platform's feedback (trial triples). Policies
+// see only what the production system would see — predicted utilities,
+// observable broker contexts, workload counters, and sign-up feedback —
+// never the simulator's latent ground truth.
+
+#ifndef LACB_POLICY_ASSIGNMENT_POLICY_H_
+#define LACB_POLICY_ASSIGNMENT_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "lacb/common/result.h"
+#include "lacb/la/matrix.h"
+#include "lacb/sim/platform.h"
+
+namespace lacb::policy {
+
+/// \brief Everything a policy may inspect when assigning one batch.
+struct BatchInput {
+  /// Requests of this batch.
+  const std::vector<sim::Request>* requests = nullptr;
+  /// Predicted utility u_{r,b}, |requests| × |all brokers|.
+  const la::Matrix* utility = nullptr;
+  /// Requests served so far today, per broker.
+  const std::vector<double>* workloads = nullptr;
+  size_t day = 0;
+  size_t batch = 0;
+};
+
+/// \brief Base class of all assignment/recommendation algorithms.
+class AssignmentPolicy {
+ public:
+  virtual ~AssignmentPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// \brief One-time setup with read-only access to the broker roster.
+  virtual Status Initialize(const sim::Platform& platform) {
+    (void)platform;
+    return Status::OK();
+  }
+
+  /// \brief Day preamble (capacity estimation happens here).
+  virtual Status BeginDay(const sim::Platform& platform, size_t day) {
+    (void)platform;
+    (void)day;
+    return Status::OK();
+  }
+
+  /// \brief Returns assignment[i] = broker index (or -1) per request.
+  virtual Result<std::vector<int64_t>> AssignBatch(const BatchInput& input) = 0;
+
+  /// \brief Day epilogue with the platform's feedback.
+  virtual Status EndDay(const sim::DayOutcome& outcome) {
+    (void)outcome;
+    return Status::OK();
+  }
+};
+
+/// \brief Shared KM helper: maximum-weight assignment of requests (rows) to
+/// the broker columns listed in `eligible`.
+///
+/// When `pad_to_square` is set, the weight matrix is dummy-padded to
+/// |eligible|×|eligible| before solving — faithful to the paper's KM
+/// implementation and its O(|B|³) behaviour; otherwise the rectangular
+/// solver runs directly. If fewer eligible brokers than requests exist, the
+/// surplus requests stay unassigned (prefix order).
+Result<std::vector<int64_t>> SolveBatchAssignment(
+    const la::Matrix& utility, const std::vector<size_t>& eligible,
+    bool pad_to_square);
+
+}  // namespace lacb::policy
+
+#endif  // LACB_POLICY_ASSIGNMENT_POLICY_H_

@@ -1,0 +1,32 @@
+#include "lacb/policy/greedy_policy.h"
+
+#include "lacb/matching/assignment.h"
+
+namespace lacb::policy {
+
+Result<std::vector<int64_t>> GreedyPolicy::AssignBatch(
+    const BatchInput& input) {
+  const la::Matrix& u = *input.utility;
+  const std::vector<double>& w = *input.workloads;
+  std::vector<int64_t> out(u.rows(), matching::kUnmatched);
+  std::vector<bool> taken(u.cols(), false);
+  for (size_t r = 0; r < u.rows(); ++r) {
+    int64_t best = matching::kUnmatched;
+    double best_u = -1.0;
+    for (size_t c = 0; c < u.cols(); ++c) {
+      if (taken[c]) continue;
+      if (capacity_limit_ > 0.0 && w[c] >= capacity_limit_) continue;
+      if (u(r, c) > best_u) {
+        best_u = u(r, c);
+        best = static_cast<int64_t>(c);
+      }
+    }
+    if (best != matching::kUnmatched) {
+      taken[static_cast<size_t>(best)] = true;
+      out[r] = best;
+    }
+  }
+  return out;
+}
+
+}  // namespace lacb::policy

@@ -1,0 +1,35 @@
+// Per-batch Kuhn–Munkres baseline (paper baseline "KM").
+//
+// Runs a maximum-weight assignment on the full (dummy-padded) bipartite
+// graph in every batch, with no notion of capacity: a top broker can be
+// re-assigned batch after batch until overloaded. Serves as the
+// assignment-without-capacity control.
+
+#ifndef LACB_POLICY_KM_POLICY_H_
+#define LACB_POLICY_KM_POLICY_H_
+
+#include <string>
+
+#include "lacb/policy/assignment_policy.h"
+
+namespace lacb::policy {
+
+/// \brief Capacity-oblivious per-batch KM assignment.
+class KmPolicy : public AssignmentPolicy {
+ public:
+  /// \brief `pad_to_square` keeps the paper's O(|B|³) padded formulation;
+  /// disable for the faster rectangular-equivalent solve.
+  explicit KmPolicy(bool pad_to_square = true)
+      : pad_to_square_(pad_to_square) {}
+
+  std::string name() const override { return "KM"; }
+
+  Result<std::vector<int64_t>> AssignBatch(const BatchInput& input) override;
+
+ private:
+  bool pad_to_square_;
+};
+
+}  // namespace lacb::policy
+
+#endif  // LACB_POLICY_KM_POLICY_H_

@@ -1,0 +1,106 @@
+#include "lacb/policy/recommendation.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace lacb::policy {
+
+namespace {
+
+// Indices of the k largest entries of `row` restricted to `allowed`
+// (all columns when `allowed` is null). Partial sort; k is tiny (1 or 3).
+std::vector<size_t> TopColumns(const la::Matrix& utility, size_t row,
+                               size_t k, const std::vector<bool>* allowed) {
+  std::vector<size_t> cols;
+  cols.reserve(utility.cols());
+  for (size_t c = 0; c < utility.cols(); ++c) {
+    if (allowed == nullptr || (*allowed)[c]) cols.push_back(c);
+  }
+  size_t take = std::min(k, cols.size());
+  std::partial_sort(cols.begin(), cols.begin() + static_cast<long>(take),
+                    cols.end(), [&](size_t a, size_t b) {
+                      return utility(row, a) > utility(row, b);
+                    });
+  cols.resize(take);
+  return cols;
+}
+
+}  // namespace
+
+Result<std::vector<int64_t>> TopKPolicy::AssignBatch(const BatchInput& input) {
+  const la::Matrix& u = *input.utility;
+  std::vector<int64_t> out(u.rows(), -1);
+  for (size_t r = 0; r < u.rows(); ++r) {
+    std::vector<size_t> top = TopColumns(u, r, k_, nullptr);
+    if (top.empty()) continue;
+    // The client picks among the recommended brokers, biased toward the
+    // highest-ranked card (position bias).
+    std::vector<double> weights(top.size());
+    for (size_t i = 0; i < top.size(); ++i) {
+      weights[i] = 1.0 / static_cast<double>(i + 1);
+    }
+    out[r] = static_cast<int64_t>(top[rng_.Categorical(weights)]);
+  }
+  return out;
+}
+
+Result<std::vector<int64_t>> ConstrainedTopKPolicy::AssignBatch(
+    const BatchInput& input) {
+  const la::Matrix& u = *input.utility;
+  const std::vector<double>& w = *input.workloads;
+  std::vector<bool> allowed(u.cols());
+  bool any = false;
+  for (size_t c = 0; c < u.cols(); ++c) {
+    allowed[c] = w[c] < city_capacity_;
+    any = any || allowed[c];
+  }
+  std::vector<int64_t> out(u.rows(), -1);
+  if (!any) return out;  // the whole city is saturated
+  for (size_t r = 0; r < u.rows(); ++r) {
+    std::vector<size_t> top = TopColumns(u, r, k_, &allowed);
+    if (top.empty()) continue;
+    std::vector<double> weights(top.size());
+    for (size_t i = 0; i < top.size(); ++i) {
+      weights[i] = 1.0 / static_cast<double>(i + 1);
+    }
+    out[r] = static_cast<int64_t>(top[rng_.Categorical(weights)]);
+  }
+  return out;
+}
+
+Status RandomizedRecommendationPolicy::Initialize(
+    const sim::Platform& platform) {
+  quality_sum_.assign(platform.num_brokers(), 0.0);
+  quality_count_.assign(platform.num_brokers(), 0.0);
+  return Status::OK();
+}
+
+Result<std::vector<int64_t>> RandomizedRecommendationPolicy::AssignBatch(
+    const BatchInput& input) {
+  const la::Matrix& u = *input.utility;
+  if (quality_sum_.size() != u.cols()) {
+    return Status::FailedPrecondition("RR policy was not initialized");
+  }
+  // Smoothed quality estimate as the sampling weight (uniform until
+  // feedback accumulates).
+  std::vector<double> weights(u.cols());
+  for (size_t c = 0; c < u.cols(); ++c) {
+    weights[c] = (quality_sum_[c] + 0.05) / (quality_count_[c] + 1.0);
+  }
+  std::vector<int64_t> out(u.rows(), -1);
+  for (size_t r = 0; r < u.rows(); ++r) {
+    out[r] = static_cast<int64_t>(rng_.Categorical(weights));
+  }
+  return out;
+}
+
+Status RandomizedRecommendationPolicy::EndDay(const sim::DayOutcome& outcome) {
+  for (const sim::TrialTriple& t : outcome.trials) {
+    if (t.workload <= 0.0) continue;
+    quality_sum_[t.broker] += t.signup_rate;
+    quality_count_[t.broker] += 1.0;
+  }
+  return Status::OK();
+}
+
+}  // namespace lacb::policy

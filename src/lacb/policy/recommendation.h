@@ -1,0 +1,78 @@
+// Recommendation-style baselines: Top-K, Constrained Top-K, Randomized.
+//
+// These model the *status quo* mechanisms the paper argues against. They
+// act per request, independently: Top-K shows the K highest-utility
+// brokers and the client picks one (so several requests in one batch can
+// pile onto the same broker — the source of the overload phenomenon).
+// CTop-K additionally hides brokers whose daily workload has reached a
+// single empirical city-wide capacity. RR samples a broker weighted by a
+// running service-quality estimate, extending fair-matching baselines.
+
+#ifndef LACB_POLICY_RECOMMENDATION_H_
+#define LACB_POLICY_RECOMMENDATION_H_
+
+#include <string>
+#include <vector>
+
+#include "lacb/common/rng.h"
+#include "lacb/policy/assignment_policy.h"
+
+namespace lacb::policy {
+
+/// \brief Top-K recommendation (paper baseline "Top-K", K ∈ {1, 3}).
+class TopKPolicy : public AssignmentPolicy {
+ public:
+  TopKPolicy(size_t k, uint64_t seed) : k_(k), rng_(seed) {}
+
+  std::string name() const override {
+    return "Top-" + std::to_string(k_);
+  }
+
+  Result<std::vector<int64_t>> AssignBatch(const BatchInput& input) override;
+
+ private:
+  size_t k_;
+  Rng rng_;
+};
+
+/// \brief Constrained Top-K (paper baseline "CTop-K"): Top-K over brokers
+/// below one empirical city-level capacity.
+class ConstrainedTopKPolicy : public AssignmentPolicy {
+ public:
+  ConstrainedTopKPolicy(size_t k, double city_capacity, uint64_t seed)
+      : k_(k), city_capacity_(city_capacity), rng_(seed) {}
+
+  std::string name() const override {
+    return "CTop-" + std::to_string(k_);
+  }
+
+  Result<std::vector<int64_t>> AssignBatch(const BatchInput& input) override;
+
+ private:
+  size_t k_;
+  double city_capacity_;
+  Rng rng_;
+};
+
+/// \brief Randomized Recommendation (paper baseline "RR"): samples one
+/// broker per request with probability proportional to a running estimate
+/// of the broker's service quality (observed sign-up rates).
+class RandomizedRecommendationPolicy : public AssignmentPolicy {
+ public:
+  explicit RandomizedRecommendationPolicy(uint64_t seed) : rng_(seed) {}
+
+  std::string name() const override { return "RR"; }
+
+  Status Initialize(const sim::Platform& platform) override;
+  Result<std::vector<int64_t>> AssignBatch(const BatchInput& input) override;
+  Status EndDay(const sim::DayOutcome& outcome) override;
+
+ private:
+  Rng rng_;
+  std::vector<double> quality_sum_;
+  std::vector<double> quality_count_;
+};
+
+}  // namespace lacb::policy
+
+#endif  // LACB_POLICY_RECOMMENDATION_H_

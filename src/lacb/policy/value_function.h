@@ -1,0 +1,63 @@
+// Capacity-aware value function V(cr) (paper Sec. VI-B, Eq. 14).
+//
+// Tabular value over a broker's residual capacity cr ∈ {0, …, cr_max},
+// trained online by the temporal-difference rule
+//   V(cr) ← V(cr) + β [ u + γ V(cr′) − V(cr) ].
+// VFGA refines candidate-edge utilities with γV(cr′) − V(cr) for brokers
+// that frequently exhaust their capacity (Eq. 15), which prices in the
+// opportunity cost of consuming a scarce broker's remaining slots.
+
+#ifndef LACB_POLICY_VALUE_FUNCTION_H_
+#define LACB_POLICY_VALUE_FUNCTION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "lacb/common/result.h"
+
+namespace lacb::policy {
+
+/// \brief Tabular TD-learned value of residual capacity.
+class CapacityValueFunction {
+ public:
+  /// \brief `cr_max` is the largest representable residual capacity;
+  /// `learning_rate` is β and `discount` is γ of Eq. 14.
+  static Result<CapacityValueFunction> Create(size_t cr_max,
+                                              double learning_rate,
+                                              double discount);
+
+  /// \brief V(cr); out-of-range residuals clamp to the table edge.
+  double Value(double residual) const;
+
+  /// \brief The Eq. 15 refinement term γV(cr−1) − V(cr) at residual cr.
+  double RefinementDelta(double residual) const;
+
+  /// \brief One TD backup for a transition cr → cr′ with reward u.
+  void Update(double residual_before, double residual_after, double reward);
+
+  /// \brief End-of-episode backup: the day is over, no further utility
+  /// follows from residual cr, so V(cr) is pulled toward zero. Without
+  /// this the TD chain assumes an infinite request stream and V inflates
+  /// to the non-episodic fixpoint u/(1−γ), over-pricing slots that would
+  /// never have been used today.
+  void TerminalUpdate(double residual);
+
+  double discount() const { return discount_; }
+  size_t table_size() const { return table_.size(); }
+
+ private:
+  CapacityValueFunction(size_t cr_max, double learning_rate, double discount)
+      : table_(cr_max + 1, 0.0),
+        learning_rate_(learning_rate),
+        discount_(discount) {}
+
+  size_t Index(double residual) const;
+
+  std::vector<double> table_;
+  double learning_rate_;
+  double discount_;
+};
+
+}  // namespace lacb::policy
+
+#endif  // LACB_POLICY_VALUE_FUNCTION_H_

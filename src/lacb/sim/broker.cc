@@ -1,0 +1,47 @@
+#include "lacb/sim/broker.h"
+
+#include <algorithm>
+
+namespace lacb::sim {
+
+namespace {
+
+double Clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+double WindowMean(const Windows& w) {
+  return (w[0] + w[1] + w[2] + w[3]) / 4.0;
+}
+
+}  // namespace
+
+la::Vector Broker::ContextVector() const {
+  la::Vector x;
+  x.reserve(kContextDim);
+  // Basic info.
+  x.push_back(Clamp01((age - 20.0) / 30.0));
+  x.push_back(Clamp01(working_years / 20.0));
+  x.push_back(static_cast<double>(education) / 2.0);
+  x.push_back(static_cast<double>(title) / 2.0);
+  // Work profile. Counters are normalized by plausible upper ranges; the
+  // trailing windows are folded to (short-term, long-term) pairs so the
+  // context stays compact.
+  x.push_back(Clamp01(profile.response_rate));
+  x.push_back(Clamp01(profile.dialogue_rounds[0] / 30.0));
+  x.push_back(Clamp01(WindowMean(profile.dialogue_rounds) / 30.0));
+  x.push_back(Clamp01(profile.housing_presentations[0] / 40.0));
+  x.push_back(Clamp01(profile.vr_presentations[0] / 40.0));
+  x.push_back(Clamp01(profile.vr_presentation_time[0] / 20.0));
+  x.push_back(Clamp01(profile.phone_consultations[0] / 60.0));
+  x.push_back(Clamp01(profile.app_consultations[0] / 80.0));
+  x.push_back(Clamp01(profile.maintained_houses / 50.0));
+  x.push_back(Clamp01(profile.served_clients[0] / 60.0));
+  x.push_back(Clamp01(WindowMean(profile.served_clients) / 60.0));
+  x.push_back(Clamp01(profile.transactions[0] / 10.0));
+  // Fatigue signals: the short-horizon workload history.
+  x.push_back(Clamp01(recent_workload / 80.0));
+  x.push_back(Clamp01(workload_today / 80.0));
+  LACB_CHECK_EQ(x.size(), kContextDim);
+  return x;
+}
+
+}  // namespace lacb::sim

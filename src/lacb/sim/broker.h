@@ -1,0 +1,98 @@
+// Broker entity with the attribute schema of the paper's Table II.
+//
+// A broker carries three attribute groups (basic info, work profile,
+// preferences) that form the bandit context x_b, plus *latent* ground-truth
+// fields (true capacity knee, base quality, fatigue sensitivity) that only
+// the simulator's sign-up model may read — algorithms never see them, which
+// is exactly the paper's setting of unknown capacities.
+
+#ifndef LACB_SIM_BROKER_H_
+#define LACB_SIM_BROKER_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "lacb/la/matrix.h"
+
+namespace lacb::sim {
+
+/// \brief Education background (Table II basic info).
+enum class Education : int { kHighSchool = 0, kUndergraduate, kMaster };
+
+/// \brief Job title (Table II basic info).
+enum class Title : int { kAssistant = 0, kClerk, kManager };
+
+/// \brief Trailing-window counters over the paper's 7/14/30/90-day windows.
+using Windows = std::array<double, 4>;
+
+/// \brief Work-profile attributes (Table II).
+struct WorkProfile {
+  double response_rate = 0.0;            // responses within a minute
+  Windows dialogue_rounds{};             // avg dialogue rounds via App
+  Windows housing_presentations{};       // offline presentations
+  Windows vr_presentations{};            // presentations via VR
+  Windows vr_presentation_time{};        // hours via VR
+  Windows phone_consultations{};         // consults via phone
+  Windows phone_consultation_time{};     // hours via phone
+  Windows app_consultations{};           // consults via App
+  Windows app_consultation_time{};       // hours via App
+  double maintained_houses = 0.0;        // currently maintained listings
+  Windows served_clients{};              // clients served
+  Windows transactions{};                // closed transactions
+};
+
+/// \brief Preference attributes (Table II): embeddings over districts and
+/// housing styles, also used by the utility model as affinity factors.
+struct Preference {
+  std::vector<double> district_affinity;  // one weight per district
+  std::vector<double> housing_embedding;  // price/area/type taste vector
+};
+
+/// \brief Ground-truth fields visible only to the simulator.
+struct BrokerLatent {
+  /// Daily workload at which service quality starts to degrade (the knee).
+  double true_capacity = 30.0;
+  /// Peak sign-up probability when not overloaded.
+  double base_quality = 0.2;
+  /// How steeply quality collapses past the knee (per extra request).
+  double overload_slope = 0.15;
+  /// Sensitivity of the knee to accumulated fatigue (busy recent days
+  /// temporarily lower the effective capacity).
+  double fatigue_sensitivity = 0.2;
+  /// Platform-ranking popularity weight (drives who appears in top-k).
+  double popularity = 1.0;
+};
+
+/// \brief A broker b = (x_b, w_b, s_b) plus latent ground truth.
+struct Broker {
+  int64_t id = 0;
+
+  // --- Basic info ---
+  double age = 30.0;
+  double working_years = 3.0;
+  Education education = Education::kUndergraduate;
+  Title title = Title::kClerk;
+
+  WorkProfile profile;
+  Preference preference;
+  BrokerLatent latent;
+
+  // --- Mutable daily state (w_b; s_b is produced by the sign-up model) ---
+  double workload_today = 0.0;
+  /// Mean daily workload over the trailing week (fatigue driver).
+  double recent_workload = 0.0;
+
+  /// \brief Dimension of the context vector produced by ContextVector().
+  static constexpr size_t kContextDim = 18;
+
+  /// \brief The bandit context x_b: normalized observable working status.
+  ///
+  /// Latent fields are deliberately excluded. Features are scaled to
+  /// roughly [0, 1] so one network configuration fits all cities.
+  la::Vector ContextVector() const;
+};
+
+}  // namespace lacb::sim
+
+#endif  // LACB_SIM_BROKER_H_

@@ -1,0 +1,233 @@
+#include "lacb/sim/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lacb/common/discrete_sampler.h"
+
+namespace lacb::sim {
+
+size_t DatasetConfig::RequestsPerBatch() const {
+  double per = imbalance * static_cast<double>(num_brokers);
+  return std::max<size_t>(1, static_cast<size_t>(std::llround(per)));
+}
+
+size_t DatasetConfig::TotalBatches() const {
+  size_t per = RequestsPerBatch();
+  return (num_requests + per - 1) / per;
+}
+
+size_t DatasetConfig::BatchesPerDay() const {
+  size_t days = std::max<size_t>(1, num_days);
+  return (TotalBatches() + days - 1) / days;
+}
+
+DatasetConfig SyntheticDefault() { return DatasetConfig{}; }
+
+Result<DatasetConfig> CityPreset(char city) {
+  DatasetConfig c;
+  c.num_days = 21;
+  switch (city) {
+    case 'A':
+      c.name = "CityA";
+      c.num_brokers = 5515;
+      c.num_requests = 103106;
+      c.seed = 101;
+      // Empirical knee around 40-45 requests/day (paper Fig. 2, CTop-K=45).
+      c.capacity_log_mean = std::log(32.0);
+      break;
+    case 'B':
+      c.name = "CityB";
+      c.num_brokers = 8155;
+      c.num_requests = 387339;
+      c.seed = 202;
+      c.capacity_log_mean = std::log(40.0);  // CTop-K capacity 55
+      break;
+    case 'C':
+      c.name = "CityC";
+      c.num_brokers = 3689;
+      c.num_requests = 74831;
+      c.seed = 303;
+      c.capacity_log_mean = std::log(28.0);  // CTop-K capacity 40
+      break;
+    default:
+      return Status::InvalidArgument("CityPreset expects 'A', 'B' or 'C'");
+  }
+  // Real batches: σ chosen so batch sizes are tens of requests, matching
+  // the paper's "thousands of brokers to only tens of requests".
+  c.imbalance = 0.005;
+  return c;
+}
+
+DatasetConfig ScaleDown(const DatasetConfig& config, double factor) {
+  DatasetConfig out = config;
+  factor = std::clamp(factor, 0.0, 1.0);
+  out.num_brokers = std::max<size_t>(
+      10, static_cast<size_t>(std::llround(
+              static_cast<double>(config.num_brokers) * factor)));
+  out.num_requests = std::max<size_t>(
+      10, static_cast<size_t>(std::llround(
+              static_cast<double>(config.num_requests) * factor)));
+  // Re-derive σ so the *daily batch count* stays well above the capacity
+  // knees (~60): a per-batch matcher assigns each broker at most one
+  // request per batch, so a day with fewer batches than a broker's knee
+  // can never overload anyone and the capacity-awareness contrast would
+  // vanish at small scale. Keeping batches-per-day high (and batches still
+  // holding several requests, so per-batch KM stays distinct from
+  // per-request top-k and |R| ≪ |B| preserves the CBS speedup) preserves
+  // the paper's qualitative regime.
+  constexpr double kMinBatchesPerDay = 60.0;
+  double per_day = static_cast<double>(out.num_requests) /
+                   static_cast<double>(std::max<size_t>(1, out.num_days));
+  double batch = std::max(1.0, std::floor(per_day / kMinBatchesPerDay));
+  batch = std::min(batch, static_cast<double>(config.RequestsPerBatch()));
+  out.imbalance = batch / static_cast<double>(out.num_brokers);
+  return out;
+}
+
+std::vector<Broker> GenerateBrokers(const DatasetConfig& config, Rng* rng) {
+  std::vector<Broker> brokers(config.num_brokers);
+  Rng pop_rng = rng->Fork(1);
+  for (size_t i = 0; i < brokers.size(); ++i) {
+    Broker& b = brokers[i];
+    Rng r = rng->Fork(1000 + i);
+    b.id = static_cast<int64_t>(i);
+
+    // Basic info.
+    b.age = r.Uniform(22.0, 55.0);
+    b.working_years = r.Uniform(0.0, std::min(20.0, b.age - 20.0));
+    double edu = r.Uniform();
+    b.education = edu < 0.3 ? Education::kHighSchool
+                  : edu < 0.85 ? Education::kUndergraduate
+                               : Education::kMaster;
+    b.title = b.working_years > 8.0 && r.Bernoulli(0.5) ? Title::kManager
+              : b.working_years > 2.0                   ? Title::kClerk
+                                                        : Title::kAssistant;
+
+    // Latent ground truth. Popularity has a lognormal long tail (drives the
+    // Matthew effect under top-k); quality correlates with popularity but
+    // keeps individual spread.
+    double pop = pop_rng.LogNormal(0.0, config.popularity_skew);
+    b.latent.popularity = pop;
+    double pop_rank = pop / (pop + 1.0);  // squash to (0,1)
+    b.latent.base_quality =
+        std::clamp(config.quality_floor +
+                       config.quality_span *
+                           (0.6 * pop_rank + 0.4 * r.Uniform()),
+                   0.01, 0.95);
+    b.profile.response_rate = std::clamp(r.Uniform(0.3, 1.0), 0.0, 1.0);
+    // The capacity knee is largely *predictable from observables* (the
+    // paper's premise: working status determines sustainable workload) —
+    // experience, responsiveness and maintained inventory shift the knee —
+    // with a broker-specific latent residual that only personalization
+    // (Sec. V-D) can capture.
+    double capacity_signal = 0.5 * (b.working_years / 20.0) +
+                             0.3 * b.profile.response_rate +
+                             0.2 * std::min(1.0, b.age / 55.0);
+    b.latent.true_capacity = std::clamp(
+        std::exp(r.Normal(
+            config.capacity_log_mean + 0.8 * (capacity_signal - 0.5),
+            config.capacity_log_sigma * 0.5)),
+        8.0, 90.0);
+    b.latent.overload_slope = r.Uniform(0.05, 0.30);
+    b.latent.fatigue_sensitivity = r.Uniform(0.05, 0.35);
+
+    // Work profile scaled by popularity (busier brokers show more activity).
+    double activity = std::min(3.0, 0.5 + pop);
+    auto windows = [&](double base) {
+      Windows w;
+      for (size_t k = 0; k < 4; ++k) {
+        w[k] = std::max(0.0, base * activity * r.Uniform(0.6, 1.4));
+      }
+      return w;
+    };
+    b.profile.dialogue_rounds = windows(8.0);
+    b.profile.housing_presentations = windows(6.0);
+    b.profile.vr_presentations = windows(5.0);
+    b.profile.vr_presentation_time = windows(2.5);
+    b.profile.phone_consultations = windows(10.0);
+    b.profile.phone_consultation_time = windows(3.0);
+    b.profile.app_consultations = windows(14.0);
+    b.profile.app_consultation_time = windows(4.0);
+    b.profile.maintained_houses = r.Uniform(2.0, 40.0);
+    b.profile.served_clients = windows(9.0);
+    b.profile.transactions = windows(1.2);
+
+    // Preferences. Brokers specialize sharply: a home district (where
+    // their maintained houses are), a secondary district, and little
+    // presence elsewhere. Sharp specialization is what makes top-k lists
+    // house-specific on the real platform.
+    b.preference.district_affinity.assign(config.num_districts, 0.0);
+    size_t home = static_cast<size_t>(
+        r.UniformInt(0, static_cast<int64_t>(config.num_districts) - 1));
+    size_t second = static_cast<size_t>(
+        r.UniformInt(0, static_cast<int64_t>(config.num_districts) - 1));
+    for (size_t d = 0; d < config.num_districts; ++d) {
+      double base = r.Uniform(0.0, 0.15);
+      if (d == home) base = r.Uniform(0.7, 1.0);
+      if (d == second && d != home) base = r.Uniform(0.3, 0.6);
+      b.preference.district_affinity[d] = std::clamp(base, 0.0, 1.0);
+    }
+    b.preference.housing_embedding.resize(config.embedding_dim);
+    double norm = 0.0;
+    for (double& v : b.preference.housing_embedding) {
+      v = r.Normal();
+      norm += v * v;
+    }
+    norm = std::sqrt(std::max(norm, 1e-12));
+    for (double& v : b.preference.housing_embedding) v /= norm;
+
+    b.recent_workload = std::min(b.profile.served_clients[0],
+                                 b.latent.true_capacity);
+  }
+  return brokers;
+}
+
+std::vector<std::vector<std::vector<Request>>> GenerateRequests(
+    const DatasetConfig& config, Rng* rng) {
+  std::vector<std::vector<std::vector<Request>>> out(config.num_days);
+  size_t per_batch = config.RequestsPerBatch();
+  size_t batches_per_day = config.BatchesPerDay();
+  DiscreteSampler district_popularity =
+      DiscreteSampler::Zipf(config.num_districts, 1.1);
+  Rng r = rng->Fork(2);
+  int64_t next_id = 0;
+  size_t remaining = config.num_requests;
+  for (size_t day = 0; day < config.num_days && remaining > 0; ++day) {
+    out[day].reserve(batches_per_day);
+    for (size_t batch = 0; batch < batches_per_day && remaining > 0; ++batch) {
+      size_t count = per_batch;
+      if (config.poisson_arrivals) {
+        count = static_cast<size_t>(
+            r.Poisson(static_cast<double>(per_batch)));
+      }
+      count = std::min(count, remaining);
+      // The final scheduled batch absorbs any shortfall so the full
+      // request volume is always emitted.
+      bool last_batch = (day + 1 == config.num_days) &&
+                        (batch + 1 == batches_per_day);
+      if (last_batch) count = remaining;
+      remaining -= count;
+      std::vector<Request> reqs(count);
+      for (Request& q : reqs) {
+        q.id = next_id++;
+        q.day = day;
+        q.batch = batch;
+        q.district = district_popularity.Sample(&r);
+        q.housing_embedding.resize(config.embedding_dim);
+        double norm = 0.0;
+        for (double& v : q.housing_embedding) {
+          v = r.Normal();
+          norm += v * v;
+        }
+        norm = std::sqrt(std::max(norm, 1e-12));
+        for (double& v : q.housing_embedding) v /= norm;
+        q.pickiness = r.Uniform(0.2, 0.8);
+      }
+      out[day].push_back(std::move(reqs));
+    }
+  }
+  return out;
+}
+
+}  // namespace lacb::sim

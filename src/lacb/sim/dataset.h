@@ -1,0 +1,88 @@
+// Dataset configurations and entity generators.
+//
+// Synthetic datasets follow the paper's Table III grid (brokers, requests,
+// covering days, imbalance degree σ = |R|/|B| per batch). The "city"
+// presets mirror Table IV's real-data statistics (City A/B/C sizes over 21
+// days); since the proprietary Beike logs are unavailable, a generator with
+// long-tail broker popularity and broker-specific capacity knees substitutes
+// for them (see DESIGN.md, substitution table). `ScaleDown` produces
+// ratio-preserving smaller instances for time-bounded benchmarking.
+
+#ifndef LACB_SIM_DATASET_H_
+#define LACB_SIM_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lacb/common/result.h"
+#include "lacb/common/rng.h"
+#include "lacb/sim/broker.h"
+#include "lacb/sim/request.h"
+#include "lacb/sim/utility_model.h"
+
+namespace lacb::sim {
+
+/// \brief Full description of a simulated matching instance.
+struct DatasetConfig {
+  std::string name = "synthetic";
+  size_t num_brokers = 2000;
+  size_t num_requests = 50000;
+  size_t num_days = 14;
+  /// Degree of imbalance σ: requests per batch as a fraction of |B|.
+  double imbalance = 0.015;
+
+  size_t num_districts = 12;
+  size_t embedding_dim = 8;
+  uint64_t seed = 42;
+
+  /// Candidate workload capacities C (arms of the capacity bandit).
+  std::vector<double> capacity_candidates = {10, 20, 30, 40, 50, 60};
+
+  /// Latent-population parameters.
+  double capacity_log_mean = 3.4;    // exp(3.4) ≈ 30 requests/day
+  double capacity_log_sigma = 0.35;
+  double quality_floor = 0.08;       // weakest broker's peak sign-up prob
+  double quality_span = 0.22;        // strongest ≈ floor + span
+  double popularity_skew = 1.0;      // lognormal σ of the popularity tail
+
+  /// Client appeal behaviour (0 disables; see Platform).
+  double appeal_rate = 0.0;
+
+  /// Draw each batch's request count from Poisson(σ·|B|) instead of the
+  /// fixed σ·|B| (arrival realism; total volume stays ≈ num_requests).
+  bool poisson_arrivals = false;
+
+  /// Utility-oracle parameters (see UtilityModelConfig).
+  UtilityModelConfig utility;
+
+  /// \brief Requests per batch, max(1, round(σ·|B|)).
+  size_t RequestsPerBatch() const;
+  /// \brief Total number of batches covering num_requests.
+  size_t TotalBatches() const;
+  /// \brief Batches scheduled per day (last day may run short).
+  size_t BatchesPerDay() const;
+};
+
+/// \brief The Table III default synthetic configuration (bold entries).
+DatasetConfig SyntheticDefault();
+
+/// \brief Table IV city presets ('A', 'B', 'C'): sizes, days, and empirical
+/// capacity profile per city. InvalidArgument for other labels.
+Result<DatasetConfig> CityPreset(char city);
+
+/// \brief Ratio-preserving downscale: multiplies brokers and requests by
+/// `factor` (≤ 1), keeping σ, days, and all latent distributions.
+DatasetConfig ScaleDown(const DatasetConfig& config, double factor);
+
+/// \brief Generates the broker population of a configuration.
+std::vector<Broker> GenerateBrokers(const DatasetConfig& config, Rng* rng);
+
+/// \brief Generates all requests, laid out day by day, batch by batch.
+/// requests[day][batch] lists the requests arriving in that window.
+std::vector<std::vector<std::vector<Request>>> GenerateRequests(
+    const DatasetConfig& config, Rng* rng);
+
+}  // namespace lacb::sim
+
+#endif  // LACB_SIM_DATASET_H_

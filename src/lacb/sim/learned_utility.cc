@@ -1,0 +1,110 @@
+#include "lacb/sim/learned_utility.h"
+
+#include <algorithm>
+
+namespace lacb::sim {
+
+std::vector<double> LearnedUtilityModel::PairFeatures(const Request& request,
+                                                      const Broker& broker) {
+  std::vector<double> f;
+  f.reserve(12);
+  // Broker observables.
+  f.push_back(broker.working_years / 20.0);
+  f.push_back(broker.profile.response_rate);
+  f.push_back(broker.profile.served_clients[0] / 60.0);
+  f.push_back(broker.profile.transactions[0] / 10.0);
+  f.push_back(broker.profile.maintained_houses / 50.0);
+  f.push_back(static_cast<double>(broker.title) / 2.0);
+  f.push_back(broker.profile.app_consultations[0] / 80.0);
+  // Pair affinity signals (the same observables the oracle blends).
+  double district = request.district < broker.preference.district_affinity.size()
+                        ? broker.preference.district_affinity[request.district]
+                        : 0.0;
+  f.push_back(district);
+  double taste = 0.0;
+  size_t dims = std::min(request.housing_embedding.size(),
+                         broker.preference.housing_embedding.size());
+  for (size_t i = 0; i < dims; ++i) {
+    taste += request.housing_embedding[i] *
+             broker.preference.housing_embedding[i];
+  }
+  f.push_back(taste);
+  f.push_back(request.pickiness);
+  f.push_back(district * (1.0 - request.pickiness));
+  f.push_back(taste * request.pickiness);
+  return f;
+}
+
+gbdt::BoosterConfig LearnedUtilityModel::DefaultBoosterConfig() {
+  gbdt::BoosterConfig cfg;
+  cfg.tree.max_depth = 5;
+  cfg.tree.min_samples_per_leaf = 16;
+  cfg.tree.leaf_l2 = 1.0;
+  cfg.num_rounds = 120;
+  cfg.shrinkage = 0.1;
+  cfg.subsample = 0.8;
+  cfg.early_stopping_rounds = 10;
+  cfg.validation_fraction = 0.15;
+  cfg.seed = 4;
+  return cfg;
+}
+
+Result<LearnedUtilityModel> LearnedUtilityModel::Train(
+    const std::vector<AssignmentLogEntry>& log,
+    const std::vector<Broker>& brokers, const gbdt::BoosterConfig& config) {
+  if (log.size() < 4 * config.tree.min_samples_per_leaf) {
+    return Status::InvalidArgument(
+        "learned utility model needs a larger assignment log");
+  }
+  std::vector<std::vector<double>> features;
+  std::vector<double> targets;
+  features.reserve(log.size());
+  targets.reserve(log.size());
+  for (const AssignmentLogEntry& e : log) {
+    if (e.broker >= brokers.size()) {
+      return Status::OutOfRange("assignment log references unknown broker");
+    }
+    features.push_back(PairFeatures(e.request, brokers[e.broker]));
+    targets.push_back(e.realized_utility);
+  }
+  LACB_ASSIGN_OR_RETURN(gbdt::Booster booster,
+                        gbdt::Booster::Fit(features, targets, config));
+  return LearnedUtilityModel(std::move(booster));
+}
+
+Result<double> LearnedUtilityModel::Utility(const Request& request,
+                                            const Broker& broker) const {
+  LACB_ASSIGN_OR_RETURN(double u,
+                        booster_.Predict(PairFeatures(request, broker)));
+  return std::clamp(u, 0.0, 1.0);
+}
+
+Result<la::Matrix> LearnedUtilityModel::UtilityMatrix(
+    const std::vector<Request>& requests,
+    const std::vector<Broker>& brokers) const {
+  la::Matrix m(requests.size(), brokers.size());
+  for (size_t r = 0; r < requests.size(); ++r) {
+    for (size_t b = 0; b < brokers.size(); ++b) {
+      LACB_ASSIGN_OR_RETURN(m(r, b), Utility(requests[r], brokers[b]));
+    }
+  }
+  return m;
+}
+
+Result<double> LearnedUtilityModel::Evaluate(
+    const std::vector<AssignmentLogEntry>& log,
+    const std::vector<Broker>& brokers) const {
+  if (log.empty()) return Status::InvalidArgument("empty evaluation log");
+  double mse = 0.0;
+  for (const AssignmentLogEntry& e : log) {
+    if (e.broker >= brokers.size()) {
+      return Status::OutOfRange("assignment log references unknown broker");
+    }
+    LACB_ASSIGN_OR_RETURN(double p, Utility(e.request, brokers[e.broker]));
+    double d = p - e.realized_utility;
+    mse += d * d;
+  }
+  return mse / static_cast<double>(log.size());
+}
+
+}  // namespace lacb::sim

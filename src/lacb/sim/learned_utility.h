@@ -1,0 +1,71 @@
+// LearnedUtilityModel: the platform-side learned stand-in for u_{r,b}.
+//
+// The paper's production pipeline learns u_{r,b} "from historical
+// assignments using models such as XGBoost" (Sec. III). This module closes
+// that loop inside the reproduction: it featurizes (request, broker) pairs
+// from *observable* attributes only, trains a gradient-boosted tree
+// ensemble (lacb::gbdt) on logged assignment outcomes, and serves utility
+// predictions with the same interface shape as the oracle UtilityModel —
+// letting experiments measure how much a learned utility (vs the oracle
+// the simulator uses) costs each assignment policy.
+
+#ifndef LACB_SIM_LEARNED_UTILITY_H_
+#define LACB_SIM_LEARNED_UTILITY_H_
+
+#include <vector>
+
+#include "lacb/common/result.h"
+#include "lacb/gbdt/booster.h"
+#include "lacb/la/matrix.h"
+#include "lacb/sim/broker.h"
+#include "lacb/sim/request.h"
+
+namespace lacb::sim {
+
+/// \brief One logged training example: a historically assigned pair and
+/// its realized outcome (the utility the platform measured post-hoc).
+struct AssignmentLogEntry {
+  Request request;
+  size_t broker = 0;
+  double realized_utility = 0.0;
+};
+
+/// \brief GBDT-learned matching-utility model over observable features.
+class LearnedUtilityModel {
+ public:
+  /// \brief Observable (request, broker) pair features: broker profile and
+  /// preference signals plus request attributes. No latent fields.
+  static std::vector<double> PairFeatures(const Request& request,
+                                          const Broker& broker);
+
+  /// \brief Trains on an assignment log against the given broker roster.
+  static Result<LearnedUtilityModel> Train(
+      const std::vector<AssignmentLogEntry>& log,
+      const std::vector<Broker>& brokers,
+      const gbdt::BoosterConfig& config = DefaultBoosterConfig());
+
+  /// \brief Predicted utility for one pair (clamped to [0, 1]).
+  Result<double> Utility(const Request& request, const Broker& broker) const;
+
+  /// \brief Dense predicted-utility matrix for one batch.
+  Result<la::Matrix> UtilityMatrix(const std::vector<Request>& requests,
+                                   const std::vector<Broker>& brokers) const;
+
+  /// \brief Training MSE on a held-out log (model diagnostics).
+  Result<double> Evaluate(const std::vector<AssignmentLogEntry>& log,
+                          const std::vector<Broker>& brokers) const;
+
+  static gbdt::BoosterConfig DefaultBoosterConfig();
+
+  const gbdt::Booster& booster() const { return booster_; }
+
+ private:
+  explicit LearnedUtilityModel(gbdt::Booster booster)
+      : booster_(std::move(booster)) {}
+
+  gbdt::Booster booster_;
+};
+
+}  // namespace lacb::sim
+
+#endif  // LACB_SIM_LEARNED_UTILITY_H_

@@ -1,0 +1,181 @@
+#include "lacb/sim/platform.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace lacb::sim {
+
+Platform::Platform(DatasetConfig config, std::vector<Broker> brokers,
+                   std::vector<std::vector<std::vector<Request>>> requests,
+                   UtilityModel utility_model, Rng rng)
+    : config_(std::move(config)),
+      brokers_(std::move(brokers)),
+      requests_(std::move(requests)),
+      utility_model_(std::move(utility_model)),
+      rng_(rng) {}
+
+Result<Platform> Platform::Create(const DatasetConfig& config) {
+  if (config.num_brokers == 0 || config.num_requests == 0 ||
+      config.num_days == 0) {
+    return Status::InvalidArgument(
+        "Platform requires brokers, requests and days > 0");
+  }
+  if (config.imbalance <= 0.0) {
+    return Status::InvalidArgument("Platform imbalance must be positive");
+  }
+  Rng rng(config.seed);
+  std::vector<Broker> brokers = GenerateBrokers(config, &rng);
+  auto requests = GenerateRequests(config, &rng);
+  LACB_ASSIGN_OR_RETURN(UtilityModel um,
+                        UtilityModel::Create(brokers, config.utility));
+  return Platform(config, std::move(brokers), std::move(requests),
+                  std::move(um), rng.Fork(3));
+}
+
+Status Platform::StartDay(size_t day) {
+  if (day_open_) {
+    return Status::FailedPrecondition("previous day is still open");
+  }
+  if (day >= requests_.size()) {
+    return Status::OutOfRange("day beyond dataset horizon");
+  }
+  day_open_ = true;
+  current_day_ = day;
+  today_batches_ = requests_[day];
+  // Re-queued appeals from the previous day's tail join the first batch.
+  if (!appeal_overflow_.empty() && !today_batches_.empty()) {
+    auto& first = today_batches_.front();
+    first.insert(first.end(), appeal_overflow_.begin(),
+                 appeal_overflow_.end());
+    appeal_overflow_.clear();
+  }
+  batch_committed_.assign(today_batches_.size(), false);
+  workloads_today_.assign(brokers_.size(), 0.0);
+  committed_.clear();
+  appeals_today_ = 0;
+  for (Broker& b : brokers_) b.workload_today = 0.0;
+  return Status::OK();
+}
+
+Result<std::vector<Request>> Platform::BatchRequests(size_t batch) const {
+  if (!day_open_) return Status::FailedPrecondition("no day is open");
+  if (batch >= today_batches_.size()) {
+    return Status::OutOfRange("batch index out of range");
+  }
+  return today_batches_[batch];
+}
+
+Result<la::Matrix> Platform::BatchUtility(size_t batch) const {
+  if (!day_open_) return Status::FailedPrecondition("no day is open");
+  if (batch >= today_batches_.size()) {
+    return Status::OutOfRange("batch index out of range");
+  }
+  return utility_model_.UtilityMatrix(today_batches_[batch], brokers_);
+}
+
+Status Platform::CommitAssignment(size_t batch,
+                                  const std::vector<int64_t>& assignment) {
+  if (!day_open_) return Status::FailedPrecondition("no day is open");
+  if (batch >= today_batches_.size()) {
+    return Status::OutOfRange("batch index out of range");
+  }
+  if (batch_committed_[batch]) {
+    return Status::FailedPrecondition("batch already committed");
+  }
+  const std::vector<Request>& reqs = today_batches_[batch];
+  if (assignment.size() != reqs.size()) {
+    return Status::InvalidArgument(
+        "assignment size does not match batch size");
+  }
+  for (int64_t b : assignment) {
+    if (b != -1 &&
+        (b < 0 || static_cast<size_t>(b) >= brokers_.size())) {
+      return Status::OutOfRange("assignment references unknown broker");
+    }
+  }
+  batch_committed_[batch] = true;
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    if (assignment[i] == -1) continue;
+    size_t b = static_cast<size_t>(assignment[i]);
+    double u = utility_model_.Utility(reqs[i], brokers_[b]);
+    // Appeal: dissatisfied clients reject low-affinity brokers up front.
+    if (config_.appeal_rate > 0.0 &&
+        rng_.Bernoulli(config_.appeal_rate * (1.0 - u))) {
+      ++appeals_today_;
+      if (batch + 1 < today_batches_.size()) {
+        today_batches_[batch + 1].push_back(reqs[i]);
+      } else {
+        appeal_overflow_.push_back(reqs[i]);
+      }
+      continue;
+    }
+    workloads_today_[b] += 1.0;
+    brokers_[b].workload_today = workloads_today_[b];
+    committed_.push_back(CommittedEdge{b, u});
+  }
+  return Status::OK();
+}
+
+Result<DayOutcome> Platform::EndDay() {
+  if (!day_open_) return Status::FailedPrecondition("no day is open");
+  for (size_t batch = 0; batch < today_batches_.size(); ++batch) {
+    if (!batch_committed_[batch]) {
+      return Status::FailedPrecondition(
+          "all batches must be committed before EndDay");
+    }
+  }
+  DayOutcome out;
+  out.per_broker_utility.assign(brokers_.size(), 0.0);
+  out.per_broker_workload = workloads_today_;
+  out.appeals = appeals_today_;
+
+  // Realized utility: the quality factor at the broker's final daily
+  // workload scales each of the day's assignments.
+  for (const CommittedEdge& e : committed_) {
+    double factor =
+        signup_model_.QualityFactor(brokers_[e.broker], workloads_today_[e.broker]);
+    double realized = e.utility * factor;
+    out.realized_utility += realized;
+    out.per_broker_utility[e.broker] += realized;
+  }
+
+  // Feedback triples: context is captured at the day's state, reward is the
+  // observed (noisy) daily sign-up rate.
+  out.trials.reserve(brokers_.size());
+  for (size_t b = 0; b < brokers_.size(); ++b) {
+    TrialTriple t;
+    t.broker = b;
+    t.context = brokers_[b].ContextVector();
+    t.workload = workloads_today_[b];
+    t.signup_rate =
+        signup_model_.ObserveDailySignupRate(brokers_[b], t.workload, &rng_);
+    out.trials.push_back(std::move(t));
+  }
+
+  // Roll work profiles forward: exponential trailing windows (7/14/30/90d)
+  // absorb today's activity; recent_workload drives tomorrow's fatigue.
+  for (size_t b = 0; b < brokers_.size(); ++b) {
+    Broker& br = brokers_[b];
+    double w = workloads_today_[b];
+    double signups = out.trials[b].signup_rate * w;
+    static constexpr double kHorizons[4] = {7.0, 14.0, 30.0, 90.0};
+    for (size_t k = 0; k < 4; ++k) {
+      double decay = (kHorizons[k] - 1.0) / kHorizons[k];
+      br.profile.served_clients[k] =
+          br.profile.served_clients[k] * decay + w;
+      br.profile.transactions[k] =
+          br.profile.transactions[k] * decay + signups;
+      br.profile.dialogue_rounds[k] =
+          br.profile.dialogue_rounds[k] * decay + 0.4 * w;
+      br.profile.app_consultations[k] =
+          br.profile.app_consultations[k] * decay + 0.6 * w;
+    }
+    br.recent_workload = br.recent_workload * (6.0 / 7.0) + w * (1.0 / 7.0);
+    br.workload_today = 0.0;
+  }
+
+  day_open_ = false;
+  return out;
+}
+
+}  // namespace lacb::sim

@@ -1,0 +1,130 @@
+// Platform: the batched-matching environment (the paper's Beike simulator).
+//
+// Drives the fixed-time-window protocol of Sec. III: days are split into
+// batches; each batch exposes its requests and the predicted utility matrix
+// u_{r,b}; the policy under evaluation commits an assignment; at day end
+// the ground-truth sign-up model converts each broker's realized daily
+// workload into (i) the observed sign-up rate s_b — the bandit feedback
+// triple (x_b, w_b, s_b) — and (ii) the *realized* utility of each
+// assignment, u_{r,b} × quality(w_b), which is the evaluation metric: this
+// is where overloading a top broker actually destroys value.
+//
+// Client appeals (Sec. VI-B discussion) are supported: with probability
+// appeal_rate × (1 − u) a freshly assigned client rejects the broker; the
+// pair earns zero utility, the broker's workload is restored, and the
+// request is re-queued into the next batch.
+
+#ifndef LACB_SIM_PLATFORM_H_
+#define LACB_SIM_PLATFORM_H_
+
+#include <vector>
+
+#include "lacb/common/result.h"
+#include "lacb/common/rng.h"
+#include "lacb/la/matrix.h"
+#include "lacb/sim/broker.h"
+#include "lacb/sim/dataset.h"
+#include "lacb/sim/request.h"
+#include "lacb/sim/signup_model.h"
+#include "lacb/sim/utility_model.h"
+
+namespace lacb::sim {
+
+/// \brief One feedback observation (x_b, w_b, s_b) for one broker-day.
+struct TrialTriple {
+  size_t broker = 0;
+  la::Vector context;
+  double workload = 0.0;
+  double signup_rate = 0.0;
+};
+
+/// \brief End-of-day outcome delivered to the engine.
+struct DayOutcome {
+  /// One triple per broker (workload may be 0).
+  std::vector<TrialTriple> trials;
+  /// Σ over the day's surviving assignments of u_{r,b}·quality_b(w_b).
+  double realized_utility = 0.0;
+  /// Per-broker share of realized_utility.
+  std::vector<double> per_broker_utility;
+  /// Per-broker served requests this day.
+  std::vector<double> per_broker_workload;
+  /// Number of requests whose clients appealed this day.
+  size_t appeals = 0;
+};
+
+/// \brief The simulated matching environment.
+class Platform {
+ public:
+  static Result<Platform> Create(const DatasetConfig& config);
+
+  const DatasetConfig& config() const { return config_; }
+  const std::vector<Broker>& brokers() const { return brokers_; }
+  const UtilityModel& utility_model() const { return utility_model_; }
+  const SignupModel& signup_model() const { return signup_model_; }
+  size_t num_days() const { return requests_.size(); }
+  size_t num_brokers() const { return brokers_.size(); }
+
+  /// \brief Opens day `day` (must follow the previously closed day).
+  Status StartDay(size_t day);
+
+  /// \brief Number of batches in the currently open day.
+  size_t NumBatchesToday() const { return today_batches_.size(); }
+
+  /// \brief Requests of batch `batch` of the open day (re-queued appeals
+  /// included).
+  Result<std::vector<Request>> BatchRequests(size_t batch) const;
+
+  /// \brief Predicted-utility matrix (requests × all brokers) of a batch.
+  Result<la::Matrix> BatchUtility(size_t batch) const;
+
+  /// \brief Commits `assignment[i]` = broker index (or kUnmatched) for the
+  /// i-th request of the batch. Applies appeals, updates workloads.
+  Status CommitAssignment(size_t batch,
+                          const std::vector<int64_t>& assignment);
+
+  /// \brief Closes the open day: computes sign-up observations and realized
+  /// utilities, rolls broker work profiles forward.
+  Result<DayOutcome> EndDay();
+
+  /// \brief Current daily workload per broker (within the open day).
+  const std::vector<double>& workloads_today() const {
+    return workloads_today_;
+  }
+
+  /// \brief Ground-truth quality factor of broker `b` at workload `w`
+  /// (for oracle metrics; never exposed to policies by the engine).
+  double GroundTruthQuality(size_t b, double w) const {
+    return signup_model_.QualityFactor(brokers_[b], w);
+  }
+
+ private:
+  Platform(DatasetConfig config, std::vector<Broker> brokers,
+           std::vector<std::vector<std::vector<Request>>> requests,
+           UtilityModel utility_model, Rng rng);
+
+  struct CommittedEdge {
+    size_t broker;
+    double utility;
+  };
+
+  DatasetConfig config_;
+  std::vector<Broker> brokers_;
+  std::vector<std::vector<std::vector<Request>>> requests_;  // [day][batch]
+  UtilityModel utility_model_;
+  SignupModel signup_model_;
+  Rng rng_;
+
+  // Open-day state.
+  bool day_open_ = false;
+  size_t current_day_ = 0;
+  std::vector<std::vector<Request>> today_batches_;
+  std::vector<bool> batch_committed_;
+  std::vector<double> workloads_today_;
+  std::vector<CommittedEdge> committed_;
+  std::vector<Request> appeal_overflow_;  // appeals past the last batch
+  size_t appeals_today_ = 0;
+};
+
+}  // namespace lacb::sim
+
+#endif  // LACB_SIM_PLATFORM_H_

@@ -1,0 +1,28 @@
+// Client request entity.
+
+#ifndef LACB_SIM_REQUEST_H_
+#define LACB_SIM_REQUEST_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace lacb::sim {
+
+/// \brief A client request for broker service on a particular house.
+struct Request {
+  int64_t id = 0;
+  /// Day (0-based) and batch-within-day the request arrives in.
+  size_t day = 0;
+  size_t batch = 0;
+  /// District of the house of interest.
+  size_t district = 0;
+  /// Taste vector over housing styles (matched against broker preference
+  /// embeddings by the utility model).
+  std::vector<double> housing_embedding;
+  /// Client's pickiness: scales how much affinity matters vs broker quality.
+  double pickiness = 0.5;
+};
+
+}  // namespace lacb::sim
+
+#endif  // LACB_SIM_REQUEST_H_

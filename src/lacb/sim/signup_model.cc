@@ -1,0 +1,69 @@
+#include "lacb/sim/signup_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lacb::sim {
+
+double SignupModel::EffectiveCapacity(const Broker& broker) const {
+  const BrokerLatent& l = broker.latent;
+  // Fatigue builds once the trailing weekly workload exceeds 70% of the
+  // nominal knee; a fully fatigued broker's knee shrinks by
+  // fatigue_sensitivity (e.g. 20%).
+  double pressure =
+      std::clamp((broker.recent_workload - 0.7 * l.true_capacity) /
+                     std::max(1.0, l.true_capacity),
+                 0.0, 1.0);
+  return l.true_capacity * (1.0 - l.fatigue_sensitivity * pressure);
+}
+
+double SignupModel::QualityFactor(const Broker& broker,
+                                  double workload) const {
+  if (workload <= 0.0) return 1.0;
+  double knee = EffectiveCapacity(broker);
+  double ramp_end = std::max(1.0, config_.ramp_fraction * knee);
+  if (workload <= ramp_end) {
+    // Warm-up: mild rise toward full quality.
+    double t = workload / ramp_end;
+    return config_.warmup_floor + (1.0 - config_.warmup_floor) * t;
+  }
+  if (workload <= knee) return 1.0;
+  // Overload: hyperbolic collapse, broker-specific steepness.
+  return 1.0 / (1.0 + broker.latent.overload_slope * (workload - knee));
+}
+
+double SignupModel::SignupProbability(const Broker& broker,
+                                      double workload) const {
+  return std::clamp(broker.latent.base_quality * QualityFactor(broker, workload),
+                    0.0, 1.0);
+}
+
+double SignupModel::ObserveDailySignupRate(const Broker& broker,
+                                           double workload, Rng* rng) const {
+  if (workload <= 0.0) return 0.0;
+  double p = SignupProbability(broker, workload);
+  if (!config_.binomial_observation) return p;
+  int64_t n = static_cast<int64_t>(std::llround(workload));
+  if (n <= 0) return 0.0;
+  int64_t signups = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (rng->Bernoulli(p)) ++signups;
+  }
+  return static_cast<double>(signups) / static_cast<double>(n);
+}
+
+double SignupModel::OracleBestCapacity(
+    const Broker& broker, const std::vector<double>& candidates) const {
+  double best_c = candidates.empty() ? 0.0 : candidates.front();
+  double best_p = -1.0;
+  for (double c : candidates) {
+    double p = SignupProbability(broker, c);
+    if (p > best_p + 1e-12 || (std::fabs(p - best_p) <= 1e-12 && c > best_c)) {
+      best_p = p;
+      best_c = c;
+    }
+  }
+  return best_c;
+}
+
+}  // namespace lacb::sim

@@ -1,0 +1,76 @@
+// Ground-truth sign-up model (the simulator's hidden environment).
+//
+// Encodes the paper's Sec. II observations as a generative model:
+//  * each broker has a latent capacity knee; service quality is high and
+//    stable below it and collapses beyond it (Fig. 2),
+//  * the knee and the collapse steepness are broker-specific (Fig. 3),
+//  * sustained heavy workload (fatigue) temporarily lowers the effective
+//    knee, making quality depend on the broker's working status — the
+//    non-linear context dependence the NN-enhanced UCB is built for.
+//
+// Only the simulator evaluates this model; assignment algorithms observe
+// nothing but the resulting (x_b, w_b, s_b) triples and realized utilities.
+
+#ifndef LACB_SIM_SIGNUP_MODEL_H_
+#define LACB_SIM_SIGNUP_MODEL_H_
+
+#include "lacb/common/rng.h"
+#include "lacb/sim/broker.h"
+
+namespace lacb::sim {
+
+/// \brief Tunables of the quality-vs-workload law.
+struct SignupModelConfig {
+  /// Quality ramps from this fraction at zero workload up to 1.0 at
+  /// `ramp_fraction * capacity`. With the defaults the ramp extends to the
+  /// knee itself, giving the *interior* quality peak of the paper's Figs.
+  /// 2–3 (sign-up rates rise with moderate workload, peak near the
+  /// accustomed workload, and collapse beyond it) — and giving the capacity
+  /// bandit a unique optimum at the knee instead of a tie among all
+  /// below-knee arms.
+  double warmup_floor = 0.55;
+  double ramp_fraction = 1.0;
+  /// Observation noise: when true, the observed daily sign-up rate is a
+  /// Binomial(w, p)/w draw instead of the exact probability p.
+  bool binomial_observation = true;
+};
+
+/// \brief Deterministic quality law + stochastic daily observation.
+class SignupModel {
+ public:
+  explicit SignupModel(SignupModelConfig config = {}) : config_(config) {}
+
+  /// \brief Capacity knee after fatigue adjustment, given the broker's
+  /// trailing workload.
+  double EffectiveCapacity(const Broker& broker) const;
+
+  /// \brief Quality multiplier in (0, 1] at daily workload `w`: ~1 below the
+  /// effective knee, hyperbolically declining above it.
+  double QualityFactor(const Broker& broker, double workload) const;
+
+  /// \brief Expected sign-up probability at daily workload `w`
+  /// (base_quality × QualityFactor).
+  double SignupProbability(const Broker& broker, double workload) const;
+
+  /// \brief The daily sign-up rate the platform observes for a broker who
+  /// served `workload` requests (the bandit reward s_b). Zero workload
+  /// yields zero observed rate.
+  double ObserveDailySignupRate(const Broker& broker, double workload,
+                                Rng* rng) const;
+
+  /// \brief The candidate capacity maximizing the sign-up probability a
+  /// broker would exhibit when loaded to it — the oracle arm of the regret
+  /// definition (Eq. 7). Ties break toward the larger capacity, since at
+  /// equal quality the platform prefers brokers who can serve more.
+  double OracleBestCapacity(const Broker& broker,
+                            const std::vector<double>& candidates) const;
+
+  const SignupModelConfig& config() const { return config_; }
+
+ private:
+  SignupModelConfig config_;
+};
+
+}  // namespace lacb::sim
+
+#endif  // LACB_SIM_SIGNUP_MODEL_H_

@@ -1,0 +1,229 @@
+#include "lacb/sim/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace lacb::sim {
+
+namespace {
+
+std::string JoinSemicolon(const std::vector<double>& values) {
+  std::ostringstream os;
+  os.precision(17);
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) os << ';';
+    os << values[i];
+  }
+  return os.str();
+}
+
+Result<std::vector<double>> SplitSemicolon(const std::string& field) {
+  std::vector<double> out;
+  if (field.empty()) return out;
+  std::istringstream is(field);
+  std::string token;
+  while (std::getline(is, token, ';')) {
+    try {
+      out.push_back(std::stod(token));
+    } catch (...) {
+      return Status::InvalidArgument("bad numeric list entry: " + token);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string token;
+  while (std::getline(is, token, ',')) out.push_back(token);
+  if (!line.empty() && line.back() == ',') out.push_back("");
+  return out;
+}
+
+Result<double> ParseDouble(const std::string& s) {
+  try {
+    return std::stod(s);
+  } catch (...) {
+    return Status::InvalidArgument("bad numeric field: " + s);
+  }
+}
+
+void WriteWindows(std::ostringstream* os, const Windows& w) {
+  for (double v : w) *os << ',' << v;
+}
+
+Status ReadWindows(const std::vector<std::string>& fields, size_t* index,
+                   Windows* w) {
+  for (size_t k = 0; k < 4; ++k) {
+    LACB_ASSIGN_OR_RETURN((*w)[k], ParseDouble(fields[(*index)++]));
+  }
+  return Status::OK();
+}
+
+constexpr char kBrokerHeader[] =
+    "id,age,working_years,education,title,response_rate,"
+    "dialogue_rounds_7,dialogue_rounds_14,dialogue_rounds_30,"
+    "dialogue_rounds_90,housing_pres_7,housing_pres_14,housing_pres_30,"
+    "housing_pres_90,vr_pres_7,vr_pres_14,vr_pres_30,vr_pres_90,"
+    "vr_time_7,vr_time_14,vr_time_30,vr_time_90,phone_7,phone_14,phone_30,"
+    "phone_90,phone_time_7,phone_time_14,phone_time_30,phone_time_90,"
+    "app_7,app_14,app_30,app_90,app_time_7,app_time_14,app_time_30,"
+    "app_time_90,maintained_houses,served_7,served_14,served_30,served_90,"
+    "tx_7,tx_14,tx_30,tx_90,recent_workload,true_capacity,base_quality,"
+    "overload_slope,fatigue_sensitivity,popularity,district_affinity,"
+    "housing_embedding";
+constexpr size_t kBrokerFields = 55;
+
+}  // namespace
+
+Status ExportBrokersCsv(const std::vector<Broker>& brokers,
+                        const std::string& path) {
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  file << kBrokerHeader << "\n";
+  for (const Broker& b : brokers) {
+    std::ostringstream os;
+    os.precision(17);
+    os << b.id << ',' << b.age << ',' << b.working_years << ','
+       << static_cast<int>(b.education) << ',' << static_cast<int>(b.title)
+       << ',' << b.profile.response_rate;
+    WriteWindows(&os, b.profile.dialogue_rounds);
+    WriteWindows(&os, b.profile.housing_presentations);
+    WriteWindows(&os, b.profile.vr_presentations);
+    WriteWindows(&os, b.profile.vr_presentation_time);
+    WriteWindows(&os, b.profile.phone_consultations);
+    WriteWindows(&os, b.profile.phone_consultation_time);
+    WriteWindows(&os, b.profile.app_consultations);
+    WriteWindows(&os, b.profile.app_consultation_time);
+    os << ',' << b.profile.maintained_houses;
+    WriteWindows(&os, b.profile.served_clients);
+    WriteWindows(&os, b.profile.transactions);
+    os << ',' << b.recent_workload << ',' << b.latent.true_capacity << ','
+       << b.latent.base_quality << ',' << b.latent.overload_slope << ','
+       << b.latent.fatigue_sensitivity << ',' << b.latent.popularity << ','
+       << JoinSemicolon(b.preference.district_affinity) << ','
+       << JoinSemicolon(b.preference.housing_embedding);
+    file << os.str() << "\n";
+  }
+  if (!file.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<Broker>> ImportBrokersCsv(const std::string& path) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::string line;
+  if (!std::getline(file, line) || line != kBrokerHeader) {
+    return Status::InvalidArgument("unrecognized broker CSV header");
+  }
+  std::vector<Broker> brokers;
+  while (std::getline(file, line)) {
+    if (line.empty()) continue;
+    LACB_ASSIGN_OR_RETURN(std::vector<std::string> f, SplitCsvLine(line));
+    if (f.size() != kBrokerFields) {
+      return Status::InvalidArgument("broker CSV row has wrong arity");
+    }
+    Broker b;
+    size_t i = 0;
+    LACB_ASSIGN_OR_RETURN(double id, ParseDouble(f[i++]));
+    b.id = static_cast<int64_t>(id);
+    LACB_ASSIGN_OR_RETURN(b.age, ParseDouble(f[i++]));
+    LACB_ASSIGN_OR_RETURN(b.working_years, ParseDouble(f[i++]));
+    LACB_ASSIGN_OR_RETURN(double edu, ParseDouble(f[i++]));
+    b.education = static_cast<Education>(static_cast<int>(edu));
+    LACB_ASSIGN_OR_RETURN(double title, ParseDouble(f[i++]));
+    b.title = static_cast<Title>(static_cast<int>(title));
+    LACB_ASSIGN_OR_RETURN(b.profile.response_rate, ParseDouble(f[i++]));
+    LACB_RETURN_NOT_OK(ReadWindows(f, &i, &b.profile.dialogue_rounds));
+    LACB_RETURN_NOT_OK(ReadWindows(f, &i, &b.profile.housing_presentations));
+    LACB_RETURN_NOT_OK(ReadWindows(f, &i, &b.profile.vr_presentations));
+    LACB_RETURN_NOT_OK(ReadWindows(f, &i, &b.profile.vr_presentation_time));
+    LACB_RETURN_NOT_OK(ReadWindows(f, &i, &b.profile.phone_consultations));
+    LACB_RETURN_NOT_OK(
+        ReadWindows(f, &i, &b.profile.phone_consultation_time));
+    LACB_RETURN_NOT_OK(ReadWindows(f, &i, &b.profile.app_consultations));
+    LACB_RETURN_NOT_OK(ReadWindows(f, &i, &b.profile.app_consultation_time));
+    LACB_ASSIGN_OR_RETURN(b.profile.maintained_houses, ParseDouble(f[i++]));
+    LACB_RETURN_NOT_OK(ReadWindows(f, &i, &b.profile.served_clients));
+    LACB_RETURN_NOT_OK(ReadWindows(f, &i, &b.profile.transactions));
+    LACB_ASSIGN_OR_RETURN(b.recent_workload, ParseDouble(f[i++]));
+    LACB_ASSIGN_OR_RETURN(b.latent.true_capacity, ParseDouble(f[i++]));
+    LACB_ASSIGN_OR_RETURN(b.latent.base_quality, ParseDouble(f[i++]));
+    LACB_ASSIGN_OR_RETURN(b.latent.overload_slope, ParseDouble(f[i++]));
+    LACB_ASSIGN_OR_RETURN(b.latent.fatigue_sensitivity, ParseDouble(f[i++]));
+    LACB_ASSIGN_OR_RETURN(b.latent.popularity, ParseDouble(f[i++]));
+    LACB_ASSIGN_OR_RETURN(b.preference.district_affinity,
+                          SplitSemicolon(f[i++]));
+    LACB_ASSIGN_OR_RETURN(b.preference.housing_embedding,
+                          SplitSemicolon(f[i++]));
+    brokers.push_back(std::move(b));
+  }
+  return brokers;
+}
+
+Status ExportRequestsCsv(
+    const std::vector<std::vector<std::vector<Request>>>& requests,
+    const std::string& path) {
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  file << "id,day,batch,district,pickiness,housing_embedding\n";
+  for (const auto& day : requests) {
+    for (const auto& batch : day) {
+      for (const Request& q : batch) {
+        std::ostringstream os;
+        os.precision(17);
+        os << q.id << ',' << q.day << ',' << q.batch << ',' << q.district
+           << ',' << q.pickiness << ','
+           << JoinSemicolon(q.housing_embedding);
+        file << os.str() << "\n";
+      }
+    }
+  }
+  if (!file.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<std::vector<Request>>>> ImportRequestsCsv(
+    const std::string& path) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::string line;
+  if (!std::getline(file, line) ||
+      line != "id,day,batch,district,pickiness,housing_embedding") {
+    return Status::InvalidArgument("unrecognized request CSV header");
+  }
+  std::vector<std::vector<std::vector<Request>>> out;
+  while (std::getline(file, line)) {
+    if (line.empty()) continue;
+    LACB_ASSIGN_OR_RETURN(std::vector<std::string> f, SplitCsvLine(line));
+    if (f.size() != 6) {
+      return Status::InvalidArgument("request CSV row has wrong arity");
+    }
+    Request q;
+    LACB_ASSIGN_OR_RETURN(double id, ParseDouble(f[0]));
+    q.id = static_cast<int64_t>(id);
+    LACB_ASSIGN_OR_RETURN(double day, ParseDouble(f[1]));
+    q.day = static_cast<size_t>(day);
+    LACB_ASSIGN_OR_RETURN(double batch, ParseDouble(f[2]));
+    q.batch = static_cast<size_t>(batch);
+    LACB_ASSIGN_OR_RETURN(double district, ParseDouble(f[3]));
+    q.district = static_cast<size_t>(district);
+    LACB_ASSIGN_OR_RETURN(q.pickiness, ParseDouble(f[4]));
+    LACB_ASSIGN_OR_RETURN(q.housing_embedding, SplitSemicolon(f[5]));
+    if (q.day >= out.size()) out.resize(q.day + 1);
+    if (q.batch >= out[q.day].size()) out[q.day].resize(q.batch + 1);
+    out[q.day][q.batch].push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace lacb::sim

@@ -1,0 +1,38 @@
+// Trace import/export: CSV serialization of generated instances and runs.
+//
+// Lets users persist a generated matching instance (brokers with their
+// latent ground truth, plus the request stream) for external analysis or
+// replay, and reload it so experiments can be repeated bit-for-bit without
+// re-deriving entities from seeds. Also exports per-broker run results.
+
+#ifndef LACB_SIM_TRACE_IO_H_
+#define LACB_SIM_TRACE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "lacb/common/result.h"
+#include "lacb/sim/broker.h"
+#include "lacb/sim/request.h"
+
+namespace lacb::sim {
+
+/// \brief Writes brokers (observable + latent fields) as CSV.
+Status ExportBrokersCsv(const std::vector<Broker>& brokers,
+                        const std::string& path);
+
+/// \brief Reads brokers back from ExportBrokersCsv output.
+Result<std::vector<Broker>> ImportBrokersCsv(const std::string& path);
+
+/// \brief Writes a day/batch request stream as CSV.
+Status ExportRequestsCsv(
+    const std::vector<std::vector<std::vector<Request>>>& requests,
+    const std::string& path);
+
+/// \brief Reads a request stream back from ExportRequestsCsv output.
+Result<std::vector<std::vector<std::vector<Request>>>> ImportRequestsCsv(
+    const std::string& path);
+
+}  // namespace lacb::sim
+
+#endif  // LACB_SIM_TRACE_IO_H_

@@ -1,0 +1,96 @@
+#include "lacb/sim/utility_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lacb::sim {
+
+Result<UtilityModel> UtilityModel::Create(const std::vector<Broker>& brokers,
+                                          const UtilityModelConfig& config) {
+  if (brokers.empty()) {
+    return Status::InvalidArgument("UtilityModel needs at least one broker");
+  }
+  double w = config.quality_weight + config.affinity_weight +
+             config.noise_weight;
+  if (w <= 0.0) {
+    return Status::InvalidArgument("UtilityModel weights must sum > 0");
+  }
+  double max_q = 0.0;
+  for (const Broker& b : brokers) {
+    if (b.id < 0 || static_cast<size_t>(b.id) >= brokers.size()) {
+      return Status::InvalidArgument("UtilityModel expects dense 0-based ids");
+    }
+    max_q = std::max(max_q, b.latent.base_quality * b.latent.popularity);
+  }
+  if (max_q <= 0.0) max_q = 1.0;
+  std::vector<double> score(brokers.size(), 0.0);
+  for (const Broker& b : brokers) {
+    double raw = b.latent.base_quality * b.latent.popularity / max_q;
+    // Compress the long popularity tail: the platform's ranking separates
+    // good brokers from weak ones but does not rate one broker above every
+    // district's local specialist — without this, a single broker wins
+    // every request and the measured concentration becomes degenerate
+    // (hundreds of × the city mean instead of the paper's ~12×).
+    score[static_cast<size_t>(b.id)] =
+        std::pow(raw, config.quality_compression);
+  }
+  return UtilityModel(config, std::move(score));
+}
+
+double UtilityModel::PairNoise(int64_t request_id, int64_t broker_id) const {
+  // SplitMix64 over the pair key: stable across calls and batch orders.
+  uint64_t z = config_.noise_seed;
+  z += 0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(request_id) + 1);
+  z += 0xd1b54a32d192ed03ULL * (static_cast<uint64_t>(broker_id) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+double UtilityModel::Utility(const Request& request,
+                             const Broker& broker) const {
+  size_t id = static_cast<size_t>(broker.id);
+  double quality = id < quality_score_.size() ? quality_score_[id] : 0.0;
+
+  // Affinity: district familiarity plus housing-taste alignment.
+  double district = 0.0;
+  if (request.district < broker.preference.district_affinity.size()) {
+    district = broker.preference.district_affinity[request.district];
+  }
+  double taste = 0.0;
+  size_t dims = std::min(request.housing_embedding.size(),
+                         broker.preference.housing_embedding.size());
+  for (size_t i = 0; i < dims; ++i) {
+    taste += request.housing_embedding[i] *
+             broker.preference.housing_embedding[i];
+  }
+  // Embeddings are unit-scale; map the dot product from [-1,1] to [0,1].
+  taste = std::clamp(0.5 * (taste + 1.0), 0.0, 1.0);
+  double affinity = 0.5 * district + 0.5 * taste;
+  affinity = (1.0 - request.pickiness) * affinity +
+             request.pickiness * affinity * affinity;
+
+  double noise = PairNoise(request.id, broker.id);
+  double total_weight = config_.quality_weight + config_.affinity_weight +
+                        config_.noise_weight;
+  double u = (config_.quality_weight * quality +
+              config_.affinity_weight * affinity +
+              config_.noise_weight * noise) /
+             total_weight;
+  return std::clamp(u, 0.0, 1.0);
+}
+
+la::Matrix UtilityModel::UtilityMatrix(
+    const std::vector<Request>& requests,
+    const std::vector<Broker>& brokers) const {
+  la::Matrix m(requests.size(), brokers.size());
+  for (size_t r = 0; r < requests.size(); ++r) {
+    for (size_t b = 0; b < brokers.size(); ++b) {
+      m(r, b) = Utility(requests[r], brokers[b]);
+    }
+  }
+  return m;
+}
+
+}  // namespace lacb::sim

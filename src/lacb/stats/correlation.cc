@@ -1,0 +1,62 @@
+#include "lacb/stats/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace lacb::stats {
+
+Result<double> PearsonCorrelation(const std::vector<double>& xs,
+                                  const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) {
+    return Status::InvalidArgument(
+        "Pearson correlation needs >= 2 equal-length samples");
+  }
+  double n = static_cast<double>(xs.size());
+  double mx = std::accumulate(xs.begin(), xs.end(), 0.0) / n;
+  double my = std::accumulate(ys.begin(), ys.end(), 0.0) / n;
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    double dx = xs[i] - mx;
+    double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) {
+    return Status::InvalidArgument("Pearson correlation of degenerate sample");
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> AverageRanks(const std::vector<double>& values) {
+  size_t n = values.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // Positions i..j share the average 1-based rank.
+    double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+Result<double> SpearmanCorrelation(const std::vector<double>& xs,
+                                   const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) {
+    return Status::InvalidArgument(
+        "Spearman correlation needs >= 2 equal-length samples");
+  }
+  return PearsonCorrelation(AverageRanks(xs), AverageRanks(ys));
+}
+
+}  // namespace lacb::stats

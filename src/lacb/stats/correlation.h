@@ -1,0 +1,31 @@
+// Correlation measures: Pearson's r and Spearman's ρ.
+//
+// Used by the Fig. 3 analysis (sign-up rate vs workload trends) and
+// available to downstream users for broker-level diagnostics.
+
+#ifndef LACB_STATS_CORRELATION_H_
+#define LACB_STATS_CORRELATION_H_
+
+#include <vector>
+
+#include "lacb/common/result.h"
+
+namespace lacb::stats {
+
+/// \brief Pearson product-moment correlation of paired samples.
+///
+/// Needs >= 2 pairs and non-degenerate variance in both; InvalidArgument
+/// otherwise.
+Result<double> PearsonCorrelation(const std::vector<double>& xs,
+                                  const std::vector<double>& ys);
+
+/// \brief Spearman rank correlation (ties receive average ranks).
+Result<double> SpearmanCorrelation(const std::vector<double>& xs,
+                                   const std::vector<double>& ys);
+
+/// \brief Average ranks (1-based) with ties averaged.
+std::vector<double> AverageRanks(const std::vector<double>& values);
+
+}  // namespace lacb::stats
+
+#endif  // LACB_STATS_CORRELATION_H_

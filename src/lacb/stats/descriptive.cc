@@ -1,0 +1,101 @@
+#include "lacb/stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lacb::stats {
+
+void OnlineStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void OnlineStats::Merge(const OnlineStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  double n1 = static_cast<double>(count_);
+  double n2 = static_cast<double>(other.count_);
+  double delta = other.mean_ - mean_;
+  double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Result<double> Percentile(const std::vector<double>& values, double q) {
+  if (values.empty()) {
+    return Status::InvalidArgument("Percentile of empty input");
+  }
+  if (q < 0.0 || q > 1.0) {
+    return Status::InvalidArgument("Percentile q must be in [0,1]");
+  }
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  double pos = q * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Result<double> Mean(const std::vector<double>& values) {
+  if (values.empty()) return Status::InvalidArgument("Mean of empty input");
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+Result<BinnedSeries> BinMeans(const std::vector<double>& xs,
+                              const std::vector<double>& ys, double x_min,
+                              double x_max, size_t num_bins) {
+  if (xs.size() != ys.size()) {
+    return Status::InvalidArgument("BinMeans: xs and ys differ in length");
+  }
+  if (num_bins == 0 || !(x_max > x_min)) {
+    return Status::InvalidArgument("BinMeans: empty bin range");
+  }
+  BinnedSeries out;
+  double width = (x_max - x_min) / static_cast<double>(num_bins);
+  out.bin_centers.resize(num_bins);
+  out.means.assign(num_bins, 0.0);
+  out.counts.assign(num_bins, 0);
+  std::vector<double> sums(num_bins, 0.0);
+  for (size_t b = 0; b < num_bins; ++b) {
+    out.bin_centers[b] = x_min + width * (static_cast<double>(b) + 0.5);
+  }
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i] < x_min || xs[i] >= x_max) continue;
+    size_t b = static_cast<size_t>((xs[i] - x_min) / width);
+    if (b >= num_bins) b = num_bins - 1;
+    sums[b] += ys[i];
+    ++out.counts[b];
+  }
+  for (size_t b = 0; b < num_bins; ++b) {
+    if (out.counts[b] > 0) {
+      out.means[b] = sums[b] / static_cast<double>(out.counts[b]);
+    }
+  }
+  return out;
+}
+
+}  // namespace lacb::stats

@@ -1,0 +1,72 @@
+// Descriptive statistics: online moments, percentiles, and binning.
+//
+// Used by the measurement pipelines that reproduce the paper's motivation
+// study (Sec. II) and by the metric collectors in lacb::core.
+
+#ifndef LACB_STATS_DESCRIPTIVE_H_
+#define LACB_STATS_DESCRIPTIVE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "lacb/common/result.h"
+
+namespace lacb::stats {
+
+/// \brief Streaming mean/variance accumulator (Welford's algorithm).
+class OnlineStats {
+ public:
+  /// \brief Adds one observation.
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+  /// \brief Unbiased sample variance; 0 when fewer than two observations.
+  double variance() const;
+
+  /// \brief Sample standard deviation.
+  double stddev() const;
+
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  /// \brief Merges another accumulator into this one.
+  void Merge(const OnlineStats& other);
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// \brief q-th percentile (q in [0,1]) by linear interpolation.
+///
+/// Returns InvalidArgument for empty input or q outside [0,1]. The input is
+/// copied and partially sorted; the caller's vector is untouched.
+Result<double> Percentile(const std::vector<double>& values, double q);
+
+/// \brief Arithmetic mean; InvalidArgument on empty input.
+Result<double> Mean(const std::vector<double>& values);
+
+/// \brief Fixed-width binning of (x, y) pairs: for each x-bin, the mean of y.
+///
+/// Reproduces the paper's Fig. 2 pipeline (sign-up rate binned by daily
+/// workload). Bins with no observations report count 0 and mean 0.
+struct BinnedSeries {
+  std::vector<double> bin_centers;
+  std::vector<double> means;
+  std::vector<size_t> counts;
+};
+
+/// \brief Bins ys by their xs over [x_min, x_max) into num_bins buckets.
+Result<BinnedSeries> BinMeans(const std::vector<double>& xs,
+                              const std::vector<double>& ys, double x_min,
+                              double x_max, size_t num_bins);
+
+}  // namespace lacb::stats
+
+#endif  // LACB_STATS_DESCRIPTIVE_H_

@@ -1,0 +1,108 @@
+#include "lacb/stats/hypothesis.h"
+
+#include <cmath>
+
+#include "lacb/stats/descriptive.h"
+
+namespace lacb::stats {
+
+namespace {
+
+// Continued-fraction core of the incomplete beta function, valid for
+// x < (a+1)/(a+b+2). Modified Lentz's algorithm, per Numerical Recipes.
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-14;
+  constexpr double kTiny = 1e-300;
+
+  double qab = a + b;
+  double qap = a + 1.0;
+  double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+Result<double> RegularizedIncompleteBeta(double a, double b, double x) {
+  if (!(a > 0.0) || !(b > 0.0)) {
+    return Status::InvalidArgument("incomplete beta requires a,b > 0");
+  }
+  if (x < 0.0 || x > 1.0) {
+    return Status::InvalidArgument("incomplete beta requires x in [0,1]");
+  }
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  double ln_front = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                    a * std::log(x) + b * std::log(1.0 - x);
+  double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  // Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+Result<double> StudentTCdf(double t, double df) {
+  if (!(df > 0.0)) {
+    return Status::InvalidArgument("Student-t df must be positive");
+  }
+  double x = df / (df + t * t);
+  LACB_ASSIGN_OR_RETURN(double ib,
+                        RegularizedIncompleteBeta(df / 2.0, 0.5, x));
+  double tail = ib / 2.0;
+  return t > 0.0 ? 1.0 - tail : tail;
+}
+
+Result<WelchResult> WelchTTest(const std::vector<double>& sample_a,
+                               const std::vector<double>& sample_b) {
+  if (sample_a.size() < 2 || sample_b.size() < 2) {
+    return Status::InvalidArgument("Welch t-test needs >= 2 obs per sample");
+  }
+  OnlineStats a;
+  OnlineStats b;
+  for (double v : sample_a) a.Add(v);
+  for (double v : sample_b) b.Add(v);
+  double na = static_cast<double>(a.count());
+  double nb = static_cast<double>(b.count());
+  double va = a.variance() / na;
+  double vb = b.variance() / nb;
+  if (va + vb <= 0.0) {
+    return Status::InvalidArgument("Welch t-test: both samples degenerate");
+  }
+  WelchResult out;
+  out.t_statistic = (a.mean() - b.mean()) / std::sqrt(va + vb);
+  out.degrees_of_freedom =
+      (va + vb) * (va + vb) /
+      (va * va / (na - 1.0) + vb * vb / (nb - 1.0));
+  LACB_ASSIGN_OR_RETURN(
+      double cdf,
+      StudentTCdf(-std::fabs(out.t_statistic), out.degrees_of_freedom));
+  out.p_value = 2.0 * cdf;
+  return out;
+}
+
+}  // namespace lacb::stats

@@ -1,0 +1,404 @@
+// Tests for the extension modules: Thompson sampling, the auction and
+// Hopcroft–Karp matchers, Pearson/Spearman correlation, trace I/O, and the
+// Greedy / Flow policies.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "lacb/bandit/thompson.h"
+#include "lacb/matching/min_cost_flow.h"
+#include "lacb/core/engine.h"
+#include "lacb/core/policy_suite.h"
+#include "lacb/matching/auction.h"
+#include "lacb/matching/hopcroft_karp.h"
+#include "lacb/policy/flow_policy.h"
+#include "lacb/policy/greedy_policy.h"
+#include "lacb/sim/trace_io.h"
+#include "lacb/stats/correlation.h"
+
+namespace lacb {
+namespace {
+
+// --------------------------- LinearThompson -------------------------------
+
+TEST(LinearThompsonTest, CreateValidation) {
+  bandit::LinearThompsonConfig c;
+  EXPECT_FALSE(bandit::LinearThompson::Create(c).ok());
+  c.arm_values = {1.0};
+  c.context_dim = 0;
+  EXPECT_FALSE(bandit::LinearThompson::Create(c).ok());
+  c.context_dim = 2;
+  c.posterior_scale = -1.0;
+  EXPECT_FALSE(bandit::LinearThompson::Create(c).ok());
+}
+
+TEST(LinearThompsonTest, ConvergesOnLinearReward) {
+  bandit::LinearThompsonConfig c;
+  c.arm_values = {0.0, 1.0, 2.0};
+  c.context_dim = 1;
+  c.posterior_scale = 0.3;
+  c.seed = 3;
+  auto b = bandit::LinearThompson::Create(c);
+  ASSERT_TRUE(b.ok());
+  Rng rng(4);
+  size_t best_picks = 0;
+  for (int t = 0; t < 400; ++t) {
+    bandit::Vector ctx = {rng.Uniform()};
+    double v = b->SelectValue(ctx).value();
+    double reward = 0.5 - 0.2 * v + rng.Normal(0.0, 0.01);  // best arm: 0
+    ASSERT_TRUE(b->Observe(ctx, v, reward).ok());
+    if (t >= 200 && v == 0.0) ++best_picks;
+  }
+  EXPECT_GT(best_picks, 150u);
+  // Mean prediction reflects the fitted model.
+  EXPECT_GT(b->PredictReward({0.5}, 0.0).value(),
+            b->PredictReward({0.5}, 2.0).value());
+}
+
+// ------------------------------ Auction -----------------------------------
+
+TEST(AuctionTest, Validation) {
+  EXPECT_FALSE(matching::AuctionAssignment(la::Matrix(3, 2)).ok());
+  matching::AuctionOptions bad;
+  bad.epsilon = 0.0;
+  EXPECT_FALSE(matching::AuctionAssignment(la::Matrix(2, 2), bad).ok());
+}
+
+TEST(AuctionTest, MatchesKuhnMunkresOnRandomInstances) {
+  Rng rng(5);
+  for (int trial = 0; trial < 25; ++trial) {
+    size_t rows = 2 + static_cast<size_t>(rng.UniformInt(0, 6));
+    size_t cols = rows + static_cast<size_t>(rng.UniformInt(0, 6));
+    la::Matrix w(rows, cols);
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < cols; ++c) w(r, c) = rng.Uniform();
+    }
+    auto km = matching::MaxWeightAssignment(w);
+    auto auction = matching::AuctionAssignment(w);
+    ASSERT_TRUE(km.ok());
+    ASSERT_TRUE(auction.ok());
+    EXPECT_NEAR(km->total_weight, auction->total_weight,
+                1e-5 + 1e-6 * static_cast<double>(rows));
+    // Feasibility: distinct columns.
+    std::vector<bool> used(cols, false);
+    for (int64_t c : auction->col_of_row) {
+      ASSERT_GE(c, 0);
+      EXPECT_FALSE(used[static_cast<size_t>(c)]);
+      used[static_cast<size_t>(c)] = true;
+    }
+  }
+}
+
+TEST(AuctionTest, EmptyInstance) {
+  auto a = matching::AuctionAssignment(la::Matrix(0, 0));
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->total_weight, 0.0);
+}
+
+// ---------------------------- Hopcroft–Karp -------------------------------
+
+TEST(HopcroftKarpTest, SimplePerfectMatching) {
+  matching::HopcroftKarp hk(3, 3);
+  ASSERT_TRUE(hk.AddEdge(0, 0).ok());
+  ASSERT_TRUE(hk.AddEdge(0, 1).ok());
+  ASSERT_TRUE(hk.AddEdge(1, 1).ok());
+  ASSERT_TRUE(hk.AddEdge(2, 2).ok());
+  EXPECT_EQ(hk.Solve(), 3u);
+}
+
+TEST(HopcroftKarpTest, AugmentingPathNeeded) {
+  // Greedy would match 0-0 and strand vertex 1; HK must find both.
+  matching::HopcroftKarp hk(2, 2);
+  ASSERT_TRUE(hk.AddEdge(0, 0).ok());
+  ASSERT_TRUE(hk.AddEdge(0, 1).ok());
+  ASSERT_TRUE(hk.AddEdge(1, 0).ok());
+  EXPECT_EQ(hk.Solve(), 2u);
+  EXPECT_EQ(hk.right_of_left()[0], 1);
+  EXPECT_EQ(hk.right_of_left()[1], 0);
+}
+
+TEST(HopcroftKarpTest, Validation) {
+  matching::HopcroftKarp hk(2, 2);
+  EXPECT_FALSE(hk.AddEdge(5, 0).ok());
+  EXPECT_FALSE(hk.AddEdge(0, 5).ok());
+}
+
+TEST(HopcroftKarpTest, MatchesFlowCardinalityOnRandomGraphs) {
+  Rng rng(6);
+  for (int trial = 0; trial < 15; ++trial) {
+    size_t left = 3 + static_cast<size_t>(rng.UniformInt(0, 7));
+    size_t right = 3 + static_cast<size_t>(rng.UniformInt(0, 7));
+    matching::HopcroftKarp hk(left, right);
+    matching::MinCostFlow flow(left + right + 2);
+    size_t source = 0;
+    size_t sink = left + right + 1;
+    for (size_t u = 0; u < left; ++u) {
+      ASSERT_TRUE(flow.AddEdge(source, 1 + u, 1, 0.0).ok());
+    }
+    for (size_t v = 0; v < right; ++v) {
+      ASSERT_TRUE(flow.AddEdge(1 + left + v, sink, 1, 0.0).ok());
+    }
+    for (size_t u = 0; u < left; ++u) {
+      for (size_t v = 0; v < right; ++v) {
+        if (rng.Bernoulli(0.3)) {
+          ASSERT_TRUE(hk.AddEdge(u, v).ok());
+          ASSERT_TRUE(flow.AddEdge(1 + u, 1 + left + v, 1, 0.0).ok());
+        }
+      }
+    }
+    auto f = flow.Solve(source, sink);
+    ASSERT_TRUE(f.ok());
+    EXPECT_EQ(hk.Solve(), static_cast<size_t>(f->flow));
+  }
+}
+
+// ----------------------------- Correlation --------------------------------
+
+TEST(CorrelationTest, PearsonKnownValues) {
+  EXPECT_NEAR(
+      stats::PearsonCorrelation({1, 2, 3, 4}, {2, 4, 6, 8}).value(), 1.0,
+      1e-12);
+  EXPECT_NEAR(
+      stats::PearsonCorrelation({1, 2, 3, 4}, {8, 6, 4, 2}).value(), -1.0,
+      1e-12);
+  EXPECT_FALSE(stats::PearsonCorrelation({1, 1}, {2, 3}).ok());
+  EXPECT_FALSE(stats::PearsonCorrelation({1}, {2}).ok());
+}
+
+TEST(CorrelationTest, SpearmanMonotoneNonlinear) {
+  // Monotone but non-linear: Spearman is exactly 1, Pearson is below 1.
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<double> ys = {1, 8, 27, 64, 125};
+  EXPECT_NEAR(stats::SpearmanCorrelation(xs, ys).value(), 1.0, 1e-12);
+  EXPECT_LT(stats::PearsonCorrelation(xs, ys).value(), 1.0);
+}
+
+TEST(CorrelationTest, AverageRanksTies) {
+  auto ranks = stats::AverageRanks({10.0, 20.0, 20.0, 30.0});
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[3], 4.0);
+}
+
+// ------------------------------ Trace I/O ---------------------------------
+
+TEST(TraceIoTest, BrokerRoundTrip) {
+  sim::DatasetConfig cfg;
+  cfg.num_brokers = 8;
+  Rng rng(7);
+  auto brokers = sim::GenerateBrokers(cfg, &rng);
+  std::string path =
+      (std::filesystem::temp_directory_path() / "lacb_brokers.csv").string();
+  ASSERT_TRUE(sim::ExportBrokersCsv(brokers, path).ok());
+  auto back = sim::ImportBrokersCsv(path);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), brokers.size());
+  for (size_t i = 0; i < brokers.size(); ++i) {
+    EXPECT_EQ((*back)[i].id, brokers[i].id);
+    EXPECT_DOUBLE_EQ((*back)[i].age, brokers[i].age);
+    EXPECT_EQ((*back)[i].education, brokers[i].education);
+    EXPECT_DOUBLE_EQ((*back)[i].latent.true_capacity,
+                     brokers[i].latent.true_capacity);
+    EXPECT_EQ((*back)[i].preference.district_affinity,
+              brokers[i].preference.district_affinity);
+    EXPECT_EQ((*back)[i].preference.housing_embedding,
+              brokers[i].preference.housing_embedding);
+    EXPECT_EQ((*back)[i].profile.served_clients,
+              brokers[i].profile.served_clients);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, RequestRoundTrip) {
+  sim::DatasetConfig cfg;
+  cfg.num_brokers = 20;
+  cfg.num_requests = 60;
+  cfg.num_days = 2;
+  cfg.imbalance = 0.3;
+  Rng rng(8);
+  auto requests = sim::GenerateRequests(cfg, &rng);
+  std::string path =
+      (std::filesystem::temp_directory_path() / "lacb_requests.csv").string();
+  ASSERT_TRUE(sim::ExportRequestsCsv(requests, path).ok());
+  auto back = sim::ImportRequestsCsv(path);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), requests.size());
+  size_t total = 0;
+  for (size_t d = 0; d < requests.size(); ++d) {
+    ASSERT_EQ((*back)[d].size(), requests[d].size());
+    for (size_t b = 0; b < requests[d].size(); ++b) {
+      ASSERT_EQ((*back)[d][b].size(), requests[d][b].size());
+      for (size_t i = 0; i < requests[d][b].size(); ++i) {
+        EXPECT_EQ((*back)[d][b][i].id, requests[d][b][i].id);
+        EXPECT_EQ((*back)[d][b][i].district, requests[d][b][i].district);
+        EXPECT_EQ((*back)[d][b][i].housing_embedding,
+                  requests[d][b][i].housing_embedding);
+        ++total;
+      }
+    }
+  }
+  EXPECT_EQ(total, 60u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, ImportRejectsGarbage) {
+  EXPECT_FALSE(sim::ImportBrokersCsv("/nonexistent/file.csv").ok());
+  std::string path =
+      (std::filesystem::temp_directory_path() / "lacb_bad.csv").string();
+  {
+    std::ofstream f(path);
+    f << "not,a,real,header\n";
+  }
+  EXPECT_FALSE(sim::ImportBrokersCsv(path).ok());
+  EXPECT_FALSE(sim::ImportRequestsCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+// ------------------------- Greedy & Flow policies -------------------------
+
+sim::DatasetConfig TinyConfig() {
+  sim::DatasetConfig cfg;
+  cfg.name = "tiny";
+  cfg.num_brokers = 25;
+  cfg.num_requests = 250;
+  cfg.num_days = 2;
+  cfg.imbalance = 0.2;
+  cfg.seed = 9;
+  return cfg;
+}
+
+TEST(GreedyPolicyTest, AssignsDistinctBrokersAndRespectsCap) {
+  policy::GreedyPolicy greedy;
+  EXPECT_EQ(greedy.name(), "Greedy");
+  policy::GreedyPolicy capped(2.0);
+  EXPECT_EQ(capped.name(), "Greedy-Cap");
+
+  la::Matrix u(2, 3);
+  u(0, 0) = 0.9;
+  u(0, 1) = 0.5;
+  u(0, 2) = 0.1;
+  u(1, 0) = 0.8;
+  u(1, 1) = 0.2;
+  u(1, 2) = 0.3;
+  std::vector<double> w = {2.0, 0.0, 0.0};  // broker 0 at the cap
+  std::vector<sim::Request> reqs(2);
+  policy::BatchInput input;
+  input.requests = &reqs;
+  input.utility = &u;
+  input.workloads = &w;
+
+  auto free_run = greedy.AssignBatch(input);
+  ASSERT_TRUE(free_run.ok());
+  EXPECT_EQ((*free_run)[0], 0);  // takes the overloaded best
+  EXPECT_EQ((*free_run)[1], 2);  // next-best free broker
+
+  auto capped_run = capped.AssignBatch(input);
+  ASSERT_TRUE(capped_run.ok());
+  EXPECT_EQ((*capped_run)[0], 1);  // broker 0 filtered by the cap
+  EXPECT_EQ((*capped_run)[1], 2);
+}
+
+TEST(GreedyPolicyTest, NeverBeatsKmOnBatchUtility) {
+  auto platform = sim::Platform::Create(TinyConfig());
+  ASSERT_TRUE(platform.ok());
+  ASSERT_TRUE(platform->StartDay(0).ok());
+  auto u = platform->BatchUtility(0);
+  ASSERT_TRUE(u.ok());
+  auto reqs = platform->BatchRequests(0);
+  ASSERT_TRUE(reqs.ok());
+  policy::BatchInput input;
+  input.requests = &*reqs;
+  input.utility = &*u;
+  input.workloads = &platform->workloads_today();
+  policy::GreedyPolicy greedy;
+  policy::KmPolicy km;
+  auto g = greedy.AssignBatch(input);
+  auto k = km.AssignBatch(input);
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(k.ok());
+  auto total = [&](const std::vector<int64_t>& a) {
+    double t = 0.0;
+    for (size_t r = 0; r < a.size(); ++r) {
+      if (a[r] >= 0) t += (*u)(r, static_cast<size_t>(a[r]));
+    }
+    return t;
+  };
+  EXPECT_LE(total(*g), total(*k) + 1e-9);
+}
+
+TEST(FlowPolicyTest, LifecycleAndCapacityRespect) {
+  policy::FlowPolicyConfig cfg;
+  cfg.estimator.bandit = core::DefaultBanditConfig(TinyConfig(), 10);
+  auto flow = policy::FlowPolicy::Create(cfg);
+  ASSERT_TRUE(flow.ok());
+  EXPECT_EQ((*flow)->name(), "Flow");
+
+  auto run = core::RunPolicy(TinyConfig(), flow->get());
+  ASSERT_TRUE(run.ok());
+  EXPECT_GT(run->total_utility, 0.0);
+  // Daily peaks stay within the largest candidate capacity.
+  double max_arm = 0.0;
+  for (double a : cfg.estimator.bandit.arm_values) max_arm = std::max(max_arm, a);
+  for (double peak : run->broker_peak_workload) {
+    EXPECT_LE(peak, max_arm + 1e-9);
+  }
+}
+
+TEST(FlowPolicyTest, AllowsMultipleRequestsPerBrokerPerBatch) {
+  // One strong broker with spare residual capacity must absorb several
+  // requests of a single batch — the capability VFGA's per-batch KM lacks.
+  sim::DatasetConfig data = TinyConfig();
+  data.num_brokers = 2;
+  data.num_requests = 20;
+  data.imbalance = 1.5;  // 3 per batch
+  policy::FlowPolicyConfig cfg;
+  cfg.estimator.bandit = core::DefaultBanditConfig(data, 11);
+  auto flow = policy::FlowPolicy::Create(cfg);
+  ASSERT_TRUE(flow.ok());
+  auto platform = sim::Platform::Create(data);
+  ASSERT_TRUE(platform.ok());
+  ASSERT_TRUE((*flow)->Initialize(*platform).ok());
+  ASSERT_TRUE((*flow)->BeginDay(*platform, 0).ok());
+
+  la::Matrix u(3, 2, 0.0);
+  for (size_t r = 0; r < 3; ++r) {
+    u(r, 0) = 0.9;  // broker 0 dominates every request
+    u(r, 1) = 0.1;
+  }
+  std::vector<double> w = {0.0, 0.0};
+  std::vector<sim::Request> reqs(3);
+  policy::BatchInput input;
+  input.requests = &reqs;
+  input.utility = &u;
+  input.workloads = &w;
+  auto a = (*flow)->AssignBatch(input);
+  ASSERT_TRUE(a.ok());
+  // All candidate capacities are >= 10, so broker 0 takes every request.
+  EXPECT_EQ((*a)[0], 0);
+  EXPECT_EQ((*a)[1], 0);
+  EXPECT_EQ((*a)[2], 0);
+}
+
+TEST(FlowPolicyTest, RejectsMismatchedBatchWidth) {
+  policy::FlowPolicyConfig cfg;
+  sim::DatasetConfig data = TinyConfig();
+  cfg.estimator.bandit = core::DefaultBanditConfig(data, 12);
+  auto flow = policy::FlowPolicy::Create(cfg);
+  ASSERT_TRUE(flow.ok());
+  la::Matrix u(1, 3, 0.5);
+  std::vector<double> w(3, 0.0);
+  std::vector<sim::Request> reqs(1);
+  policy::BatchInput input;
+  input.requests = &reqs;
+  input.utility = &u;
+  input.workloads = &w;
+  // AssignBatch before Initialize/BeginDay must fail cleanly.
+  EXPECT_FALSE((*flow)->AssignBatch(input).ok());
+}
+
+}  // namespace
+}  // namespace lacb

@@ -1,0 +1,265 @@
+// Tests for the gradient-boosted-trees substrate and the learned utility
+// model built on it.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "lacb/common/rng.h"
+#include "lacb/gbdt/booster.h"
+#include "lacb/sim/dataset.h"
+#include "lacb/sim/learned_utility.h"
+#include "lacb/sim/utility_model.h"
+
+namespace lacb::gbdt {
+namespace {
+
+using Rows = std::vector<std::vector<double>>;
+
+TEST(RegressionTreeTest, FitValidation) {
+  TreeConfig cfg;
+  EXPECT_FALSE(RegressionTree::Fit({}, {}, cfg).ok());
+  EXPECT_FALSE(RegressionTree::Fit({{1.0}}, {1.0, 2.0}, cfg).ok());
+  EXPECT_FALSE(RegressionTree::Fit({{1.0}, {}}, {1.0, 2.0}, cfg).ok());
+  cfg.min_samples_per_leaf = 0;
+  EXPECT_FALSE(RegressionTree::Fit({{1.0}}, {1.0}, cfg).ok());
+}
+
+TEST(RegressionTreeTest, LearnsStepFunction) {
+  Rows x;
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    double v = i / 100.0;
+    x.push_back({v});
+    y.push_back(v < 0.5 ? 1.0 : 3.0);
+  }
+  TreeConfig cfg;
+  cfg.max_depth = 2;
+  cfg.min_samples_per_leaf = 4;
+  cfg.leaf_l2 = 0.0;
+  auto tree = RegressionTree::Fit(x, y, cfg);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_NEAR(tree->Predict({0.2}).value(), 1.0, 0.05);
+  EXPECT_NEAR(tree->Predict({0.8}).value(), 3.0, 0.05);
+}
+
+TEST(RegressionTreeTest, RespectsDepthLimit) {
+  Rng rng(1);
+  Rows x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    double v = rng.Uniform();
+    x.push_back({v});
+    y.push_back(std::sin(6.0 * v));
+  }
+  TreeConfig cfg;
+  cfg.max_depth = 1;  // a stump: at most 3 nodes
+  cfg.leaf_l2 = 0.0;
+  auto tree = RegressionTree::Fit(x, y, cfg);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_LE(tree->num_nodes(), 3u);
+}
+
+TEST(RegressionTreeTest, LeafL2ShrinksPredictions) {
+  Rows x = {{0.0}, {0.0}, {0.0}, {0.0}};
+  std::vector<double> y = {2.0, 2.0, 2.0, 2.0};
+  TreeConfig strong;
+  strong.leaf_l2 = 4.0;  // leaf = 8 / (4 + 4) = 1
+  strong.min_samples_per_leaf = 1;
+  auto tree = RegressionTree::Fit(x, y, strong);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_NEAR(tree->Predict({0.0}).value(), 1.0, 1e-12);
+}
+
+TEST(RegressionTreeTest, PredictValidatesArity) {
+  auto tree = RegressionTree::Fit({{1.0, 2.0}, {3.0, 4.0}}, {1.0, 2.0},
+                                  TreeConfig{.max_depth = 1,
+                                             .min_samples_per_leaf = 1});
+  ASSERT_TRUE(tree.ok());
+  EXPECT_FALSE(tree->Predict({1.0}).ok());
+}
+
+TEST(BoosterTest, FitValidation) {
+  BoosterConfig cfg;
+  EXPECT_FALSE(Booster::Fit({}, {}, cfg).ok());
+  cfg.shrinkage = 0.0;
+  EXPECT_FALSE(Booster::Fit({{1.0}}, {1.0}, cfg).ok());
+  cfg = BoosterConfig{};
+  cfg.early_stopping_rounds = 5;  // without a validation fraction
+  EXPECT_FALSE(Booster::Fit({{1.0}}, {1.0}, cfg).ok());
+}
+
+TEST(BoosterTest, FitsNonlinearFunction) {
+  Rng rng(2);
+  Rows x;
+  std::vector<double> y;
+  for (int i = 0; i < 600; ++i) {
+    double a = rng.Uniform();
+    double b = rng.Uniform();
+    x.push_back({a, b});
+    y.push_back(std::sin(4.0 * a) * b + 0.5 * a);
+  }
+  BoosterConfig cfg;
+  cfg.num_rounds = 150;
+  cfg.tree.max_depth = 4;
+  cfg.tree.min_samples_per_leaf = 8;
+  auto model = Booster::Fit(x, y, cfg);
+  ASSERT_TRUE(model.ok());
+  auto mse = model->MeanSquaredError(x, y);
+  ASSERT_TRUE(mse.ok());
+  EXPECT_LT(*mse, 0.005);
+  // Beats the constant predictor by a wide margin.
+  double mean = 0.0;
+  for (double v : y) mean += v;
+  mean /= y.size();
+  double var = 0.0;
+  for (double v : y) var += (v - mean) * (v - mean);
+  var /= y.size();
+  EXPECT_LT(*mse, 0.1 * var);
+}
+
+TEST(BoosterTest, EarlyStoppingTruncatesEnsemble) {
+  Rng rng(3);
+  Rows x;
+  std::vector<double> y;
+  for (int i = 0; i < 300; ++i) {
+    double a = rng.Uniform();
+    x.push_back({a});
+    y.push_back(a + rng.Normal(0.0, 0.5));  // mostly noise
+  }
+  BoosterConfig with_stop;
+  with_stop.num_rounds = 200;
+  with_stop.early_stopping_rounds = 5;
+  with_stop.validation_fraction = 0.25;
+  auto stopped = Booster::Fit(x, y, with_stop);
+  ASSERT_TRUE(stopped.ok());
+  EXPECT_LT(stopped->num_trees(), 200u);
+}
+
+TEST(BoosterTest, MoreRoundsReduceTrainError) {
+  Rng rng(4);
+  Rows x;
+  std::vector<double> y;
+  for (int i = 0; i < 300; ++i) {
+    double a = rng.Uniform();
+    x.push_back({a});
+    y.push_back(a * a);
+  }
+  BoosterConfig small;
+  small.num_rounds = 5;
+  BoosterConfig large;
+  large.num_rounds = 80;
+  auto m_small = Booster::Fit(x, y, small);
+  auto m_large = Booster::Fit(x, y, large);
+  ASSERT_TRUE(m_small.ok());
+  ASSERT_TRUE(m_large.ok());
+  EXPECT_LT(m_large->MeanSquaredError(x, y).value(),
+            m_small->MeanSquaredError(x, y).value());
+}
+
+}  // namespace
+}  // namespace lacb::gbdt
+
+namespace lacb::sim {
+namespace {
+
+// Builds a synthetic assignment log by querying the oracle utility model
+// on random pairs (realized utility = oracle value + noise).
+std::vector<AssignmentLogEntry> MakeLog(const std::vector<Broker>& brokers,
+                                        const DatasetConfig& cfg,
+                                        size_t entries, Rng* rng) {
+  auto requests = GenerateRequests(cfg, rng);
+  UtilityModel oracle = UtilityModel::Create(brokers).value();
+  std::vector<AssignmentLogEntry> log;
+  for (const auto& day : requests) {
+    for (const auto& batch : day) {
+      for (const Request& q : batch) {
+        if (log.size() >= entries) return log;
+        AssignmentLogEntry e;
+        e.request = q;
+        e.broker = static_cast<size_t>(rng->UniformInt(
+            0, static_cast<int64_t>(brokers.size()) - 1));
+        e.realized_utility = std::clamp(
+            oracle.Utility(q, brokers[e.broker]) + rng->Normal(0.0, 0.02),
+            0.0, 1.0);
+        log.push_back(std::move(e));
+      }
+    }
+  }
+  return log;
+}
+
+TEST(LearnedUtilityTest, RecoversOracleRanking) {
+  DatasetConfig cfg;
+  cfg.num_brokers = 40;
+  cfg.num_requests = 3000;
+  cfg.num_days = 3;
+  cfg.imbalance = 0.5;
+  cfg.seed = 11;
+  Rng rng(cfg.seed);
+  auto brokers = GenerateBrokers(cfg, &rng);
+  auto log = MakeLog(brokers, cfg, 2400, &rng);
+  ASSERT_GE(log.size(), 2000u);
+
+  // Train on the first 2000 entries, evaluate on the rest.
+  std::vector<AssignmentLogEntry> train(log.begin(), log.begin() + 2000);
+  std::vector<AssignmentLogEntry> test(log.begin() + 2000, log.end());
+  auto model = LearnedUtilityModel::Train(train, brokers);
+  ASSERT_TRUE(model.ok());
+  auto mse = model->Evaluate(test, brokers);
+  ASSERT_TRUE(mse.ok());
+  EXPECT_LT(*mse, 0.01);
+
+  // Ranking fidelity: for random pairs of brokers, the learned model picks
+  // the oracle-better broker most of the time.
+  UtilityModel oracle = UtilityModel::Create(brokers).value();
+  size_t agree = 0;
+  const size_t kPairs = 200;
+  for (size_t i = 0; i < kPairs; ++i) {
+    const Request& q = log[i % log.size()].request;
+    size_t a = static_cast<size_t>(rng.UniformInt(0, 39));
+    size_t b = static_cast<size_t>(rng.UniformInt(0, 39));
+    if (a == b) {
+      ++agree;
+      continue;
+    }
+    bool oracle_prefers_a =
+        oracle.Utility(q, brokers[a]) > oracle.Utility(q, brokers[b]);
+    bool model_prefers_a = model->Utility(q, brokers[a]).value() >
+                           model->Utility(q, brokers[b]).value();
+    if (oracle_prefers_a == model_prefers_a) ++agree;
+  }
+  EXPECT_GT(agree, kPairs * 3 / 4);
+}
+
+TEST(LearnedUtilityTest, Validation) {
+  DatasetConfig cfg;
+  cfg.num_brokers = 5;
+  Rng rng(1);
+  auto brokers = GenerateBrokers(cfg, &rng);
+  EXPECT_FALSE(LearnedUtilityModel::Train({}, brokers).ok());
+  std::vector<AssignmentLogEntry> bad(200);
+  for (auto& e : bad) e.broker = 99;  // unknown broker
+  EXPECT_FALSE(LearnedUtilityModel::Train(bad, brokers).ok());
+}
+
+TEST(LearnedUtilityTest, FeatureVectorUsesOnlyObservables) {
+  DatasetConfig cfg;
+  cfg.num_brokers = 2;
+  Rng rng(2);
+  auto brokers = GenerateBrokers(cfg, &rng);
+  Request q;
+  q.district = 0;
+  q.housing_embedding = brokers[0].preference.housing_embedding;
+  q.pickiness = 0.5;
+  auto f1 = LearnedUtilityModel::PairFeatures(q, brokers[0]);
+  // Mutating latent fields must not change the features.
+  Broker mutated = brokers[0];
+  mutated.latent.base_quality *= 10.0;
+  mutated.latent.true_capacity = 1.0;
+  auto f2 = LearnedUtilityModel::PairFeatures(q, mutated);
+  EXPECT_EQ(f1, f2);
+}
+
+}  // namespace
+}  // namespace lacb::sim

@@ -1,0 +1,243 @@
+// Unit tests for lacb/matching: Kuhn–Munkres assignment (cross-checked
+// against brute force and min-cost flow), padding equivalence (the paper's
+// dummy-vertex construction), greedy, and the MCMF solver itself.
+
+#include <gtest/gtest.h>
+
+#include "lacb/common/rng.h"
+#include "lacb/matching/assignment.h"
+#include "lacb/matching/min_cost_flow.h"
+
+namespace lacb::matching {
+namespace {
+
+la::Matrix RandomWeights(size_t rows, size_t cols, Rng* rng) {
+  la::Matrix w(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) w(r, c) = rng->Uniform();
+  }
+  return w;
+}
+
+TEST(AssignmentTest, TrivialCases) {
+  la::Matrix empty(0, 0);
+  auto a = MaxWeightAssignment(empty);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->total_weight, 0.0);
+  EXPECT_TRUE(a->col_of_row.empty());
+
+  la::Matrix one(1, 1);
+  one(0, 0) = 0.7;
+  a = MaxWeightAssignment(one);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->col_of_row[0], 0);
+  EXPECT_DOUBLE_EQ(a->total_weight, 0.7);
+}
+
+TEST(AssignmentTest, RejectsMoreRowsThanCols) {
+  EXPECT_FALSE(MaxWeightAssignment(la::Matrix(3, 2)).ok());
+  EXPECT_FALSE(PadToSquare(la::Matrix(3, 2)).ok());
+  EXPECT_FALSE(BruteForceAssignment(la::Matrix(3, 2)).ok());
+}
+
+TEST(AssignmentTest, PaperWorkedExample) {
+  // Fig. 7 of the paper: after refinement, u = [[0.25, 0.45], [0.4, 0.5]];
+  // the optimal matching is {(b1,r2),(b2,r1)} = rows to cols {(0,1),(1,0)}.
+  la::Matrix u(2, 2);
+  u(0, 0) = 0.25;
+  u(0, 1) = 0.45;
+  u(1, 0) = 0.4;
+  u(1, 1) = 0.5;
+  auto a = MaxWeightAssignment(u);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->col_of_row[0], 1);
+  EXPECT_EQ(a->col_of_row[1], 0);
+  EXPECT_NEAR(a->total_weight, 0.85, 1e-12);
+}
+
+TEST(AssignmentTest, MatchesBruteForceOnRandomSquares) {
+  Rng rng(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    size_t n = 2 + static_cast<size_t>(rng.UniformInt(0, 5));
+    la::Matrix w = RandomWeights(n, n, &rng);
+    auto km = MaxWeightAssignment(w);
+    auto bf = BruteForceAssignment(w);
+    ASSERT_TRUE(km.ok());
+    ASSERT_TRUE(bf.ok());
+    EXPECT_NEAR(km->total_weight, bf->total_weight, 1e-9) << "n=" << n;
+  }
+}
+
+TEST(AssignmentTest, MatchesBruteForceOnRectangles) {
+  Rng rng(2);
+  for (int trial = 0; trial < 30; ++trial) {
+    size_t rows = 1 + static_cast<size_t>(rng.UniformInt(0, 4));
+    size_t cols = rows + static_cast<size_t>(rng.UniformInt(0, 4));
+    la::Matrix w = RandomWeights(rows, cols, &rng);
+    auto km = MaxWeightAssignment(w);
+    auto bf = BruteForceAssignment(w);
+    ASSERT_TRUE(km.ok());
+    ASSERT_TRUE(bf.ok());
+    EXPECT_NEAR(km->total_weight, bf->total_weight, 1e-9);
+  }
+}
+
+TEST(AssignmentTest, HandlesNegativeWeights) {
+  // Refined utilities (Eq. 15) can be negative; every row must still match.
+  la::Matrix w(2, 2);
+  w(0, 0) = -1.0;
+  w(0, 1) = -3.0;
+  w(1, 0) = -2.0;
+  w(1, 1) = -1.5;
+  auto a = MaxWeightAssignment(w);
+  ASSERT_TRUE(a.ok());
+  EXPECT_NEAR(a->total_weight, -2.5, 1e-12);  // (-1.0) + (-1.5)
+  EXPECT_EQ(a->col_of_row[0], 0);
+  EXPECT_EQ(a->col_of_row[1], 1);
+}
+
+// Dummy padding (the paper's balanced-graph construction) must not change
+// the optimal total weight over the real rows.
+TEST(AssignmentTest, PaddingPreservesOptimalValue) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t rows = 2 + static_cast<size_t>(rng.UniformInt(0, 3));
+    size_t cols = rows + 1 + static_cast<size_t>(rng.UniformInt(0, 4));
+    la::Matrix w = RandomWeights(rows, cols, &rng);
+    auto rect = MaxWeightAssignment(w);
+    auto padded_m = PadToSquare(w);
+    ASSERT_TRUE(padded_m.ok());
+    auto padded = MaxWeightAssignment(*padded_m);
+    ASSERT_TRUE(rect.ok());
+    ASSERT_TRUE(padded.ok());
+    // Dummy rows have zero weight, so totals agree.
+    EXPECT_NEAR(rect->total_weight, padded->total_weight, 1e-9);
+  }
+}
+
+TEST(AssignmentTest, AllowSkipDropsNegativeEdges) {
+  la::Matrix w(2, 2);
+  w(0, 0) = 0.5;
+  w(0, 1) = -0.2;
+  w(1, 0) = -0.4;
+  w(1, 1) = -0.1;
+  auto a = MaxWeightAssignmentAllowSkip(w);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->col_of_row[0], 0);
+  EXPECT_EQ(a->col_of_row[1], kUnmatched);
+  EXPECT_NEAR(a->total_weight, 0.5, 1e-12);
+}
+
+TEST(AssignmentTest, GreedyIsFeasibleAndNeverBeatsOptimal) {
+  Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    la::Matrix w = RandomWeights(5, 8, &rng);
+    auto greedy = GreedyAssignment(w);
+    auto opt = MaxWeightAssignment(w);
+    ASSERT_TRUE(greedy.ok());
+    ASSERT_TRUE(opt.ok());
+    EXPECT_LE(greedy->total_weight, opt->total_weight + 1e-9);
+    // Feasibility: no column reused.
+    std::vector<bool> used(8, false);
+    for (int64_t c : greedy->col_of_row) {
+      ASSERT_NE(c, kUnmatched);
+      EXPECT_FALSE(used[static_cast<size_t>(c)]);
+      used[static_cast<size_t>(c)] = true;
+    }
+  }
+}
+
+TEST(MinCostFlowTest, SimplePath) {
+  MinCostFlow g(3);
+  auto e0 = g.AddEdge(0, 1, 5, 1.0);
+  auto e1 = g.AddEdge(1, 2, 3, 2.0);
+  ASSERT_TRUE(e0.ok());
+  ASSERT_TRUE(e1.ok());
+  auto r = g.Solve(0, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->flow, 3);
+  EXPECT_DOUBLE_EQ(r->cost, 9.0);
+  EXPECT_EQ(g.FlowOn(*e0).value(), 3);
+  EXPECT_EQ(g.FlowOn(*e1).value(), 3);
+}
+
+TEST(MinCostFlowTest, PrefersCheaperPath) {
+  MinCostFlow g(4);
+  ASSERT_TRUE(g.AddEdge(0, 1, 1, 10.0).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2, 1, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(1, 3, 1, 0.0).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3, 1, 0.0).ok());
+  auto r = g.Solve(0, 3, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->flow, 1);
+  EXPECT_DOUBLE_EQ(r->cost, 1.0);
+}
+
+TEST(MinCostFlowTest, HandlesNegativeCosts) {
+  MinCostFlow g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1, 2, -5.0).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2, 2, 1.0).ok());
+  auto r = g.Solve(0, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->flow, 2);
+  EXPECT_DOUBLE_EQ(r->cost, -8.0);
+}
+
+TEST(MinCostFlowTest, Validation) {
+  MinCostFlow g(2);
+  EXPECT_FALSE(g.AddEdge(0, 5, 1, 0.0).ok());
+  EXPECT_FALSE(g.AddEdge(0, 1, -1, 0.0).ok());
+  EXPECT_FALSE(g.Solve(0, 0).ok());
+  EXPECT_FALSE(g.Solve(0, 9).ok());
+  EXPECT_FALSE(g.FlowOn(42).ok());
+}
+
+// Independent oracle: assignment via min-cost flow must equal KM.
+TEST(MinCostFlowTest, AgreesWithKuhnMunkresOnAssignment) {
+  Rng rng(5);
+  for (int trial = 0; trial < 15; ++trial) {
+    size_t n = 3 + static_cast<size_t>(rng.UniformInt(0, 4));
+    la::Matrix w = RandomWeights(n, n, &rng);
+    auto km = MaxWeightAssignment(w);
+    ASSERT_TRUE(km.ok());
+    // Flow network: source(0) -> rows -> cols -> sink; costs negated.
+    size_t source = 0;
+    size_t sink = 1 + 2 * n;
+    MinCostFlow g(sink + 1);
+    for (size_t r = 0; r < n; ++r) {
+      ASSERT_TRUE(g.AddEdge(source, 1 + r, 1, 0.0).ok());
+      for (size_t c = 0; c < n; ++c) {
+        ASSERT_TRUE(g.AddEdge(1 + r, 1 + n + c, 1, -w(r, c)).ok());
+      }
+    }
+    for (size_t c = 0; c < n; ++c) {
+      ASSERT_TRUE(g.AddEdge(1 + n + c, sink, 1, 0.0).ok());
+    }
+    auto r = g.Solve(source, sink);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->flow, static_cast<int64_t>(n));
+    EXPECT_NEAR(-r->cost, km->total_weight, 1e-9);
+  }
+}
+
+// Capacity-constrained extension: a broker column with capacity k can take
+// up to k requests — MCMF solves what per-batch KM cannot express.
+TEST(MinCostFlowTest, MultiCapacityAssignment) {
+  // 3 requests, 1 broker with capacity 2 and 1 broker with capacity 1.
+  // Utilities: broker0 = 1.0 each, broker1 = 0.4 each.
+  MinCostFlow g(7);  // 0 src, 1-3 requests, 4-5 brokers, 6 sink
+  for (size_t r = 1; r <= 3; ++r) {
+    ASSERT_TRUE(g.AddEdge(0, r, 1, 0.0).ok());
+    ASSERT_TRUE(g.AddEdge(r, 4, 1, -1.0).ok());
+    ASSERT_TRUE(g.AddEdge(r, 5, 1, -0.4).ok());
+  }
+  ASSERT_TRUE(g.AddEdge(4, 6, 2, 0.0).ok());
+  ASSERT_TRUE(g.AddEdge(5, 6, 1, 0.0).ok());
+  auto r = g.Solve(0, 6);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->flow, 3);
+  EXPECT_NEAR(-r->cost, 2.4, 1e-12);  // 1.0 + 1.0 + 0.4
+}
+
+}  // namespace
+}  // namespace lacb::matching

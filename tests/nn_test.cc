@@ -1,0 +1,264 @@
+// Unit tests for lacb/nn: forward correctness, gradient checking (both the
+// parameter gradient used by Eq. 5 and the loss gradient of Eq. 6),
+// freezing, optimizers, and end-to-end regression fitting.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "lacb/nn/mlp.h"
+#include "lacb/nn/optimizer.h"
+
+namespace lacb::nn {
+namespace {
+
+MlpConfig SmallConfig() {
+  MlpConfig c;
+  c.layer_sizes = {3, 5, 4};  // 3 -> 5 -> 4 -> 1
+  c.use_bias = true;
+  return c;
+}
+
+TEST(MlpTest, CreateValidation) {
+  Rng rng(1);
+  MlpConfig bad;
+  EXPECT_FALSE(Mlp::Create(bad, &rng).ok());
+  bad.layer_sizes = {3, 0};
+  EXPECT_FALSE(Mlp::Create(bad, &rng).ok());
+}
+
+TEST(MlpTest, ParamCount) {
+  Rng rng(1);
+  auto net = Mlp::Create(SmallConfig(), &rng);
+  ASSERT_TRUE(net.ok());
+  // (3*5+5) + (5*4+4) + (4*1+1) = 20 + 24 + 5 = 49.
+  EXPECT_EQ(net->num_params(), 49u);
+  EXPECT_EQ(net->input_dim(), 3u);
+  EXPECT_EQ(net->num_layers(), 3u);
+}
+
+TEST(MlpTest, ForwardMatchesManualSingleLayer) {
+  Rng rng(2);
+  MlpConfig c;
+  c.layer_sizes = {2};  // 2 -> 1, purely linear
+  c.use_bias = true;
+  auto net = Mlp::Create(c, &rng);
+  ASSERT_TRUE(net.ok());
+  ASSERT_TRUE(net->SetParams({0.5, -1.5, 0.25}).ok());  // w0 w1 b
+  auto y = net->Forward({2.0, 1.0});
+  ASSERT_TRUE(y.ok());
+  EXPECT_NEAR(*y, 0.5 * 2.0 - 1.5 * 1.0 + 0.25, 1e-12);
+}
+
+TEST(MlpTest, ForwardReluClips) {
+  Rng rng(3);
+  MlpConfig c;
+  c.layer_sizes = {1, 1};  // 1 -> 1 -> 1 with ReLU in between
+  c.use_bias = false;
+  auto net = Mlp::Create(c, &rng);
+  ASSERT_TRUE(net.ok());
+  ASSERT_TRUE(net->SetParams({1.0, 2.0}).ok());  // hidden w, output w
+  EXPECT_NEAR(net->Forward({3.0}).value(), 6.0, 1e-12);
+  EXPECT_NEAR(net->Forward({-3.0}).value(), 0.0, 1e-12);  // ReLU kills it
+}
+
+TEST(MlpTest, ForwardRejectsWrongDim) {
+  Rng rng(4);
+  auto net = Mlp::Create(SmallConfig(), &rng);
+  ASSERT_TRUE(net.ok());
+  EXPECT_FALSE(net->Forward({1.0}).ok());
+}
+
+// Sets every parameter to a smooth deterministic pattern so no ReLU unit
+// sits exactly on its kink (zero-initialized biases can leave pre-activations
+// at exactly 0, where the subgradient and a central finite difference
+// legitimately disagree).
+void SetSmoothParams(Mlp* net) {
+  la::Vector p(net->num_params());
+  for (size_t i = 0; i < p.size(); ++i) {
+    p[i] = 0.3 * std::sin(static_cast<double>(i) + 1.0) + 0.05;
+  }
+  ASSERT_TRUE(net->SetParams(p).ok());
+}
+
+// Finite-difference check of the parameter gradient g_θ(x) = ∇_θ S_θ(x).
+TEST(MlpTest, ParamGradientMatchesFiniteDifference) {
+  Rng rng(5);
+  auto net = Mlp::Create(SmallConfig(), &rng);
+  ASSERT_TRUE(net.ok());
+  SetSmoothParams(&*net);
+  la::Vector x = {0.7, -0.2, 0.4};
+  auto grad = net->ParamGradient(x);
+  ASSERT_TRUE(grad.ok());
+  la::Vector params = net->params();
+  const double eps = 1e-6;
+  for (size_t i = 0; i < params.size(); i += 3) {  // spot-check every 3rd
+    la::Vector p = params;
+    p[i] += eps;
+    ASSERT_TRUE(net->SetParams(p).ok());
+    double up = net->Forward(x).value();
+    p[i] -= 2 * eps;
+    ASSERT_TRUE(net->SetParams(p).ok());
+    double down = net->Forward(x).value();
+    ASSERT_TRUE(net->SetParams(params).ok());
+    double fd = (up - down) / (2 * eps);
+    EXPECT_NEAR((*grad)[i], fd, 1e-4) << "param " << i;
+  }
+}
+
+TEST(MlpTest, LossGradientMatchesFiniteDifference) {
+  Rng rng(6);
+  auto net = Mlp::Create(SmallConfig(), &rng);
+  ASSERT_TRUE(net.ok());
+  SetSmoothParams(&*net);
+  std::vector<Example> batch = {
+      {{0.1, 0.2, 0.3}, 0.5},
+      {{-0.4, 0.9, 0.0}, -0.2},
+      {{1.0, -1.0, 0.5}, 0.8},
+  };
+  const double l2 = 0.01;
+  auto grad = net->LossGradient(batch, l2);
+  ASSERT_TRUE(grad.ok());
+  la::Vector params = net->params();
+  const double eps = 1e-6;
+  for (size_t i = 0; i < params.size(); i += 5) {
+    la::Vector p = params;
+    p[i] += eps;
+    ASSERT_TRUE(net->SetParams(p).ok());
+    double up = net->Loss(batch, l2).value();
+    p[i] -= 2 * eps;
+    ASSERT_TRUE(net->SetParams(p).ok());
+    double down = net->Loss(batch, l2).value();
+    ASSERT_TRUE(net->SetParams(params).ok());
+    double fd = (up - down) / (2 * eps);
+    EXPECT_NEAR((*grad)[i], fd, 1e-4) << "param " << i;
+  }
+}
+
+TEST(MlpTest, FrozenLayersReceiveNoUpdate) {
+  Rng rng(7);
+  auto net = Mlp::Create(SmallConfig(), &rng);
+  ASSERT_TRUE(net.ok());
+  // Freeze all but the last layer (the paper's layer transfer).
+  ASSERT_TRUE(net->SetLayerTrainable(0, false).ok());
+  ASSERT_TRUE(net->SetLayerTrainable(1, false).ok());
+  la::Vector before = net->params();
+  la::Vector grad(net->num_params(), 1.0);
+  ASSERT_TRUE(net->ApplyGradient(grad).ok());
+  la::Vector after = net->params();
+  auto span0 = net->LayerParamSpan(0).value();
+  auto span1 = net->LayerParamSpan(1).value();
+  auto span2 = net->LayerParamSpan(2).value();
+  for (size_t i = span0.begin; i < span1.end; ++i) {
+    EXPECT_DOUBLE_EQ(before[i], after[i]) << "frozen param " << i;
+  }
+  for (size_t i = span2.begin; i < span2.end; ++i) {
+    EXPECT_DOUBLE_EQ(before[i] - 1.0, after[i]) << "trainable param " << i;
+  }
+  EXPECT_FALSE(net->SetLayerTrainable(9, true).ok());
+  EXPECT_FALSE(net->LayerParamSpan(9).ok());
+}
+
+TEST(MlpTest, LayerSpansPartitionParams) {
+  Rng rng(8);
+  auto net = Mlp::Create(SmallConfig(), &rng);
+  ASSERT_TRUE(net.ok());
+  size_t covered = 0;
+  for (size_t l = 0; l < net->num_layers(); ++l) {
+    auto span = net->LayerParamSpan(l).value();
+    EXPECT_EQ(span.begin, covered);
+    covered = span.end;
+  }
+  EXPECT_EQ(covered, net->num_params());
+}
+
+TEST(MlpTest, MaxLayerOperatorNormPositive) {
+  Rng rng(9);
+  auto net = Mlp::Create(SmallConfig(), &rng);
+  ASSERT_TRUE(net.ok());
+  EXPECT_GT(net->MaxLayerOperatorNorm(), 0.0);
+}
+
+TEST(SgdTest, FitsLinearFunction) {
+  Rng rng(10);
+  MlpConfig c;
+  c.layer_sizes = {2};  // linear model
+  auto net = Mlp::Create(c, &rng);
+  ASSERT_TRUE(net.ok());
+  // Target: y = 2 x0 − x1 + 0.5.
+  std::vector<Example> data;
+  Rng data_rng(11);
+  for (int i = 0; i < 50; ++i) {
+    la::Vector x = {data_rng.Uniform(-1, 1), data_rng.Uniform(-1, 1)};
+    data.push_back({x, 2 * x[0] - x[1] + 0.5});
+  }
+  Sgd opt(0.01);
+  auto loss = TrainFullBatch(data, 0.0, 500, &opt, &*net);
+  ASSERT_TRUE(loss.ok());
+  EXPECT_LT(*loss, 1e-3);
+  EXPECT_NEAR(net->params()[0], 2.0, 0.05);
+  EXPECT_NEAR(net->params()[1], -1.0, 0.05);
+  EXPECT_NEAR(net->params()[2], 0.5, 0.05);
+}
+
+TEST(AdamTest, FitsNonlinearFunction) {
+  Rng rng(12);
+  MlpConfig c;
+  c.layer_sizes = {1, 16, 16};
+  auto net = Mlp::Create(c, &rng);
+  ASSERT_TRUE(net.ok());
+  // Target: the capacity-knee shape quality(w) = 1 for w<0.5, declining after.
+  std::vector<Example> data;
+  for (int i = 0; i <= 40; ++i) {
+    double w = i / 40.0;
+    double y = w < 0.5 ? 1.0 : 1.0 / (1.0 + 6.0 * (w - 0.5));
+    data.push_back({{w}, y});
+  }
+  Adam opt(0.01);
+  auto loss = TrainFullBatch(data, 0.0, 800, &opt, &*net);
+  ASSERT_TRUE(loss.ok());
+  EXPECT_LT(*loss / data.size(), 5e-3);
+  // The fitted curve must decline past the knee.
+  EXPECT_GT(net->Forward({0.3}).value(), net->Forward({0.95}).value());
+}
+
+TEST(OptimizerTest, StepValidatesSize) {
+  Rng rng(13);
+  auto net = Mlp::Create(SmallConfig(), &rng);
+  ASSERT_TRUE(net.ok());
+  Sgd sgd(0.1);
+  Adam adam(0.1);
+  la::Vector wrong(3, 0.0);
+  EXPECT_FALSE(sgd.Step(wrong, &*net).ok());
+  EXPECT_FALSE(adam.Step(wrong, &*net).ok());
+}
+
+TEST(OptimizerTest, MomentumAcceleratesDescent) {
+  Rng rng(14);
+  MlpConfig c;
+  c.layer_sizes = {1};
+  auto net1 = Mlp::Create(c, &rng);
+  Rng rng2(14);
+  auto net2 = Mlp::Create(c, &rng2);
+  ASSERT_TRUE(net1.ok());
+  ASSERT_TRUE(net2.ok());
+  std::vector<Example> data = {{{1.0}, 5.0}};
+  Sgd plain(0.01);
+  Sgd momentum(0.01, 0.9);
+  auto l1 = TrainFullBatch(data, 0.0, 30, &plain, &*net1);
+  auto l2 = TrainFullBatch(data, 0.0, 30, &momentum, &*net2);
+  ASSERT_TRUE(l1.ok());
+  ASSERT_TRUE(l2.ok());
+  EXPECT_LT(*l2, *l1);
+}
+
+TEST(TrainFullBatchTest, RejectsEmptyData) {
+  Rng rng(15);
+  auto net = Mlp::Create(SmallConfig(), &rng);
+  ASSERT_TRUE(net.ok());
+  Sgd opt(0.1);
+  EXPECT_FALSE(TrainFullBatch({}, 0.0, 10, &opt, &*net).ok());
+}
+
+}  // namespace
+}  // namespace lacb::nn

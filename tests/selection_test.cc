@@ -1,0 +1,138 @@
+// Unit tests for lacb/matching/selection: the CBS quickselect (Alg. 3) and
+// the Theorem-2 exactness guarantee (pruned assignment == full assignment).
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "lacb/common/rng.h"
+#include "lacb/matching/assignment.h"
+#include "lacb/matching/selection.h"
+
+namespace lacb::matching {
+namespace {
+
+TEST(SelectTopKTest, BasicCorrectness) {
+  Rng rng(1);
+  std::vector<double> u = {0.1, 0.9, 0.5, 0.7, 0.3};
+  auto top = SelectTopK(u, 2, &rng);
+  ASSERT_TRUE(top.ok());
+  std::set<size_t> got(top->begin(), top->end());
+  EXPECT_EQ(got, (std::set<size_t>{1, 3}));
+}
+
+TEST(SelectTopKTest, KZeroAndKTooLarge) {
+  Rng rng(2);
+  std::vector<double> u = {0.1, 0.2};
+  EXPECT_TRUE(SelectTopK(u, 0, &rng)->empty());
+  auto all = SelectTopK(u, 10, &rng);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 2u);
+  EXPECT_FALSE(SelectTopK(u, 1, nullptr).ok());
+}
+
+TEST(SelectTopKTest, AllEqualValuesTerminates) {
+  Rng rng(3);
+  std::vector<double> u(100, 0.5);
+  auto top = SelectTopK(u, 7, &rng);
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(top->size(), 7u);
+}
+
+TEST(SelectTopKTest, MatchesSortOracleOnRandomInputs) {
+  Rng rng(4);
+  for (int trial = 0; trial < 40; ++trial) {
+    size_t n = 1 + static_cast<size_t>(rng.UniformInt(0, 200));
+    size_t k = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(n)));
+    std::vector<double> u(n);
+    for (double& v : u) v = rng.Uniform();
+    auto top = SelectTopK(u, k, &rng);
+    ASSERT_TRUE(top.ok());
+    ASSERT_EQ(top->size(), k);
+    // The k-th largest value is a threshold every selected index must meet.
+    std::vector<double> sorted = u;
+    std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+    double threshold = k == 0 ? 1e18 : sorted[k - 1];
+    std::set<size_t> distinct(top->begin(), top->end());
+    EXPECT_EQ(distinct.size(), k) << "duplicates returned";
+    for (size_t idx : *top) {
+      EXPECT_GE(u[idx], threshold - 1e-12);
+    }
+  }
+}
+
+TEST(CandidateColumnsTest, CoversAtLeastRowsAndDedups) {
+  Rng rng(5);
+  la::Matrix u(3, 10);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 10; ++c) u(r, c) = rng.Uniform();
+  }
+  auto cols = CandidateColumns(u, &rng);
+  ASSERT_TRUE(cols.ok());
+  EXPECT_GE(cols->size(), 3u);
+  EXPECT_LE(cols->size(), 9u);  // at most |R| per row
+  EXPECT_TRUE(std::is_sorted(cols->begin(), cols->end()));
+  EXPECT_TRUE(std::adjacent_find(cols->begin(), cols->end()) == cols->end());
+}
+
+TEST(RestrictColumnsTest, ExtractsInOrder) {
+  la::Matrix u(2, 4);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 4; ++c) u(r, c) = static_cast<double>(10 * r + c);
+  }
+  auto m = RestrictColumns(u, {3, 1});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->cols(), 2u);
+  EXPECT_DOUBLE_EQ((*m)(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ((*m)(1, 1), 11.0);
+  EXPECT_FALSE(RestrictColumns(u, {9}).ok());
+}
+
+// Theorem 2 / Corollary 1: assignment on the CBS-pruned graph achieves the
+// same optimal total weight as on the full graph.
+TEST(CbsExactnessTest, PrunedAssignmentMatchesFullOptimal) {
+  Rng rng(6);
+  for (int trial = 0; trial < 25; ++trial) {
+    size_t rows = 2 + static_cast<size_t>(rng.UniformInt(0, 4));
+    size_t cols = rows + 5 + static_cast<size_t>(rng.UniformInt(0, 30));
+    la::Matrix u(rows, cols);
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < cols; ++c) u(r, c) = rng.Uniform();
+    }
+    auto full = MaxWeightAssignment(u);
+    ASSERT_TRUE(full.ok());
+    auto keep = CandidateColumns(u, &rng);
+    ASSERT_TRUE(keep.ok());
+    auto pruned_m = RestrictColumns(u, *keep);
+    ASSERT_TRUE(pruned_m.ok());
+    auto pruned = MaxWeightAssignment(*pruned_m);
+    ASSERT_TRUE(pruned.ok());
+    EXPECT_NEAR(pruned->total_weight, full->total_weight, 1e-9)
+        << "rows=" << rows << " cols=" << cols;
+  }
+}
+
+// Exactness also holds for negative (value-refined) utilities, which is how
+// LACB-Opt actually uses CBS.
+TEST(CbsExactnessTest, HoldsWithNegativeUtilities) {
+  Rng rng(7);
+  for (int trial = 0; trial < 15; ++trial) {
+    size_t rows = 3;
+    size_t cols = 20;
+    la::Matrix u(rows, cols);
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < cols; ++c) u(r, c) = rng.Uniform(-0.5, 1.0);
+    }
+    auto full = MaxWeightAssignment(u);
+    auto keep = CandidateColumns(u, &rng);
+    ASSERT_TRUE(keep.ok());
+    auto pruned = MaxWeightAssignment(*RestrictColumns(u, *keep));
+    ASSERT_TRUE(full.ok());
+    ASSERT_TRUE(pruned.ok());
+    EXPECT_NEAR(pruned->total_weight, full->total_weight, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace lacb::matching
