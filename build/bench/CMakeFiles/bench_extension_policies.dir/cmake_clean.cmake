@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_policies.dir/bench_extension_policies.cc.o"
+  "CMakeFiles/bench_extension_policies.dir/bench_extension_policies.cc.o.d"
+  "bench_extension_policies"
+  "bench_extension_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_top_broker_kde.dir/bench_fig3_top_broker_kde.cc.o"
+  "CMakeFiles/bench_fig3_top_broker_kde.dir/bench_fig3_top_broker_kde.cc.o.d"
+  "bench_fig3_top_broker_kde"
+  "bench_fig3_top_broker_kde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_top_broker_kde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

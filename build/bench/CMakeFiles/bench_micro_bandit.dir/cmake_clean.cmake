@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_bandit.dir/bench_micro_bandit.cc.o"
+  "CMakeFiles/bench_micro_bandit.dir/bench_micro_bandit.cc.o.d"
+  "bench_micro_bandit"
+  "bench_micro_bandit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_bandit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_regret_ablation.dir/bench_regret_ablation.cc.o"
+  "CMakeFiles/bench_regret_ablation.dir/bench_regret_ablation.cc.o.d"
+  "bench_regret_ablation"
+  "bench_regret_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_regret_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

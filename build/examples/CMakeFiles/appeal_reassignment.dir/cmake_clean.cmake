@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appeal_reassignment.dir/appeal_reassignment.cpp.o"
+  "CMakeFiles/appeal_reassignment.dir/appeal_reassignment.cpp.o.d"
+  "appeal_reassignment"
+  "appeal_reassignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appeal_reassignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for appeal_reassignment.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_estimation_demo.dir/capacity_estimation_demo.cpp.o"
+  "CMakeFiles/capacity_estimation_demo.dir/capacity_estimation_demo.cpp.o.d"
+  "capacity_estimation_demo"
+  "capacity_estimation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_estimation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/city_scale_comparison.dir/city_scale_comparison.cpp.o"
+  "CMakeFiles/city_scale_comparison.dir/city_scale_comparison.cpp.o.d"
+  "city_scale_comparison"
+  "city_scale_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/city_scale_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learned_utility_demo.dir/learned_utility_demo.cpp.o"
+  "CMakeFiles/learned_utility_demo.dir/learned_utility_demo.cpp.o.d"
+  "learned_utility_demo"
+  "learned_utility_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learned_utility_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lacb/bandit/eps_greedy.cc" "src/CMakeFiles/lacb.dir/lacb/bandit/eps_greedy.cc.o" "gcc" "src/CMakeFiles/lacb.dir/lacb/bandit/eps_greedy.cc.o.d"
+  "/root/repo/src/lacb/bandit/lin_ucb.cc" "src/CMakeFiles/lacb.dir/lacb/bandit/lin_ucb.cc.o" "gcc" "src/CMakeFiles/lacb.dir/lacb/bandit/lin_ucb.cc.o.d"
+  "/root/repo/src/lacb/bandit/neural_ucb.cc" "src/CMakeFiles/lacb.dir/lacb/bandit/neural_ucb.cc.o" "gcc" "src/CMakeFiles/lacb.dir/lacb/bandit/neural_ucb.cc.o.d"
+  "/root/repo/src/lacb/bandit/thompson.cc" "src/CMakeFiles/lacb.dir/lacb/bandit/thompson.cc.o" "gcc" "src/CMakeFiles/lacb.dir/lacb/bandit/thompson.cc.o.d"
+  "/root/repo/src/lacb/capacity/personalized_estimator.cc" "src/CMakeFiles/lacb.dir/lacb/capacity/personalized_estimator.cc.o" "gcc" "src/CMakeFiles/lacb.dir/lacb/capacity/personalized_estimator.cc.o.d"
+  "/root/repo/src/lacb/common/logging.cc" "src/CMakeFiles/lacb.dir/lacb/common/logging.cc.o" "gcc" "src/CMakeFiles/lacb.dir/lacb/common/logging.cc.o.d"
+  "/root/repo/src/lacb/common/rng.cc" "src/CMakeFiles/lacb.dir/lacb/common/rng.cc.o" "gcc" "src/CMakeFiles/lacb.dir/lacb/common/rng.cc.o.d"
+  "/root/repo/src/lacb/common/status.cc" "src/CMakeFiles/lacb.dir/lacb/common/status.cc.o" "gcc" "src/CMakeFiles/lacb.dir/lacb/common/status.cc.o.d"
+  "/root/repo/src/lacb/common/table_printer.cc" "src/CMakeFiles/lacb.dir/lacb/common/table_printer.cc.o" "gcc" "src/CMakeFiles/lacb.dir/lacb/common/table_printer.cc.o.d"
+  "/root/repo/src/lacb/core/engine.cc" "src/CMakeFiles/lacb.dir/lacb/core/engine.cc.o" "gcc" "src/CMakeFiles/lacb.dir/lacb/core/engine.cc.o.d"
+  "/root/repo/src/lacb/core/metrics.cc" "src/CMakeFiles/lacb.dir/lacb/core/metrics.cc.o" "gcc" "src/CMakeFiles/lacb.dir/lacb/core/metrics.cc.o.d"
+  "/root/repo/src/lacb/core/policy_suite.cc" "src/CMakeFiles/lacb.dir/lacb/core/policy_suite.cc.o" "gcc" "src/CMakeFiles/lacb.dir/lacb/core/policy_suite.cc.o.d"
+  "/root/repo/src/lacb/gbdt/booster.cc" "src/CMakeFiles/lacb.dir/lacb/gbdt/booster.cc.o" "gcc" "src/CMakeFiles/lacb.dir/lacb/gbdt/booster.cc.o.d"
+  "/root/repo/src/lacb/gbdt/tree.cc" "src/CMakeFiles/lacb.dir/lacb/gbdt/tree.cc.o" "gcc" "src/CMakeFiles/lacb.dir/lacb/gbdt/tree.cc.o.d"
+  "/root/repo/src/lacb/la/linalg.cc" "src/CMakeFiles/lacb.dir/lacb/la/linalg.cc.o" "gcc" "src/CMakeFiles/lacb.dir/lacb/la/linalg.cc.o.d"
+  "/root/repo/src/lacb/la/matrix.cc" "src/CMakeFiles/lacb.dir/lacb/la/matrix.cc.o" "gcc" "src/CMakeFiles/lacb.dir/lacb/la/matrix.cc.o.d"
+  "/root/repo/src/lacb/matching/assignment.cc" "src/CMakeFiles/lacb.dir/lacb/matching/assignment.cc.o" "gcc" "src/CMakeFiles/lacb.dir/lacb/matching/assignment.cc.o.d"
+  "/root/repo/src/lacb/matching/auction.cc" "src/CMakeFiles/lacb.dir/lacb/matching/auction.cc.o" "gcc" "src/CMakeFiles/lacb.dir/lacb/matching/auction.cc.o.d"
+  "/root/repo/src/lacb/matching/hopcroft_karp.cc" "src/CMakeFiles/lacb.dir/lacb/matching/hopcroft_karp.cc.o" "gcc" "src/CMakeFiles/lacb.dir/lacb/matching/hopcroft_karp.cc.o.d"
+  "/root/repo/src/lacb/matching/min_cost_flow.cc" "src/CMakeFiles/lacb.dir/lacb/matching/min_cost_flow.cc.o" "gcc" "src/CMakeFiles/lacb.dir/lacb/matching/min_cost_flow.cc.o.d"
+  "/root/repo/src/lacb/matching/selection.cc" "src/CMakeFiles/lacb.dir/lacb/matching/selection.cc.o" "gcc" "src/CMakeFiles/lacb.dir/lacb/matching/selection.cc.o.d"
+  "/root/repo/src/lacb/nn/mlp.cc" "src/CMakeFiles/lacb.dir/lacb/nn/mlp.cc.o" "gcc" "src/CMakeFiles/lacb.dir/lacb/nn/mlp.cc.o.d"
+  "/root/repo/src/lacb/nn/optimizer.cc" "src/CMakeFiles/lacb.dir/lacb/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/lacb.dir/lacb/nn/optimizer.cc.o.d"
+  "/root/repo/src/lacb/policy/an_policy.cc" "src/CMakeFiles/lacb.dir/lacb/policy/an_policy.cc.o" "gcc" "src/CMakeFiles/lacb.dir/lacb/policy/an_policy.cc.o.d"
+  "/root/repo/src/lacb/policy/assignment_policy.cc" "src/CMakeFiles/lacb.dir/lacb/policy/assignment_policy.cc.o" "gcc" "src/CMakeFiles/lacb.dir/lacb/policy/assignment_policy.cc.o.d"
+  "/root/repo/src/lacb/policy/flow_policy.cc" "src/CMakeFiles/lacb.dir/lacb/policy/flow_policy.cc.o" "gcc" "src/CMakeFiles/lacb.dir/lacb/policy/flow_policy.cc.o.d"
+  "/root/repo/src/lacb/policy/greedy_policy.cc" "src/CMakeFiles/lacb.dir/lacb/policy/greedy_policy.cc.o" "gcc" "src/CMakeFiles/lacb.dir/lacb/policy/greedy_policy.cc.o.d"
+  "/root/repo/src/lacb/policy/km_policy.cc" "src/CMakeFiles/lacb.dir/lacb/policy/km_policy.cc.o" "gcc" "src/CMakeFiles/lacb.dir/lacb/policy/km_policy.cc.o.d"
+  "/root/repo/src/lacb/policy/lacb_policy.cc" "src/CMakeFiles/lacb.dir/lacb/policy/lacb_policy.cc.o" "gcc" "src/CMakeFiles/lacb.dir/lacb/policy/lacb_policy.cc.o.d"
+  "/root/repo/src/lacb/policy/recommendation.cc" "src/CMakeFiles/lacb.dir/lacb/policy/recommendation.cc.o" "gcc" "src/CMakeFiles/lacb.dir/lacb/policy/recommendation.cc.o.d"
+  "/root/repo/src/lacb/policy/value_function.cc" "src/CMakeFiles/lacb.dir/lacb/policy/value_function.cc.o" "gcc" "src/CMakeFiles/lacb.dir/lacb/policy/value_function.cc.o.d"
+  "/root/repo/src/lacb/sim/broker.cc" "src/CMakeFiles/lacb.dir/lacb/sim/broker.cc.o" "gcc" "src/CMakeFiles/lacb.dir/lacb/sim/broker.cc.o.d"
+  "/root/repo/src/lacb/sim/dataset.cc" "src/CMakeFiles/lacb.dir/lacb/sim/dataset.cc.o" "gcc" "src/CMakeFiles/lacb.dir/lacb/sim/dataset.cc.o.d"
+  "/root/repo/src/lacb/sim/learned_utility.cc" "src/CMakeFiles/lacb.dir/lacb/sim/learned_utility.cc.o" "gcc" "src/CMakeFiles/lacb.dir/lacb/sim/learned_utility.cc.o.d"
+  "/root/repo/src/lacb/sim/platform.cc" "src/CMakeFiles/lacb.dir/lacb/sim/platform.cc.o" "gcc" "src/CMakeFiles/lacb.dir/lacb/sim/platform.cc.o.d"
+  "/root/repo/src/lacb/sim/signup_model.cc" "src/CMakeFiles/lacb.dir/lacb/sim/signup_model.cc.o" "gcc" "src/CMakeFiles/lacb.dir/lacb/sim/signup_model.cc.o.d"
+  "/root/repo/src/lacb/sim/trace_io.cc" "src/CMakeFiles/lacb.dir/lacb/sim/trace_io.cc.o" "gcc" "src/CMakeFiles/lacb.dir/lacb/sim/trace_io.cc.o.d"
+  "/root/repo/src/lacb/sim/utility_model.cc" "src/CMakeFiles/lacb.dir/lacb/sim/utility_model.cc.o" "gcc" "src/CMakeFiles/lacb.dir/lacb/sim/utility_model.cc.o.d"
+  "/root/repo/src/lacb/stats/correlation.cc" "src/CMakeFiles/lacb.dir/lacb/stats/correlation.cc.o" "gcc" "src/CMakeFiles/lacb.dir/lacb/stats/correlation.cc.o.d"
+  "/root/repo/src/lacb/stats/descriptive.cc" "src/CMakeFiles/lacb.dir/lacb/stats/descriptive.cc.o" "gcc" "src/CMakeFiles/lacb.dir/lacb/stats/descriptive.cc.o.d"
+  "/root/repo/src/lacb/stats/hypothesis.cc" "src/CMakeFiles/lacb.dir/lacb/stats/hypothesis.cc.o" "gcc" "src/CMakeFiles/lacb.dir/lacb/stats/hypothesis.cc.o.d"
+  "/root/repo/src/lacb/stats/kde.cc" "src/CMakeFiles/lacb.dir/lacb/stats/kde.cc.o" "gcc" "src/CMakeFiles/lacb.dir/lacb/stats/kde.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

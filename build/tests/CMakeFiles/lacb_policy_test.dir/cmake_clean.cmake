@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lacb_policy_test.dir/lacb_policy_test.cc.o"
+  "CMakeFiles/lacb_policy_test.dir/lacb_policy_test.cc.o.d"
+  "lacb_policy_test"
+  "lacb_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lacb_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
