@@ -17,6 +17,7 @@ Status Run() {
   bench::PrintHeader("Fig. 11",
                      "city datasets: utility & cumulative time over days");
   bool all_ok = true;
+  bench::BenchTelemetryLog telemetry_log("fig11_city_scale");
   for (char city : {'A', 'B', 'C'}) {
     LACB_ASSIGN_OR_RETURN(sim::DatasetConfig data,
                           bench::ScaledCity(city, 14));
@@ -26,6 +27,7 @@ Status Run() {
               << " brokers, " << data.num_requests << " requests, "
               << data.num_days << " days) ---\n";
     LACB_ASSIGN_OR_RETURN(auto runs, bench::RunSuite(data, suite));
+    telemetry_log.Add(data, runs);
 
     // Headline table.
     TablePrinter table;
@@ -114,6 +116,7 @@ Status Run() {
                     "(paper: 1.7-24.2 s slower)",
         gap_to_topk < 30.0, TablePrinter::Num(gap_to_topk, 2) + " s");
   }
+  LACB_RETURN_NOT_OK(telemetry_log.Write());
   std::cout << "\n"
             << (all_ok ? "ALL SHAPE CHECKS PASSED" : "SHAPE CHECKS FAILED")
             << "\n";

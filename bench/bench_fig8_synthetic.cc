@@ -45,7 +45,8 @@ struct SweepResult {
 };
 
 Result<SweepResult> RunSweep(const std::string& title,
-                             const std::vector<SweepPoint>& points) {
+                             const std::vector<SweepPoint>& points,
+                             bench::BenchTelemetryLog* telemetry_log) {
   std::cout << "\n### Sweep: " << title << " ###\n";
   SweepResult result;
   core::PolicySuiteConfig suite;
@@ -53,6 +54,11 @@ Result<SweepResult> RunSweep(const std::string& title,
   for (const SweepPoint& point : points) {
     std::cerr << "  running " << point.label << " ..." << std::endl;
     LACB_ASSIGN_OR_RETURN(auto runs, bench::RunSuite(point.config, suite));
+    if (telemetry_log != nullptr) {
+      sim::DatasetConfig annotated = point.config;
+      annotated.name += "/" + point.label;
+      telemetry_log->Add(annotated, runs);
+    }
     if (result.policies.empty()) {
       for (const auto& r : runs) result.policies.push_back(r.policy);
     }
@@ -160,6 +166,7 @@ Status Run() {
   bench::PrintHeader("Fig. 8", "synthetic sweeps: utility & time vs |B|, "
                                "|R|, days, sigma (scaled Table III grid)");
   bool all_ok = true;
+  bench::BenchTelemetryLog telemetry_log("fig8_synthetic");
 
   // --- Sweep 1: number of brokers (Table III: 500..10000 -> 50..400). ---
   {
@@ -176,7 +183,7 @@ Status Run() {
       // Keep σ: requests per batch scale with |B| as in the paper.
       points.push_back({"|B|=" + std::to_string(nb), c});
     }
-    LACB_ASSIGN_OR_RETURN(SweepResult r, RunSweep("number of brokers", points));
+    LACB_ASSIGN_OR_RETURN(SweepResult r, RunSweep("number of brokers", points, &telemetry_log));
     all_ok &= CheckSweep("|B| sweep", r, true);
     // Top-K utility must not grow with |B| (the overload pathology).
     size_t top1 = PolicyIndex(r, "Top-1");
@@ -207,7 +214,7 @@ Status Run() {
       c.num_requests = nr;
       points.push_back({"|R|=" + std::to_string(nr), c});
     }
-    LACB_ASSIGN_OR_RETURN(SweepResult r, RunSweep("number of requests", points));
+    LACB_ASSIGN_OR_RETURN(SweepResult r, RunSweep("number of requests", points, &telemetry_log));
     all_ok &= CheckSweep("|R| sweep", r, true);
     // Utility grows with |R| for the capacity-aware policies.
     size_t lacb = PolicyIndex(r, "LACB");
@@ -227,7 +234,7 @@ Status Run() {
       c.num_requests = 5000;  // the full scaled Table III default
       points.push_back({"Day=" + std::to_string(days), c});
     }
-    LACB_ASSIGN_OR_RETURN(SweepResult r, RunSweep("covering days", points));
+    LACB_ASSIGN_OR_RETURN(SweepResult r, RunSweep("covering days", points, &telemetry_log));
     all_ok &= CheckSweep("Day sweep", r, true);
   }
 
@@ -240,7 +247,7 @@ Status Run() {
       c.num_requests = 1500;
       points.push_back({"sigma=" + TablePrinter::Num(sigma, 3), c});
     }
-    LACB_ASSIGN_OR_RETURN(SweepResult r, RunSweep("degree of imbalance", points));
+    LACB_ASSIGN_OR_RETURN(SweepResult r, RunSweep("degree of imbalance", points, &telemetry_log));
     all_ok &= CheckSweep("sigma sweep", r, false);
     // The speedup shrinks as σ grows (paper: 641.7x at 0.005, 16.4x at 0.05).
     size_t km = PolicyIndex(r, "KM");
@@ -255,6 +262,7 @@ Status Run() {
             TablePrinter::Num(speedup_high, 1) + "x @0.05");
   }
 
+  LACB_RETURN_NOT_OK(telemetry_log.Write());
   std::cout << "\n"
             << (all_ok ? "ALL SHAPE CHECKS PASSED" : "SHAPE CHECKS FAILED")
             << "\n";

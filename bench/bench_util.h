@@ -78,6 +78,65 @@ inline void PrintBoth(const TablePrinter& table) {
   std::cout << "\n";
 }
 
+/// \brief Accumulates per-run telemetry across a bench's datasets and
+/// writes one machine-readable BENCH_<name>.json next to the binary.
+///
+/// Schema (see docs/observability.md): the top level names the bench; each
+/// dataset entry carries one object per policy run with the headline
+/// numbers plus the full obs::RunTelemetry snapshot (counters, gauges,
+/// histogram quantiles, span tree). This is the file future perf PRs diff
+/// for before/after evidence.
+class BenchTelemetryLog {
+ public:
+  explicit BenchTelemetryLog(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {
+    root_.Set("bench", bench_name_);
+    root_.Set("schema_version", static_cast<int64_t>(1));
+    root_.Set("datasets", obs::JsonValue::Array());
+  }
+
+  /// \brief Records every run of one dataset (call once per RunSuite).
+  void Add(const sim::DatasetConfig& data,
+           const std::vector<core::PolicyRunResult>& runs) {
+    obs::JsonValue entry = obs::JsonValue::Object();
+    entry.Set("dataset", data.name);
+    entry.Set("num_brokers", static_cast<uint64_t>(data.num_brokers));
+    entry.Set("num_requests", static_cast<uint64_t>(data.num_requests));
+    entry.Set("num_days", static_cast<uint64_t>(data.num_days));
+    obs::JsonValue policies = obs::JsonValue::Array();
+    for (const core::PolicyRunResult& r : runs) {
+      obs::JsonValue run = obs::JsonValue::Object();
+      run.Set("policy", r.policy);
+      run.Set("total_utility", r.total_utility);
+      run.Set("policy_seconds", r.policy_seconds);
+      run.Set("overloaded_broker_days",
+              static_cast<uint64_t>(r.overloaded_broker_days));
+      run.Set("overload_excess", r.overload_excess);
+      if (r.telemetry != nullptr) {
+        run.Set("telemetry", r.telemetry->ToJson());
+      }
+      policies.Append(std::move(run));
+    }
+    entry.Set("policies", std::move(policies));
+    datasets_.Append(std::move(entry));
+  }
+
+  /// \brief Writes BENCH_<name>.json in the working directory.
+  Status Write() {
+    root_.Set("datasets", std::move(datasets_));
+    datasets_ = obs::JsonValue::Array();
+    std::string path = "BENCH_" + bench_name_ + ".json";
+    LACB_RETURN_NOT_OK(obs::WriteJsonFile(root_, path));
+    std::cout << "telemetry written to " << path << "\n";
+    return Status::OK();
+  }
+
+ private:
+  std::string bench_name_;
+  obs::JsonValue root_;
+  obs::JsonValue datasets_ = obs::JsonValue::Array();
+};
+
 }  // namespace lacb::bench
 
 #endif  // LACB_BENCH_BENCH_UTIL_H_

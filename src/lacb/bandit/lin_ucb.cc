@@ -1,9 +1,20 @@
 #include "lacb/bandit/lin_ucb.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
+#include "lacb/obs/obs.h"
+
 namespace lacb::bandit {
+
+namespace {
+std::vector<double> WidthBounds() {
+  std::vector<double> bounds;
+  for (double b = 1e-4; b < 2000.0; b *= 4.0) bounds.push_back(b);
+  return bounds;
+}
+}  // namespace
 
 LinUcb::LinUcb(LinUcbConfig config, la::ShermanMorrisonInverse a_inv)
     : config_(std::move(config)),
@@ -51,6 +62,7 @@ Result<double> LinUcb::UcbScore(const Vector& context, double value) const {
 }
 
 Result<double> LinUcb::SelectValue(const Vector& context) {
+  LACB_TRACE_SPAN("bandit_select");
   double best_value = config_.arm_values.front();
   double best_score = -std::numeric_limits<double>::infinity();
   for (double v : config_.arm_values) {
@@ -60,6 +72,12 @@ Result<double> LinUcb::SelectValue(const Vector& context) {
       best_value = v;
     }
   }
+  LACB_ASSIGN_OR_RETURN(Vector phi, Features(context, best_value));
+  LACB_ASSIGN_OR_RETURN(double width2, a_inv_.QuadraticForm(phi));
+  obs::MetricRegistry& registry = obs::ActiveRegistry();
+  registry.GetCounter("bandit.lin_ucb.pulls").Increment();
+  registry.GetHistogram("bandit.lin_ucb.ucb_width", WidthBounds())
+      .Record(config_.alpha * std::sqrt(std::max(0.0, width2)));
   return best_value;
 }
 
@@ -70,6 +88,8 @@ Result<double> LinUcb::PredictReward(const Vector& context,
 }
 
 Status LinUcb::Observe(const Vector& context, double value, double reward) {
+  LACB_TRACE_SPAN("bandit_update");
+  obs::ActiveRegistry().GetCounter("bandit.lin_ucb.observations").Increment();
   LACB_ASSIGN_OR_RETURN(Vector phi, Features(context, value));
   LACB_RETURN_NOT_OK(a_inv_.RankOneUpdate(phi));
   la::Axpy(reward, phi, &b_);

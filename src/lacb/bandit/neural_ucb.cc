@@ -5,7 +5,19 @@
 #include <limits>
 #include <utility>
 
+#include "lacb/obs/obs.h"
+
 namespace lacb::bandit {
+
+namespace {
+// UCB widths are dimensionless scores well under 1 for a trained net;
+// finer buckets than the latency default make the histogram readable.
+std::vector<double> WidthBounds() {
+  std::vector<double> bounds;
+  for (double b = 1e-4; b < 2000.0; b *= 4.0) bounds.push_back(b);
+  return bounds;
+}
+}  // namespace
 
 namespace {
 
@@ -120,6 +132,7 @@ Result<double> NeuralUcb::UcbScore(const Vector& context,
 }
 
 Result<double> NeuralUcb::SelectValue(const Vector& context) {
+  LACB_TRACE_SPAN("bandit_select");
   // Alg. 1 lines 6-9: pick the arm with the maximal upper confidence bound,
   // then update D with the chosen arm's gradient (line 12).
   double best_value = config_.arm_values.front();
@@ -133,6 +146,14 @@ Result<double> NeuralUcb::SelectValue(const Vector& context) {
   }
   LACB_ASSIGN_OR_RETURN(Vector in, NetInput(context, best_value));
   LACB_ASSIGN_OR_RETURN(Vector grad, net_.ParamGradient(in));
+  // The chosen arm's confidence width α·√(gᵀD⁻¹g) before folding g into D:
+  // the exploration-health series (wide = still exploring, narrow =
+  // exploiting) every future perf PR compares against.
+  LACB_ASSIGN_OR_RETURN(double width2, Width2(grad));
+  obs::MetricRegistry& registry = obs::ActiveRegistry();
+  registry.GetCounter("bandit.neural_ucb.pulls").Increment();
+  registry.GetHistogram("bandit.neural_ucb.ucb_width", WidthBounds())
+      .Record(config_.alpha * std::sqrt(std::max(0.0, width2)));
   LACB_RETURN_NOT_OK(CovarianceUpdate(grad));
   return best_value;
 }
@@ -145,6 +166,9 @@ Result<double> NeuralUcb::PredictReward(const Vector& context,
 
 Status NeuralUcb::Observe(const Vector& context, double value,
                           double reward) {
+  LACB_TRACE_SPAN("bandit_update");
+  obs::ActiveRegistry().GetCounter("bandit.neural_ucb.observations")
+      .Increment();
   LACB_ASSIGN_OR_RETURN(Vector in, NetInput(context, value));
   buffer_.push_back(nn::Example{std::move(in), reward});
   if (buffer_.size() >= config_.batch_size) {
@@ -170,6 +194,9 @@ Status NeuralUcb::CopyCovariance(const NeuralUcb& other) {
 
 Status NeuralUcb::FlushTraining() {
   if (buffer_.empty()) return Status::OK();
+  LACB_TRACE_SPAN("bandit_train");
+  obs::ActiveRegistry().GetCounter("bandit.neural_ucb.training_passes")
+      .Increment();
   if (config_.replay_capacity == 0) {
     // Paper-literal Alg. 1: train on the fresh buffer only.
     for (size_t e = 0; e < config_.train_epochs; ++e) {

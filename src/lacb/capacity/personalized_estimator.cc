@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "lacb/obs/obs.h"
 #include "lacb/stats/descriptive.h"
 
 namespace lacb::capacity {
@@ -75,6 +76,9 @@ Status PersonalizedCapacityEstimator::MaybePersonalize(size_t broker) {
   personal_[broker] =
       std::make_unique<bandit::NeuralUcb>(std::move(personal));
   ++personalized_count_;
+  obs::ActiveRegistry()
+      .GetGauge("estimator.personalized_brokers")
+      .Set(static_cast<double>(personalized_count_));
   return Status::OK();
 }
 

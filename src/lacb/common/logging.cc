@@ -1,6 +1,9 @@
 #include "lacb/common/logging.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
 
 namespace lacb {
 
@@ -20,6 +23,27 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+// "2026-08-07 13:45:12.345" in UTC (fixed width, no locale).
+void FormatTimestamp(char* buf, size_t size) {
+  using Clock = std::chrono::system_clock;
+  Clock::time_point now = Clock::now();
+  std::time_t seconds = Clock::to_time_t(now);
+  int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm tm_utc{};
+#if defined(_WIN32)
+  gmtime_s(&tm_utc, &seconds);
+#else
+  gmtime_r(&seconds, &tm_utc);
+#endif
+  std::snprintf(buf, size, "%04d-%02d-%02d %02d:%02d:%02d.%03d",
+                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec, millis);
+}
 }  // namespace
 
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
@@ -37,13 +61,22 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
     for (const char* p = file; *p != '\0'; ++p) {
       if (*p == '/') base = p + 1;
     }
-    stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+    char ts[64];
+    FormatTimestamp(ts, sizeof(ts));
+    stream_ << "[" << ts << " " << LevelName(level) << " " << base << ":"
+            << line << "] ";
   }
 }
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::cerr << stream_.str() << std::endl;
+    // Pre-format the whole record and emit it as a single write so lines
+    // from concurrent threads never shear mid-record. fwrite on a stderr
+    // FILE* is locked per call (C11/POSIX), unlike operator<< chains.
+    std::string record = stream_.str();
+    record.push_back('\n');
+    std::fwrite(record.data(), 1, record.size(), stderr);
+    std::fflush(stderr);
   }
   if (fatal_) std::abort();
 }

@@ -47,12 +47,18 @@ class LogMessage {
                                __LINE__)
 
 // Invariant check: aborts with a message when `cond` is false. For internal
-// bugs only; never triggered by user input.
-#define LACB_CHECK(cond)                                                  \
-  (cond) ? (void)0                                                        \
-         : (void)(::lacb::internal::LogMessage(::lacb::LogLevel::kError,  \
-                                               __FILE__, __LINE__, true)  \
-                  << "Check failed: " #cond " ")
+// bugs only; never triggered by user input. The do-while(0) wrapper and the
+// parenthesized condition make the macro behave as a single statement, so
+// `if (x) LACB_CHECK(y); else ...` binds the else to the outer if and a
+// condition like `a == b` cannot reassociate with surrounding tokens.
+#define LACB_CHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::lacb::internal::LogMessage(::lacb::LogLevel::kError, __FILE__,     \
+                                   __LINE__, true)                         \
+          << "Check failed: " #cond " ";                                   \
+    }                                                                      \
+  } while (0)
 
 #define LACB_CHECK_GE(a, b) LACB_CHECK((a) >= (b))
 #define LACB_CHECK_GT(a, b) LACB_CHECK((a) > (b))

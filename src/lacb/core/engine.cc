@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "lacb/common/stopwatch.h"
+#include "lacb/matching/assignment.h"
+#include "lacb/obs/obs.h"
 
 namespace lacb::core {
 
@@ -11,6 +13,19 @@ Result<PolicyRunResult> RunPolicy(const sim::DatasetConfig& config,
   if (policy == nullptr) {
     return Status::InvalidArgument("RunPolicy requires a policy");
   }
+  // Every instrumented call site below this frame (policy, matching,
+  // bandit layers) writes into this run-scoped context, so the captured
+  // snapshot covers exactly one policy × dataset run.
+  obs::ScopedTelemetry telemetry;
+  obs::Counter& batches_counter =
+      telemetry.registry().GetCounter("engine.batches");
+  obs::Counter& requests_counter =
+      telemetry.registry().GetCounter("engine.requests");
+  obs::Counter& assigned_counter =
+      telemetry.registry().GetCounter("engine.assigned_requests");
+  obs::Histogram& batch_latency =
+      telemetry.registry().GetHistogram("engine.batch_assign_seconds");
+
   LACB_ASSIGN_OR_RETURN(sim::Platform platform, sim::Platform::Create(config));
 
   PolicyRunResult result;
@@ -26,38 +41,64 @@ Result<PolicyRunResult> RunPolicy(const sim::DatasetConfig& config,
 
   size_t days = platform.num_days();
   for (size_t day = 0; day < days; ++day) {
-    LACB_RETURN_NOT_OK(platform.StartDay(day));
-    Stopwatch day_timer;
+    LACB_TRACE_SPAN("day");
+    {
+      LACB_TRACE_SPAN("env_step");
+      LACB_RETURN_NOT_OK(platform.StartDay(day));
+    }
     double policy_time = 0.0;
 
     {
+      LACB_TRACE_SPAN("policy_begin_day");
       Stopwatch sw;
       LACB_RETURN_NOT_OK(policy->BeginDay(platform, day));
       policy_time += sw.ElapsedSeconds();
     }
 
     size_t batches = platform.NumBatchesToday();
+    batches_counter.Increment(batches);
     for (size_t batch = 0; batch < batches; ++batch) {
-      LACB_ASSIGN_OR_RETURN(std::vector<sim::Request> requests,
-                            platform.BatchRequests(batch));
-      LACB_ASSIGN_OR_RETURN(la::Matrix utility, platform.BatchUtility(batch));
+      std::vector<sim::Request> requests;
+      la::Matrix utility;
+      {
+        LACB_TRACE_SPAN("env_step");
+        LACB_ASSIGN_OR_RETURN(requests, platform.BatchRequests(batch));
+        LACB_ASSIGN_OR_RETURN(utility, platform.BatchUtility(batch));
+      }
       policy::BatchInput input;
       input.requests = &requests;
       input.utility = &utility;
       input.workloads = &platform.workloads_today();
       input.day = day;
       input.batch = batch;
+      requests_counter.Increment(requests.size());
 
-      Stopwatch sw;
-      LACB_ASSIGN_OR_RETURN(std::vector<int64_t> assignment,
-                            policy->AssignBatch(input));
-      policy_time += sw.ElapsedSeconds();
+      std::vector<int64_t> assignment;
+      {
+        LACB_TRACE_SPAN("assign_batch");
+        Stopwatch sw;
+        LACB_ASSIGN_OR_RETURN(assignment, policy->AssignBatch(input));
+        double elapsed = sw.ElapsedSeconds();
+        policy_time += elapsed;
+        batch_latency.Record(elapsed);
+      }
+      for (int64_t a : assignment) {
+        if (a != matching::kUnmatched) assigned_counter.Increment();
+      }
 
-      LACB_RETURN_NOT_OK(platform.CommitAssignment(batch, assignment));
+      {
+        LACB_TRACE_SPAN("env_step");
+        LACB_RETURN_NOT_OK(platform.CommitAssignment(batch, assignment));
+      }
     }
 
-    LACB_ASSIGN_OR_RETURN(sim::DayOutcome outcome, platform.EndDay());
+    sim::DayOutcome outcome;
     {
+      LACB_TRACE_SPAN("env_step");
+      LACB_ASSIGN_OR_RETURN(outcome, platform.EndDay());
+    }
+    {
+      LACB_TRACE_SPAN("policy_end_day");
       Stopwatch sw;
       LACB_RETURN_NOT_OK(policy->EndDay(outcome));
       policy_time += sw.ElapsedSeconds();
@@ -84,6 +125,17 @@ Result<PolicyRunResult> RunPolicy(const sim::DatasetConfig& config,
   double d = static_cast<double>(std::max<size_t>(1, days));
   for (size_t b = 0; b < n; ++b) {
     result.broker_mean_workload[b] = result.broker_requests[b] / d;
+  }
+
+  if (obs::CollectionEnabled()) {
+    std::map<std::string, std::string> meta;
+    meta["policy"] = result.policy;
+    meta["dataset"] = result.dataset;
+    meta["num_brokers"] = std::to_string(platform.num_brokers());
+    meta["num_days"] = std::to_string(days);
+    meta["policy_seconds"] = std::to_string(result.policy_seconds);
+    result.telemetry = std::make_shared<obs::RunTelemetry>(obs::CaptureRun(
+        telemetry.registry(), telemetry.tracer(), std::move(meta)));
   }
   return result;
 }

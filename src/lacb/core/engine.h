@@ -10,9 +10,11 @@
 #ifndef LACB_CORE_ENGINE_H_
 #define LACB_CORE_ENGINE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "lacb/obs/snapshot.h"
 #include "lacb/policy/assignment_policy.h"
 #include "lacb/sim/dataset.h"
 #include "lacb/sim/platform.h"
@@ -47,6 +49,12 @@ struct PolicyRunResult {
   /// brokers being nudged slightly past their knees.
   double overload_excess = 0.0;
   size_t total_appeals = 0;
+
+  /// Structured run telemetry: metrics + span tree collected while this
+  /// run executed (see docs/observability.md). Null when collection was
+  /// disabled via obs::SetCollectionEnabled(false). Shared so copies of
+  /// the result stay cheap.
+  std::shared_ptr<const obs::RunTelemetry> telemetry;
 };
 
 /// \brief Runs `policy` over a fresh instance of `config`.

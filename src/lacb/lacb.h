@@ -42,6 +42,7 @@
 #include "lacb/matching/selection.h"
 #include "lacb/nn/mlp.h"
 #include "lacb/nn/optimizer.h"
+#include "lacb/obs/obs.h"
 #include "lacb/policy/an_policy.h"
 #include "lacb/policy/assignment_policy.h"
 #include "lacb/policy/flow_policy.h"

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "lacb/obs/obs.h"
+
 namespace lacb::matching {
 
 namespace {
@@ -12,10 +14,13 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 // Potential-based shortest-augmenting-path Kuhn–Munkres, minimizing total
 // cost; rows are 1..n, columns 1..m, n <= m. Every row gets a column.
-// Classic formulation (e.g. e-maxx); O(n²m).
-Assignment SolveMinCost(const la::Matrix& cost) {
+// Classic formulation (e.g. e-maxx); O(n²m). `scan_steps` (when non-null)
+// accumulates the Dijkstra-like column scans — the quantity that actually
+// grows cubically and that perf PRs need to watch.
+Assignment SolveMinCost(const la::Matrix& cost, uint64_t* scan_steps) {
   size_t n = cost.rows();
   size_t m = cost.cols();
+  uint64_t steps = 0;
   std::vector<double> u(n + 1, 0.0), v(m + 1, 0.0);
   std::vector<size_t> p(m + 1, 0), way(m + 1, 0);
   for (size_t i = 1; i <= n; ++i) {
@@ -24,6 +29,7 @@ Assignment SolveMinCost(const la::Matrix& cost) {
     std::vector<double> minv(m + 1, kInf);
     std::vector<bool> used(m + 1, false);
     do {
+      ++steps;
       used[j0] = true;
       size_t i0 = p[j0];
       size_t j1 = 0;
@@ -64,6 +70,7 @@ Assignment SolveMinCost(const la::Matrix& cost) {
       out.total_weight += cost(p[j] - 1, j - 1);
     }
   }
+  if (scan_steps != nullptr) *scan_steps += steps;
   return out;
 }
 
@@ -75,14 +82,20 @@ Result<Assignment> MaxWeightAssignment(const la::Matrix& weights) {
     return Status::InvalidArgument(
         "MaxWeightAssignment requires rows <= cols");
   }
+  LACB_TRACE_SPAN("km_solve");
   la::Matrix cost(weights.rows(), weights.cols());
   for (size_t i = 0; i < weights.rows(); ++i) {
     for (size_t j = 0; j < weights.cols(); ++j) {
       cost(i, j) = -weights(i, j);
     }
   }
-  Assignment a = SolveMinCost(cost);
+  uint64_t scan_steps = 0;
+  Assignment a = SolveMinCost(cost, &scan_steps);
   a.total_weight = -a.total_weight;
+  obs::MetricRegistry& registry = obs::ActiveRegistry();
+  registry.GetCounter("matching.km.solves").Increment();
+  registry.GetCounter("matching.km.rows").Increment(weights.rows());
+  registry.GetCounter("matching.km.scan_steps").Increment(scan_steps);
   return a;
 }
 
@@ -113,6 +126,9 @@ Result<la::Matrix> PadToSquare(const la::Matrix& weights) {
   if (weights.rows() > weights.cols()) {
     return Status::InvalidArgument("PadToSquare requires rows <= cols");
   }
+  obs::ActiveRegistry()
+      .GetCounter("matching.pad.dummy_rows")
+      .Increment(weights.cols() - weights.rows());
   la::Matrix out(weights.cols(), weights.cols(), 0.0);
   for (size_t i = 0; i < weights.rows(); ++i) {
     for (size_t j = 0; j < weights.cols(); ++j) {
@@ -123,6 +139,8 @@ Result<la::Matrix> PadToSquare(const la::Matrix& weights) {
 }
 
 Result<Assignment> GreedyAssignment(const la::Matrix& weights) {
+  LACB_TRACE_SPAN("greedy_solve");
+  obs::ActiveRegistry().GetCounter("matching.greedy.solves").Increment();
   struct Edge {
     double w;
     size_t r;

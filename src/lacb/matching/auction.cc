@@ -4,6 +4,8 @@
 #include <deque>
 #include <limits>
 
+#include "lacb/obs/obs.h"
+
 namespace lacb::matching {
 
 Result<Assignment> AuctionAssignment(const la::Matrix& weights,
@@ -18,6 +20,7 @@ Result<Assignment> AuctionAssignment(const la::Matrix& weights,
     return Status::InvalidArgument(
         "AuctionAssignment needs epsilon > 0 and scaling > 1");
   }
+  LACB_TRACE_SPAN("auction_solve");
   if (rows < cols) {
     // ε-scaling with persistent prices is only sound when every column ends
     // up assigned (otherwise stale prices on finally-unassigned columns
@@ -106,6 +109,9 @@ Result<Assignment> AuctionAssignment(const la::Matrix& weights,
   for (size_t r = 0; r < rows; ++r) {
     out.total_weight += weights(r, static_cast<size_t>(col_of_row[r]));
   }
+  obs::MetricRegistry& registry = obs::ActiveRegistry();
+  registry.GetCounter("matching.auction.solves").Increment();
+  registry.GetCounter("matching.auction.bids").Increment(iterations);
   return out;
 }
 

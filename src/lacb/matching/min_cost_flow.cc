@@ -4,6 +4,8 @@
 #include <limits>
 #include <queue>
 
+#include "lacb/obs/obs.h"
+
 namespace lacb::matching {
 
 namespace {
@@ -63,7 +65,9 @@ Result<MinCostFlow::FlowResult> MinCostFlow::Solve(size_t source, size_t sink,
     }
   }
 
+  LACB_TRACE_SPAN("flow_solve");
   FlowResult result;
+  uint64_t augmentations = 0;
   std::vector<double> dist(n);
   std::vector<size_t> prev_node(n), prev_edge(n);
   std::vector<bool> reachable(n);
@@ -109,7 +113,11 @@ Result<MinCostFlow::FlowResult> MinCostFlow::Solve(size_t source, size_t sink,
       result.cost += e.cost * static_cast<double>(push);
     }
     result.flow += push;
+    ++augmentations;
   }
+  obs::MetricRegistry& registry = obs::ActiveRegistry();
+  registry.GetCounter("matching.mcf.solves").Increment();
+  registry.GetCounter("matching.mcf.augmentations").Increment(augmentations);
   return result;
 }
 

@@ -1,0 +1,71 @@
+#include "lacb/obs/context.h"
+
+#include <atomic>
+
+namespace lacb::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+MetricRegistry& GlobalRegistry() {
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+Tracer& GlobalTracer() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+// Sink context used while collection is disabled: writes land somewhere
+// valid (no branches at call sites beyond the enabled check) but are never
+// snapshotted or exported.
+MetricRegistry& SinkRegistry() {
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+Tracer& SinkTracer() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+thread_local MetricRegistry* tl_registry = nullptr;
+thread_local Tracer* tl_tracer = nullptr;
+
+}  // namespace
+
+MetricRegistry& ActiveRegistry() {
+  if (!g_enabled.load(std::memory_order_relaxed)) return SinkRegistry();
+  return tl_registry != nullptr ? *tl_registry : GlobalRegistry();
+}
+
+Tracer& ActiveTracer() {
+  if (!g_enabled.load(std::memory_order_relaxed)) return SinkTracer();
+  return tl_tracer != nullptr ? *tl_tracer : GlobalTracer();
+}
+
+void SetCollectionEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool CollectionEnabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+ScopedTelemetry::ScopedTelemetry()
+    : registry_(std::make_unique<MetricRegistry>()),
+      tracer_(std::make_unique<Tracer>()),
+      prev_registry_(tl_registry),
+      prev_tracer_(tl_tracer) {
+  tl_registry = registry_.get();
+  tl_tracer = tracer_.get();
+}
+
+ScopedTelemetry::~ScopedTelemetry() {
+  tl_registry = prev_registry_;
+  tl_tracer = prev_tracer_;
+}
+
+}  // namespace lacb::obs

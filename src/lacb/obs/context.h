@@ -1,0 +1,56 @@
+// Telemetry context: which registry/tracer instrumented call sites write
+// to, and the RAII guard that scopes a fresh pair to one run.
+//
+// Call sites (engine, policies, matching, bandits) never hold a registry —
+// they ask for ActiveRegistry()/ActiveTracer() at the point of the event.
+// By default both resolve to process-lifetime singletons; RunPolicy
+// installs a ScopedTelemetry so each policy run collects into its own
+// instruments and the captured snapshot is per-run, not cumulative. The
+// active pointers are thread-local: a future parallel runner installs one
+// context per worker thread and runs do not bleed into each other.
+
+#ifndef LACB_OBS_CONTEXT_H_
+#define LACB_OBS_CONTEXT_H_
+
+#include <memory>
+
+#include "lacb/obs/metrics.h"
+#include "lacb/obs/trace.h"
+
+namespace lacb::obs {
+
+/// \brief Registry that instrumentation on this thread currently targets.
+MetricRegistry& ActiveRegistry();
+
+/// \brief Tracer that LACB_TRACE_SPAN on this thread currently targets.
+Tracer& ActiveTracer();
+
+/// \brief Process-wide collection switch (default on). When off, spans
+/// and metric lookups still resolve but write to a throwaway context that
+/// is never exported — flip off to measure instrumentation overhead.
+void SetCollectionEnabled(bool enabled);
+bool CollectionEnabled();
+
+/// \brief Installs a fresh registry + tracer as this thread's active
+/// context for the guard's lifetime; restores the previous context on
+/// destruction. Non-reentrant data is per-instance, so guards nest.
+class ScopedTelemetry {
+ public:
+  ScopedTelemetry();
+  ~ScopedTelemetry();
+  ScopedTelemetry(const ScopedTelemetry&) = delete;
+  ScopedTelemetry& operator=(const ScopedTelemetry&) = delete;
+
+  MetricRegistry& registry() { return *registry_; }
+  Tracer& tracer() { return *tracer_; }
+
+ private:
+  std::unique_ptr<MetricRegistry> registry_;
+  std::unique_ptr<Tracer> tracer_;
+  MetricRegistry* prev_registry_;
+  Tracer* prev_tracer_;
+};
+
+}  // namespace lacb::obs
+
+#endif  // LACB_OBS_CONTEXT_H_

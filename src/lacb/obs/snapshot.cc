@@ -1,0 +1,210 @@
+#include "lacb/obs/snapshot.h"
+
+#include <fstream>
+
+namespace lacb::obs {
+
+namespace {
+
+JsonValue HistogramToJson(const HistogramSnapshot& h) {
+  JsonValue out = JsonValue::Object();
+  out.Set("count", h.count);
+  out.Set("sum", h.sum);
+  out.Set("mean", h.mean());
+  out.Set("min", h.min);
+  out.Set("max", h.max);
+  out.Set("p50", h.p50);
+  out.Set("p95", h.p95);
+  out.Set("p99", h.p99);
+  JsonValue bounds = JsonValue::Array();
+  for (double b : h.bounds) bounds.Append(b);
+  out.Set("bounds", std::move(bounds));
+  JsonValue counts = JsonValue::Array();
+  for (uint64_t c : h.counts) counts.Append(c);
+  out.Set("bucket_counts", std::move(counts));
+  return out;
+}
+
+JsonValue SpanToJson(const SpanSnapshot& s) {
+  JsonValue out = JsonValue::Object();
+  out.Set("label", s.label);
+  out.Set("count", s.count);
+  out.Set("total_seconds", s.total_seconds);
+  out.Set("self_seconds", s.self_seconds);
+  out.Set("min_seconds", s.min_seconds);
+  out.Set("max_seconds", s.max_seconds);
+  if (!s.children.empty()) {
+    JsonValue children = JsonValue::Array();
+    for (const SpanSnapshot& c : s.children) children.Append(SpanToJson(c));
+    out.Set("children", std::move(children));
+  }
+  return out;
+}
+
+Result<double> GetNumber(const JsonValue& obj, const std::string& key) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || !v->is_number()) {
+    return Status::InvalidArgument("telemetry JSON: missing number '" + key +
+                                   "'");
+  }
+  return v->as_number();
+}
+
+Result<HistogramSnapshot> HistogramFromJson(const JsonValue& obj) {
+  HistogramSnapshot h;
+  LACB_ASSIGN_OR_RETURN(double count, GetNumber(obj, "count"));
+  h.count = static_cast<uint64_t>(count);
+  LACB_ASSIGN_OR_RETURN(h.sum, GetNumber(obj, "sum"));
+  LACB_ASSIGN_OR_RETURN(h.min, GetNumber(obj, "min"));
+  LACB_ASSIGN_OR_RETURN(h.max, GetNumber(obj, "max"));
+  LACB_ASSIGN_OR_RETURN(h.p50, GetNumber(obj, "p50"));
+  LACB_ASSIGN_OR_RETURN(h.p95, GetNumber(obj, "p95"));
+  LACB_ASSIGN_OR_RETURN(h.p99, GetNumber(obj, "p99"));
+  const JsonValue* bounds = obj.Find("bounds");
+  const JsonValue* counts = obj.Find("bucket_counts");
+  if (bounds == nullptr || !bounds->is_array() || counts == nullptr ||
+      !counts->is_array()) {
+    return Status::InvalidArgument("telemetry JSON: bad histogram buckets");
+  }
+  for (const JsonValue& b : bounds->items()) h.bounds.push_back(b.as_number());
+  for (const JsonValue& c : counts->items()) {
+    h.counts.push_back(static_cast<uint64_t>(c.as_number()));
+  }
+  return h;
+}
+
+Result<SpanSnapshot> SpanFromJson(const JsonValue& obj) {
+  SpanSnapshot s;
+  const JsonValue* label = obj.Find("label");
+  if (label == nullptr || !label->is_string()) {
+    return Status::InvalidArgument("telemetry JSON: span without label");
+  }
+  s.label = label->as_string();
+  LACB_ASSIGN_OR_RETURN(double count, GetNumber(obj, "count"));
+  s.count = static_cast<uint64_t>(count);
+  LACB_ASSIGN_OR_RETURN(s.total_seconds, GetNumber(obj, "total_seconds"));
+  LACB_ASSIGN_OR_RETURN(s.self_seconds, GetNumber(obj, "self_seconds"));
+  LACB_ASSIGN_OR_RETURN(s.min_seconds, GetNumber(obj, "min_seconds"));
+  LACB_ASSIGN_OR_RETURN(s.max_seconds, GetNumber(obj, "max_seconds"));
+  const JsonValue* children = obj.Find("children");
+  if (children != nullptr && children->is_array()) {
+    for (const JsonValue& c : children->items()) {
+      LACB_ASSIGN_OR_RETURN(SpanSnapshot child, SpanFromJson(c));
+      s.children.push_back(std::move(child));
+    }
+  }
+  return s;
+}
+
+void AggregateSpans(const std::vector<SpanSnapshot>& spans,
+                    std::map<std::string, SpanAggregate>* out) {
+  for (const SpanSnapshot& s : spans) {
+    SpanAggregate& agg = (*out)[s.label];
+    agg.count += s.count;
+    agg.total_seconds += s.total_seconds;
+    AggregateSpans(s.children, out);
+  }
+}
+
+}  // namespace
+
+std::map<std::string, SpanAggregate> RunTelemetry::SpansByLabel() const {
+  std::map<std::string, SpanAggregate> out;
+  AggregateSpans(spans, &out);
+  return out;
+}
+
+JsonValue RunTelemetry::ToJson() const {
+  JsonValue out = JsonValue::Object();
+
+  JsonValue meta = JsonValue::Object();
+  for (const auto& [k, v] : metadata) meta.Set(k, v);
+  out.Set("metadata", std::move(meta));
+
+  JsonValue counters = JsonValue::Object();
+  for (const auto& [name, v] : metrics.counters) counters.Set(name, v);
+  out.Set("counters", std::move(counters));
+
+  JsonValue gauges = JsonValue::Object();
+  for (const auto& [name, v] : metrics.gauges) gauges.Set(name, v);
+  out.Set("gauges", std::move(gauges));
+
+  JsonValue histograms = JsonValue::Object();
+  for (const auto& [name, h] : metrics.histograms) {
+    histograms.Set(name, HistogramToJson(h));
+  }
+  out.Set("histograms", std::move(histograms));
+
+  JsonValue span_array = JsonValue::Array();
+  for (const SpanSnapshot& s : spans) span_array.Append(SpanToJson(s));
+  out.Set("spans", std::move(span_array));
+  return out;
+}
+
+Result<RunTelemetry> RunTelemetry::FromJson(const JsonValue& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("telemetry JSON: not an object");
+  }
+  RunTelemetry out;
+  if (const JsonValue* meta = json.Find("metadata");
+      meta != nullptr && meta->is_object()) {
+    for (const auto& [k, v] : meta->members()) {
+      out.metadata[k] = v.is_string() ? v.as_string() : v.ToString(0);
+    }
+  }
+  if (const JsonValue* counters = json.Find("counters");
+      counters != nullptr && counters->is_object()) {
+    for (const auto& [k, v] : counters->members()) {
+      out.metrics.counters[k] = static_cast<uint64_t>(v.as_number());
+    }
+  }
+  if (const JsonValue* gauges = json.Find("gauges");
+      gauges != nullptr && gauges->is_object()) {
+    for (const auto& [k, v] : gauges->members()) {
+      out.metrics.gauges[k] = v.as_number();
+    }
+  }
+  if (const JsonValue* histograms = json.Find("histograms");
+      histograms != nullptr && histograms->is_object()) {
+    for (const auto& [k, v] : histograms->members()) {
+      LACB_ASSIGN_OR_RETURN(HistogramSnapshot h, HistogramFromJson(v));
+      out.metrics.histograms[k] = std::move(h);
+    }
+  }
+  if (const JsonValue* spans = json.Find("spans");
+      spans != nullptr && spans->is_array()) {
+    for (const JsonValue& s : spans->items()) {
+      LACB_ASSIGN_OR_RETURN(SpanSnapshot span, SpanFromJson(s));
+      out.spans.push_back(std::move(span));
+    }
+  }
+  return out;
+}
+
+RunTelemetry CaptureRun(const MetricRegistry& registry, const Tracer& tracer,
+                        std::map<std::string, std::string> metadata) {
+  RunTelemetry out;
+  out.metadata = std::move(metadata);
+  out.metrics = registry.Snapshot();
+  out.spans = tracer.Snapshot();
+  return out;
+}
+
+Status WriteJsonFile(const RunTelemetry& telemetry, const std::string& path) {
+  return WriteJsonFile(telemetry.ToJson(), path);
+}
+
+Status WriteJsonFile(const JsonValue& json, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  json.Write(out, 2);
+  out << "\n";
+  if (!out) {
+    return Status::IoError("failed writing " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace lacb::obs

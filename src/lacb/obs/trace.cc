@@ -1,0 +1,125 @@
+#include "lacb/obs/trace.h"
+
+#include <algorithm>
+
+#include "lacb/obs/context.h"
+
+namespace lacb::obs {
+
+struct Tracer::Node {
+  std::string label;
+  Node* parent = nullptr;
+  Tracer* owner = nullptr;
+  uint64_t count = 0;
+  double total_seconds = 0.0;
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+  std::map<std::string, std::unique_ptr<Node>> children;
+};
+
+namespace {
+
+// Innermost open span of this thread. May point into a previous run's
+// tracer after a context switch; Enter() detects that via Node::owner and
+// falls back to the root, so stale pointers are never followed.
+thread_local Tracer::Node* tl_open_span = nullptr;
+
+SpanSnapshot SnapshotNode(const Tracer::Node& node) {
+  SpanSnapshot snap;
+  snap.label = node.label;
+  snap.count = node.count;
+  snap.total_seconds = node.total_seconds;
+  snap.min_seconds = node.min_seconds;
+  snap.max_seconds = node.max_seconds;
+  double child_total = 0.0;
+  for (const auto& [label, child] : node.children) {
+    snap.children.push_back(SnapshotNode(*child));
+    child_total += child->total_seconds;
+  }
+  snap.self_seconds = std::max(0.0, node.total_seconds - child_total);
+  return snap;
+}
+
+void AggregateNode(const Tracer::Node& node,
+                   std::map<std::string, SpanAggregate>* out) {
+  for (const auto& [label, child] : node.children) {
+    SpanAggregate& agg = (*out)[label];
+    agg.count += child->count;
+    agg.total_seconds += child->total_seconds;
+    AggregateNode(*child, out);
+  }
+}
+
+}  // namespace
+
+Tracer::Tracer() : root_(std::make_unique<Node>()) {
+  root_->owner = this;
+}
+
+Tracer::~Tracer() {
+  // A thread that still has a chain open into this tracer (a span alive
+  // across the tracer's destruction would be a bug, but a *finished* chain
+  // leaves tl_open_span == nullptr already) must not dangle.
+  if (tl_open_span != nullptr && tl_open_span->owner == this) {
+    tl_open_span = nullptr;
+  }
+}
+
+Tracer::Node* Tracer::Enter(const char* label) {
+  Node* parent =
+      (tl_open_span != nullptr && tl_open_span->owner == this) ? tl_open_span
+                                                               : root_.get();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = parent->children[label];
+  if (slot == nullptr) {
+    slot = std::make_unique<Node>();
+    slot->label = label;
+    slot->parent = parent;
+    slot->owner = this;
+  }
+  tl_open_span = slot.get();
+  return slot.get();
+}
+
+void Tracer::Exit(Node* node, double elapsed_seconds) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (node->count == 0) {
+      node->min_seconds = elapsed_seconds;
+      node->max_seconds = elapsed_seconds;
+    } else {
+      node->min_seconds = std::min(node->min_seconds, elapsed_seconds);
+      node->max_seconds = std::max(node->max_seconds, elapsed_seconds);
+    }
+    ++node->count;
+    node->total_seconds += elapsed_seconds;
+  }
+  if (tl_open_span == node) {
+    tl_open_span = node->parent == root_.get() ? nullptr : node->parent;
+  }
+}
+
+std::vector<SpanSnapshot> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanSnapshot> out;
+  for (const auto& [label, child] : root_->children) {
+    out.push_back(SnapshotNode(*child));
+  }
+  return out;
+}
+
+std::map<std::string, SpanAggregate> Tracer::AggregateByLabel() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, SpanAggregate> out;
+  AggregateNode(*root_, &out);
+  return out;
+}
+
+ScopedSpan::ScopedSpan(const char* label)
+    : tracer_(&ActiveTracer()), node_(tracer_->Enter(label)) {}
+
+ScopedSpan::~ScopedSpan() {
+  tracer_->Exit(node_, watch_.ElapsedSeconds());
+}
+
+}  // namespace lacb::obs

@@ -1,0 +1,104 @@
+// Scoped-span tracing: RAII spans aggregated into a parent/child tree.
+//
+// A span is opened with LACB_TRACE_SPAN("km_solve") and closes when the
+// scope exits; its wall time (via Stopwatch) is accumulated into the node
+// for its label under the innermost open span of the same thread. Repeated
+// executions of the same scope aggregate in place (count / total / min /
+// max) instead of appending events, so a full run's trace stays O(distinct
+// call paths) — cheap enough to leave on in production.
+//
+// Each thread tracks its own open-span chain; node creation and stat
+// accumulation are mutex-protected, so concurrent threads may share one
+// Tracer.
+
+#ifndef LACB_OBS_TRACE_H_
+#define LACB_OBS_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "lacb/common/stopwatch.h"
+
+namespace lacb::obs {
+
+class Tracer;
+
+/// \brief Aggregated timings of one span path, with nested children.
+struct SpanSnapshot {
+  std::string label;
+  uint64_t count = 0;
+  double total_seconds = 0.0;
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+  /// Total minus the children's totals: time spent in this span itself.
+  double self_seconds = 0.0;
+  std::vector<SpanSnapshot> children;
+};
+
+/// \brief Flat per-label totals summed over every tree position.
+struct SpanAggregate {
+  uint64_t count = 0;
+  double total_seconds = 0.0;
+};
+
+/// \brief Collects span statistics for one run (or the whole process).
+class Tracer {
+ public:
+  /// Opaque aggregation node (defined in trace.cc).
+  struct Node;
+
+  Tracer();
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// \brief The aggregated span forest (children of the implicit root).
+  std::vector<SpanSnapshot> Snapshot() const;
+
+  /// \brief Per-label totals regardless of nesting position.
+  std::map<std::string, SpanAggregate> AggregateByLabel() const;
+
+ private:
+  friend class ScopedSpan;
+
+  /// Opens a child of this thread's innermost open span (or the root).
+  Node* Enter(const char* label);
+  /// Closes `node`, folding `elapsed_seconds` into its stats.
+  void Exit(Node* node, double elapsed_seconds);
+
+  std::unique_ptr<Node> root_;
+  mutable std::mutex mu_;
+};
+
+/// \brief RAII span handle; use via LACB_TRACE_SPAN.
+class ScopedSpan {
+ public:
+  /// \brief Opens a span on the active tracer (see obs/context.h).
+  /// `label` must outlive the tracer (string literals qualify).
+  explicit ScopedSpan(const char* label);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+  Tracer::Node* node_;
+  Stopwatch watch_;
+};
+
+}  // namespace lacb::obs
+
+/// \brief Times the enclosing scope as a span named `label`.
+#define LACB_TRACE_SPAN(label) \
+  ::lacb::obs::ScopedSpan LACB_CONCAT_(lacb_obs_span_, __LINE__)(label)
+
+#ifndef LACB_CONCAT_
+#define LACB_CONCAT_INNER_(a, b) a##b
+#define LACB_CONCAT_(a, b) LACB_CONCAT_INNER_(a, b)
+#endif
+
+#endif  // LACB_OBS_TRACE_H_

@@ -5,6 +5,7 @@
 
 #include "lacb/matching/assignment.h"
 #include "lacb/matching/selection.h"
+#include "lacb/obs/obs.h"
 
 namespace lacb::policy {
 
@@ -39,12 +40,16 @@ Status LacbPolicy::BeginDay(const sim::Platform& platform, size_t day) {
   if (estimator_ == nullptr) {
     return Status::FailedPrecondition("LACB policy was not initialized");
   }
+  LACB_TRACE_SPAN("capacity_estimate");
   capacity_.resize(platform.num_brokers());
   for (size_t b = 0; b < platform.num_brokers(); ++b) {
     LACB_ASSIGN_OR_RETURN(
         capacity_[b],
         estimator_->Estimate(b, platform.brokers()[b].ContextVector()));
   }
+  obs::ActiveRegistry()
+      .GetGauge("lacb.value_table_size")
+      .Set(static_cast<double>(value_function_.table_size()));
   return Status::OK();
 }
 
@@ -77,17 +82,27 @@ Result<std::vector<int64_t>> LacbPolicy::AssignBatch(const BatchInput& input) {
   // brokers by the value-function delta at their current residual.
   la::Matrix refined(num_requests, eligible.size());
   std::vector<double> residual(eligible.size());
-  for (size_t c = 0; c < eligible.size(); ++c) {
-    size_t b = eligible[c];
-    residual[c] = capacity_[b] - w[b];
-    double delta = 0.0;
-    if (config_.use_value_function &&
-        CapacityHitFrequency(b) > config_.capacity_hit_threshold) {
-      delta = value_function_.RefinementDelta(residual[c]);
-      if (config_.clamp_refinement) delta = std::min(0.0, delta);
+  {
+    LACB_TRACE_SPAN("value_refine");
+    size_t refined_brokers = 0;
+    for (size_t c = 0; c < eligible.size(); ++c) {
+      size_t b = eligible[c];
+      residual[c] = capacity_[b] - w[b];
+      double delta = 0.0;
+      if (config_.use_value_function &&
+          CapacityHitFrequency(b) > config_.capacity_hit_threshold) {
+        delta = value_function_.RefinementDelta(residual[c]);
+        if (config_.clamp_refinement) delta = std::min(0.0, delta);
+        ++refined_brokers;
+      }
+      for (size_t r = 0; r < num_requests; ++r) {
+        refined(r, c) = u(r, eligible[c]) + delta;
+      }
     }
-    for (size_t r = 0; r < num_requests; ++r) {
-      refined(r, c) = u(r, eligible[c]) + delta;
+    if (refined_brokers > 0) {
+      obs::ActiveRegistry()
+          .GetCounter("lacb.refined_broker_columns")
+          .Increment(refined_brokers);
     }
   }
 
@@ -97,12 +112,17 @@ Result<std::vector<int64_t>> LacbPolicy::AssignBatch(const BatchInput& input) {
   la::Matrix* solve_matrix = &refined;
   la::Matrix pruned;
   if (config_.use_cbs && eligible.size() > num_requests) {
+    LACB_TRACE_SPAN("cbs_prune");
     LACB_ASSIGN_OR_RETURN(active, matching::CandidateColumns(refined, &rng_));
     LACB_ASSIGN_OR_RETURN(pruned, matching::RestrictColumns(refined, active));
     solve_matrix = &pruned;
+    obs::ActiveRegistry()
+        .GetCounter("lacb.cbs_pruned_columns")
+        .Increment(eligible.size() - active.size());
   }
 
-  // Alg. 2 line 7: KM on the (padded or pruned) graph.
+  // Alg. 2 line 7: KM on the (padded or pruned) graph. The km_solve span
+  // and KM iteration counters live inside matching::MaxWeightAssignment.
   matching::Assignment assignment;
   if (solve_matrix->rows() <= solve_matrix->cols()) {
     if (config_.use_cbs || !config_.pad_to_square) {
@@ -137,6 +157,7 @@ Result<std::vector<int64_t>> LacbPolicy::AssignBatch(const BatchInput& input) {
   // Alg. 2 lines 8-10: workload bookkeeping is done by the platform; here
   // we back up the value function along each realized transition.
   if (config_.use_value_function) {
+    LACB_TRACE_SPAN("value_refine");
     for (size_t r = 0; r < num_requests; ++r) {
       if (out[r] == matching::kUnmatched) continue;
       size_t b = static_cast<size_t>(out[r]);
@@ -163,15 +184,37 @@ Status LacbPolicy::EndDay(const sim::DayOutcome& outcome) {
       value_function_.TerminalUpdate(std::max(0.0, capacity_[b] - w));
     }
   }
+  size_t hits_today = 0;
   for (const sim::TrialTriple& t : outcome.trials) {
     if (t.broker < capacity_.size() && capacity_[t.broker] > 0.0 &&
         t.workload >= capacity_[t.broker]) {
       ++capacity_hits_[t.broker];
+      ++hits_today;
     }
     if (t.workload <= 0.0) continue;
     LACB_RETURN_NOT_OK(
         estimator_->Update(t.broker, t.context, t.workload, t.signup_rate));
   }
+
+  // Exploration-health telemetry: how often capacity binds (vs the paper's
+  // δ threshold) and how many brokers currently clear it.
+  obs::MetricRegistry& registry = obs::ActiveRegistry();
+  if (hits_today > 0) {
+    registry.GetCounter("lacb.capacity_hits").Increment(hits_today);
+  }
+  double freq_sum = 0.0;
+  size_t above_threshold = 0;
+  for (size_t b = 0; b < capacity_hits_.size(); ++b) {
+    double f = CapacityHitFrequency(b);
+    freq_sum += f;
+    if (f > config_.capacity_hit_threshold) ++above_threshold;
+  }
+  if (!capacity_hits_.empty()) {
+    registry.GetGauge("lacb.capacity_hit_freq_mean")
+        .Set(freq_sum / static_cast<double>(capacity_hits_.size()));
+  }
+  registry.GetGauge("lacb.brokers_above_hit_threshold")
+      .Set(static_cast<double>(above_threshold));
   return Status::OK();
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "lacb/obs/context.h"
+
 namespace lacb::policy {
 
 Result<CapacityValueFunction> CapacityValueFunction::Create(
@@ -36,6 +38,7 @@ double CapacityValueFunction::RefinementDelta(double residual) const {
 void CapacityValueFunction::TerminalUpdate(double residual) {
   size_t idx = Index(residual);
   table_[idx] += learning_rate_ * (0.0 - table_[idx]);
+  obs::ActiveRegistry().GetCounter("vf.terminal_updates").Increment();
 }
 
 void CapacityValueFunction::Update(double residual_before,
@@ -43,6 +46,7 @@ void CapacityValueFunction::Update(double residual_before,
   size_t idx = Index(residual_before);
   double target = reward + discount_ * Value(residual_after);
   table_[idx] += learning_rate_ * (target - table_[idx]);
+  obs::ActiveRegistry().GetCounter("vf.td_updates").Increment();
 }
 
 }  // namespace lacb::policy

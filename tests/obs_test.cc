@@ -1,0 +1,374 @@
+// Unit tests for lacb/obs: metric instruments, scoped-span tracing, the
+// JSON document model, and RunTelemetry snapshot round-trips.
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lacb/obs/obs.h"
+
+namespace lacb::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Counters and gauges.
+// ---------------------------------------------------------------------------
+
+TEST(CounterTest, IncrementAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, SetOverwritesAddAccumulates) {
+  Gauge g;
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.Set(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), -1.0);
+  g.Add(0.5);
+  g.Add(0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(MetricRegistryTest, GetReturnsStableInstances) {
+  MetricRegistry registry;
+  Counter& a = registry.GetCounter("x");
+  a.Increment(3);
+  // Same name resolves to the same instrument; new names start fresh.
+  EXPECT_EQ(&registry.GetCounter("x"), &a);
+  EXPECT_EQ(registry.GetCounter("x").value(), 3u);
+  EXPECT_EQ(registry.GetCounter("y").value(), 0u);
+  EXPECT_EQ(&registry.GetGauge("x"), &registry.GetGauge("x"));
+  EXPECT_EQ(&registry.GetHistogram("x"), &registry.GetHistogram("x"));
+}
+
+TEST(MetricRegistryTest, SnapshotListsEveryInstrument) {
+  MetricRegistry registry;
+  registry.GetCounter("c.one").Increment(7);
+  registry.GetGauge("g.one").Set(1.25);
+  registry.GetHistogram("h.one").Record(0.5);
+
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("c.one"), 7u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("g.one"), 1.25);
+  EXPECT_EQ(snap.histograms.at("h.one").count, 1u);
+  EXPECT_DOUBLE_EQ(snap.histograms.at("h.one").sum, 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Histograms and streaming quantiles.
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, BucketsAndBasicStats) {
+  Histogram h({1.0, 10.0, 100.0});
+  for (double v : {0.5, 0.7, 5.0, 50.0, 500.0}) h.Record(v);
+
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_DOUBLE_EQ(snap.sum, 556.2);
+  EXPECT_DOUBLE_EQ(snap.min, 0.5);
+  EXPECT_DOUBLE_EQ(snap.max, 500.0);
+  EXPECT_DOUBLE_EQ(snap.mean(), 556.2 / 5.0);
+  ASSERT_EQ(snap.bounds.size(), 3u);
+  ASSERT_EQ(snap.counts.size(), 4u);  // 3 buckets + overflow
+  EXPECT_EQ(snap.counts[0], 2u);      // <= 1
+  EXPECT_EQ(snap.counts[1], 1u);      // <= 10
+  EXPECT_EQ(snap.counts[2], 1u);      // <= 100
+  EXPECT_EQ(snap.counts[3], 1u);      // overflow
+}
+
+TEST(HistogramTest, QuantilesExactBelowFiveObservations) {
+  Histogram h({1.0, 2.0, 3.0});
+  h.Record(3.0);
+  h.Record(1.0);
+  h.Record(2.0);
+  HistogramSnapshot snap = h.Snapshot();
+  // With < 5 observations P² falls back to the sorted sample, linearly
+  // interpolated at rank q * (n - 1).
+  EXPECT_DOUBLE_EQ(snap.p50, 2.0);
+  EXPECT_DOUBLE_EQ(snap.p99, 2.0 + 0.99 * 2.0 - 1.0);  // 2.98
+}
+
+TEST(P2QuantileTest, AccurateOnUniformDistribution) {
+  // Uniform [0, 1): true quantile q is simply q.
+  std::mt19937 rng(1234);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  P2Quantile p50(0.50), p95(0.95), p99(0.99);
+  for (int i = 0; i < 20000; ++i) {
+    double x = uniform(rng);
+    p50.Record(x);
+    p95.Record(x);
+    p99.Record(x);
+  }
+  EXPECT_NEAR(p50.Estimate(), 0.50, 0.02);
+  EXPECT_NEAR(p95.Estimate(), 0.95, 0.02);
+  EXPECT_NEAR(p99.Estimate(), 0.99, 0.01);
+}
+
+TEST(P2QuantileTest, AccurateOnExponentialDistribution) {
+  // Exponential(1): true quantile q is -ln(1 - q). Heavier tail than
+  // uniform, so this exercises the parabolic marker adjustment harder.
+  std::mt19937 rng(99);
+  std::exponential_distribution<double> expo(1.0);
+  P2Quantile p50(0.50), p95(0.95);
+  for (int i = 0; i < 50000; ++i) {
+    double x = expo(rng);
+    p50.Record(x);
+    p95.Record(x);
+  }
+  EXPECT_NEAR(p50.Estimate(), -std::log(0.5), 0.05);
+  EXPECT_NEAR(p95.Estimate(), -std::log(0.05), 0.15);
+}
+
+TEST(HistogramTest, DefaultLatencyBoundsAreStrictlyIncreasing) {
+  std::vector<double> bounds = Histogram::DefaultLatencyBounds();
+  ASSERT_GE(bounds.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(bounds.begin(), bounds.end()));
+  EXPECT_EQ(std::adjacent_find(bounds.begin(), bounds.end()), bounds.end());
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency.
+// ---------------------------------------------------------------------------
+
+TEST(ConcurrencyTest, FourThreadsIncrementWithoutLoss) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100000;
+  MetricRegistry registry;
+  Counter& counter = registry.GetCounter("concurrent.counter");
+  Histogram& hist = registry.GetHistogram("concurrent.hist", {0.5, 1.5});
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&counter, &hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.Increment();
+        if (i % 100 == 0) hist.Record(t % 2 == 0 ? 0.25 : 1.0);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  EXPECT_EQ(counter.value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads) * kPerThread / 100);
+  EXPECT_EQ(snap.counts[0] + snap.counts[1] + snap.counts[2], snap.count);
+}
+
+// ---------------------------------------------------------------------------
+// Tracing.
+// ---------------------------------------------------------------------------
+
+TEST(TracerTest, NestedSpansAggregateByPath) {
+  ScopedTelemetry telemetry;
+  for (int day = 0; day < 3; ++day) {
+    LACB_TRACE_SPAN("day");
+    for (int batch = 0; batch < 4; ++batch) {
+      LACB_TRACE_SPAN("assign_batch");
+      { LACB_TRACE_SPAN("km_solve"); }
+    }
+    { LACB_TRACE_SPAN("policy_end_day"); }
+  }
+
+  std::vector<SpanSnapshot> spans = telemetry.tracer().Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  const SpanSnapshot& day = spans[0];
+  EXPECT_EQ(day.label, "day");
+  EXPECT_EQ(day.count, 3u);
+  ASSERT_EQ(day.children.size(), 2u);
+
+  const SpanSnapshot* assign = nullptr;
+  const SpanSnapshot* end_day = nullptr;
+  for (const SpanSnapshot& child : day.children) {
+    if (child.label == "assign_batch") assign = &child;
+    if (child.label == "policy_end_day") end_day = &child;
+  }
+  ASSERT_NE(assign, nullptr);
+  ASSERT_NE(end_day, nullptr);
+  EXPECT_EQ(assign->count, 12u);
+  EXPECT_EQ(end_day->count, 3u);
+  ASSERT_EQ(assign->children.size(), 1u);
+  EXPECT_EQ(assign->children[0].label, "km_solve");
+  EXPECT_EQ(assign->children[0].count, 12u);
+
+  // Timing invariants: children fit inside the parent, self + children
+  // totals reconstruct the parent's total.
+  EXPECT_GE(day.total_seconds, assign->total_seconds);
+  EXPECT_GE(day.min_seconds, 0.0);
+  EXPECT_GE(day.max_seconds, day.min_seconds);
+  double children_total = assign->total_seconds + end_day->total_seconds;
+  EXPECT_NEAR(day.self_seconds, day.total_seconds - children_total, 1e-12);
+}
+
+TEST(TracerTest, AggregateByLabelSumsAcrossPositions) {
+  ScopedTelemetry telemetry;
+  {
+    LACB_TRACE_SPAN("outer");
+    { LACB_TRACE_SPAN("shared"); }
+  }
+  { LACB_TRACE_SPAN("shared"); }  // same label, different tree position
+
+  std::map<std::string, SpanAggregate> agg =
+      telemetry.tracer().AggregateByLabel();
+  EXPECT_EQ(agg.at("outer").count, 1u);
+  EXPECT_EQ(agg.at("shared").count, 2u);
+  EXPECT_GE(agg.at("shared").total_seconds, 0.0);
+}
+
+TEST(ScopedTelemetryTest, NestedGuardsIsolateRuns) {
+  ScopedTelemetry outer;
+  ActiveRegistry().GetCounter("runs").Increment();
+  {
+    ScopedTelemetry inner;
+    ActiveRegistry().GetCounter("runs").Increment(10);
+    { LACB_TRACE_SPAN("inner_only"); }
+    EXPECT_EQ(inner.registry().GetCounter("runs").value(), 10u);
+    EXPECT_EQ(inner.tracer().AggregateByLabel().count("inner_only"), 1u);
+  }
+  // The inner run's events never reached the outer context.
+  EXPECT_EQ(outer.registry().GetCounter("runs").value(), 1u);
+  EXPECT_TRUE(outer.tracer().AggregateByLabel().empty());
+}
+
+TEST(ScopedTelemetryTest, DisabledCollectionWritesToSink) {
+  ScopedTelemetry telemetry;
+  SetCollectionEnabled(false);
+  ActiveRegistry().GetCounter("dropped").Increment(5);
+  { LACB_TRACE_SPAN("dropped_span"); }
+  SetCollectionEnabled(true);
+
+  EXPECT_EQ(telemetry.registry().Snapshot().counters.count("dropped"), 0u);
+  EXPECT_TRUE(telemetry.tracer().AggregateByLabel().empty());
+}
+
+// ---------------------------------------------------------------------------
+// JSON model.
+// ---------------------------------------------------------------------------
+
+TEST(JsonTest, WriteParsesBack) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("name", "km_solve");
+  doc.Set("count", static_cast<uint64_t>(42));
+  doc.Set("ratio", 0.125);
+  doc.Set("ok", true);
+  doc.Set("missing", JsonValue());
+  JsonValue arr = JsonValue::Array();
+  arr.Append(static_cast<int64_t>(1));
+  arr.Append("two");
+  doc.Set("items", std::move(arr));
+
+  Result<JsonValue> parsed = JsonValue::Parse(doc.ToString());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& v = parsed.value();
+  EXPECT_EQ(v.Find("name")->as_string(), "km_solve");
+  EXPECT_DOUBLE_EQ(v.Find("count")->as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(v.Find("ratio")->as_number(), 0.125);
+  EXPECT_TRUE(v.Find("ok")->as_bool());
+  EXPECT_TRUE(v.Find("missing")->is_null());
+  ASSERT_EQ(v.Find("items")->items().size(), 2u);
+  EXPECT_EQ(v.Find("items")->items()[1].as_string(), "two");
+}
+
+TEST(JsonTest, StringEscapesRoundTrip) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("s", std::string("tab\t quote\" slash\\ newline\n"));
+  Result<JsonValue> parsed = JsonValue::Parse(doc.ToString(0));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().Find("s")->as_string(),
+            "tab\t quote\" slash\\ newline\n");
+}
+
+TEST(JsonTest, RejectsTrailingJunkAndBadSyntax) {
+  EXPECT_FALSE(JsonValue::Parse("{\"a\": 1} x").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\": }").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1, 2").ok());
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+}
+
+TEST(JsonTest, ObjectKeepsInsertionOrderAndReplacesDuplicates) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("z", 1.0);
+  doc.Set("a", 2.0);
+  doc.Set("z", 3.0);  // replace, keep position
+  ASSERT_EQ(doc.members().size(), 2u);
+  EXPECT_EQ(doc.members()[0].first, "z");
+  EXPECT_DOUBLE_EQ(doc.members()[0].second.as_number(), 3.0);
+  EXPECT_EQ(doc.members()[1].first, "a");
+}
+
+// ---------------------------------------------------------------------------
+// RunTelemetry snapshots.
+// ---------------------------------------------------------------------------
+
+RunTelemetry MakeSampleRun() {
+  ScopedTelemetry telemetry;
+  telemetry.registry().GetCounter("matching.km.solves").Increment(12);
+  telemetry.registry().GetGauge("lacb.value_table_size").Set(128.0);
+  Histogram& h =
+      telemetry.registry().GetHistogram("engine.batch_assign_seconds");
+  for (int i = 1; i <= 200; ++i) h.Record(i * 1e-4);
+  {
+    LACB_TRACE_SPAN("day");
+    { LACB_TRACE_SPAN("assign_batch"); }
+  }
+  return CaptureRun(telemetry.registry(), telemetry.tracer(),
+                    {{"policy", "lacb"}, {"dataset", "unit"}});
+}
+
+TEST(RunTelemetryTest, JsonRoundTripPreservesEverything) {
+  RunTelemetry original = MakeSampleRun();
+
+  Result<JsonValue> parsed = JsonValue::Parse(original.ToJson().ToString());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  Result<RunTelemetry> restored_or = RunTelemetry::FromJson(parsed.value());
+  ASSERT_TRUE(restored_or.ok()) << restored_or.status().ToString();
+  const RunTelemetry& restored = restored_or.value();
+
+  EXPECT_EQ(restored.metadata, original.metadata);
+  EXPECT_EQ(restored.metrics.counters, original.metrics.counters);
+  EXPECT_EQ(restored.metrics.gauges, original.metrics.gauges);
+
+  ASSERT_EQ(restored.metrics.histograms.count("engine.batch_assign_seconds"),
+            1u);
+  const HistogramSnapshot& got =
+      restored.metrics.histograms.at("engine.batch_assign_seconds");
+  const HistogramSnapshot& want =
+      original.metrics.histograms.at("engine.batch_assign_seconds");
+  EXPECT_EQ(got.count, want.count);
+  EXPECT_DOUBLE_EQ(got.sum, want.sum);
+  EXPECT_DOUBLE_EQ(got.min, want.min);
+  EXPECT_DOUBLE_EQ(got.max, want.max);
+  EXPECT_DOUBLE_EQ(got.p50, want.p50);
+  EXPECT_DOUBLE_EQ(got.p95, want.p95);
+  EXPECT_DOUBLE_EQ(got.p99, want.p99);
+  EXPECT_EQ(got.bounds, want.bounds);
+  EXPECT_EQ(got.counts, want.counts);
+
+  ASSERT_EQ(restored.spans.size(), 1u);
+  EXPECT_EQ(restored.spans[0].label, "day");
+  EXPECT_EQ(restored.spans[0].count, 1u);
+  ASSERT_EQ(restored.spans[0].children.size(), 1u);
+  EXPECT_EQ(restored.spans[0].children[0].label, "assign_batch");
+  EXPECT_DOUBLE_EQ(restored.spans[0].total_seconds,
+                   original.spans[0].total_seconds);
+}
+
+TEST(RunTelemetryTest, SpansByLabelFlattensTree) {
+  RunTelemetry run = MakeSampleRun();
+  std::map<std::string, SpanAggregate> by_label = run.SpansByLabel();
+  EXPECT_EQ(by_label.at("day").count, 1u);
+  EXPECT_EQ(by_label.at("assign_batch").count, 1u);
+}
+
+}  // namespace
+}  // namespace lacb::obs
