@@ -112,6 +112,9 @@ class BenchTelemetryLog {
       run.Set("overloaded_broker_days",
               static_cast<uint64_t>(r.overloaded_broker_days));
       run.Set("overload_excess", r.overload_excess);
+      // Serve-path fields; zero on offline runs, so no special casing.
+      run.Set("shed_requests", static_cast<uint64_t>(r.shed_requests));
+      run.Set("p99_batch_latency", r.p99_batch_latency);
       if (r.telemetry != nullptr) {
         run.Set("telemetry", r.telemetry->ToJson());
       }

@@ -50,6 +50,13 @@ struct PolicyRunResult {
   double overload_excess = 0.0;
   size_t total_appeals = 0;
 
+  /// Serving-path summary (zero for offline engine runs): requests refused
+  /// at admission control, and the p99 of per-batch assignment latency in
+  /// seconds. Populated by serve::RunPolicyServed so BenchTelemetryLog
+  /// serializes offline and served runs uniformly.
+  size_t shed_requests = 0;
+  double p99_batch_latency = 0.0;
+
   /// Structured run telemetry: metrics + span tree collected while this
   /// run executed (see docs/observability.md). Null when collection was
   /// disabled via obs::SetCollectionEnabled(false). Shared so copies of

@@ -80,4 +80,22 @@ MakePolicySuite(const sim::DatasetConfig& dataset,
   return out;
 }
 
+Result<std::unique_ptr<policy::AssignmentPolicy>> MakeSuitePolicy(
+    const sim::DatasetConfig& dataset, const PolicySuiteConfig& suite,
+    size_t index) {
+  LACB_ASSIGN_OR_RETURN(auto policies, MakePolicySuite(dataset, suite));
+  if (index >= policies.size()) {
+    return Status::OutOfRange("suite policy index out of range");
+  }
+  return std::move(policies[index]);
+}
+
+policy::PolicyFactory SuitePolicyFactory(const sim::DatasetConfig& dataset,
+                                         const PolicySuiteConfig& suite,
+                                         size_t index) {
+  return [dataset, suite, index] {
+    return MakeSuitePolicy(dataset, suite, index);
+  };
+}
+
 }  // namespace lacb::core

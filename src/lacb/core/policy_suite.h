@@ -43,6 +43,19 @@ Result<std::vector<std::unique_ptr<policy::AssignmentPolicy>>>
 MakePolicySuite(const sim::DatasetConfig& dataset,
                 const PolicySuiteConfig& suite);
 
+/// \brief Builds just the `index`-th policy of the suite (the serving
+/// layer creates one replica per worker this way). Indices follow the
+/// suite order; OutOfRange past the end.
+Result<std::unique_ptr<policy::AssignmentPolicy>> MakeSuitePolicy(
+    const sim::DatasetConfig& dataset, const PolicySuiteConfig& suite,
+    size_t index);
+
+/// \brief Factory producing bit-identical replicas of suite policy
+/// `index` (see policy::PolicyFactory).
+policy::PolicyFactory SuitePolicyFactory(const sim::DatasetConfig& dataset,
+                                         const PolicySuiteConfig& suite,
+                                         size_t index);
+
 }  // namespace lacb::core
 
 #endif  // LACB_CORE_POLICY_SUITE_H_

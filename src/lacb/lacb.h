@@ -51,6 +51,7 @@
 #include "lacb/policy/lacb_policy.h"
 #include "lacb/policy/recommendation.h"
 #include "lacb/policy/value_function.h"
+#include "lacb/serve/serve.h"
 #include "lacb/sim/broker.h"
 #include "lacb/sim/dataset.h"
 #include "lacb/sim/platform.h"

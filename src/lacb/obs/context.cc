@@ -54,6 +54,18 @@ bool CollectionEnabled() {
   return g_enabled.load(std::memory_order_relaxed);
 }
 
+ScopedContextAdoption::ScopedContextAdoption(MetricRegistry* registry,
+                                             Tracer* tracer)
+    : prev_registry_(tl_registry), prev_tracer_(tl_tracer) {
+  tl_registry = registry;
+  tl_tracer = tracer;
+}
+
+ScopedContextAdoption::~ScopedContextAdoption() {
+  tl_registry = prev_registry_;
+  tl_tracer = prev_tracer_;
+}
+
 ScopedTelemetry::ScopedTelemetry()
     : registry_(std::make_unique<MetricRegistry>()),
       tracer_(std::make_unique<Tracer>()),

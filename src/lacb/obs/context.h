@@ -31,6 +31,25 @@ Tracer& ActiveTracer();
 void SetCollectionEnabled(bool enabled);
 bool CollectionEnabled();
 
+/// \brief Installs an *existing* registry + tracer (owned elsewhere) as
+/// this thread's active context for the guard's lifetime. This is how a
+/// worker-thread pool points its threads at the run-scoped telemetry of
+/// the thread that launched it (the serve layer's batcher and assignment
+/// workers adopt the service's context): both instruments are internally
+/// thread-safe, so many threads may adopt the same pair. Null pointers
+/// re-select the process-wide default context.
+class ScopedContextAdoption {
+ public:
+  ScopedContextAdoption(MetricRegistry* registry, Tracer* tracer);
+  ~ScopedContextAdoption();
+  ScopedContextAdoption(const ScopedContextAdoption&) = delete;
+  ScopedContextAdoption& operator=(const ScopedContextAdoption&) = delete;
+
+ private:
+  MetricRegistry* prev_registry_;
+  Tracer* prev_tracer_;
+};
+
 /// \brief Installs a fresh registry + tracer as this thread's active
 /// context for the guard's lifetime; restores the previous context on
 /// destruction. Non-reentrant data is per-instance, so guards nest.

@@ -10,6 +10,8 @@
 #ifndef LACB_POLICY_ASSIGNMENT_POLICY_H_
 #define LACB_POLICY_ASSIGNMENT_POLICY_H_
 
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -60,6 +62,15 @@ class AssignmentPolicy {
     return Status::OK();
   }
 };
+
+/// \brief Builds fresh, identically-configured policy instances on demand.
+///
+/// The online serving layer gives each assignment worker its own replica
+/// (policies carry mutable per-batch state — bandit posteriors, RNG
+/// streams — so sharing one instance across threads would race); a factory
+/// captures the full configuration so every replica starts bit-identical.
+using PolicyFactory =
+    std::function<Result<std::unique_ptr<AssignmentPolicy>>()>;
 
 /// \brief Shared KM helper: maximum-weight assignment of requests (rows) to
 /// the broker columns listed in `eligible`.

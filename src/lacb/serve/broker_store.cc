@@ -1,0 +1,104 @@
+#include "lacb/serve/broker_store.h"
+
+#include <algorithm>
+
+namespace lacb::serve {
+
+ShardedBrokerStore::ShardedBrokerStore(size_t num_brokers, size_t num_stripes)
+    : num_stripes_(std::clamp<size_t>(num_stripes, 1,
+                                      std::max<size_t>(1, num_brokers))),
+      stripes_(new Stripe[num_stripes_]),
+      slots_(num_brokers) {}
+
+void ShardedBrokerStore::ResetDay() {
+  for (size_t s = 0; s < num_stripes_; ++s) {
+    std::lock_guard<std::mutex> lock(stripes_[s].mu);
+    for (size_t b = s; b < slots_.size(); b += num_stripes_) {
+      slots_[b].workload = 0.0;
+      slots_[b].day_utility = 0.0;
+    }
+  }
+}
+
+void ShardedBrokerStore::SetCapacities(const std::vector<double>& capacities) {
+  size_t n = std::min(capacities.size(), slots_.size());
+  for (size_t s = 0; s < num_stripes_; ++s) {
+    std::lock_guard<std::mutex> lock(stripes_[s].mu);
+    for (size_t b = s; b < n; b += num_stripes_) {
+      slots_[b].capacity = capacities[b];
+    }
+  }
+}
+
+void ShardedBrokerStore::SnapshotWorkloads(std::vector<double>* out) const {
+  out->resize(slots_.size());
+  for (size_t s = 0; s < num_stripes_; ++s) {
+    std::lock_guard<std::mutex> lock(stripes_[s].mu);
+    for (size_t b = s; b < slots_.size(); b += num_stripes_) {
+      (*out)[b] = slots_[b].workload;
+    }
+  }
+}
+
+std::vector<double> ShardedBrokerStore::ResidualCapacities(
+    double unknown_residual) const {
+  std::vector<double> residual(slots_.size(), 0.0);
+  for (size_t s = 0; s < num_stripes_; ++s) {
+    std::lock_guard<std::mutex> lock(stripes_[s].mu);
+    for (size_t b = s; b < slots_.size(); b += num_stripes_) {
+      residual[b] = slots_[b].capacity <= 0.0
+                        ? unknown_residual
+                        : std::max(0.0, slots_[b].capacity - slots_[b].workload);
+    }
+  }
+  return residual;
+}
+
+void ShardedBrokerStore::CommitAccepted(
+    const std::vector<sim::CommittedEdge>& edges) {
+  // Group edges by stripe so each stripe mutex is taken at most once per
+  // batch regardless of how many of its brokers the batch touches.
+  std::vector<std::vector<const sim::CommittedEdge*>> by_stripe(num_stripes_);
+  for (const sim::CommittedEdge& e : edges) {
+    if (e.broker < slots_.size()) {
+      by_stripe[StripeOf(e.broker)].push_back(&e);
+    }
+  }
+  for (size_t s = 0; s < num_stripes_; ++s) {
+    if (by_stripe[s].empty()) continue;
+    std::lock_guard<std::mutex> lock(stripes_[s].mu);
+    for (const sim::CommittedEdge* e : by_stripe[s]) {
+      BrokerSlot& slot = slots_[e->broker];
+      slot.workload += 1.0;
+      slot.day_utility += e->utility;
+      ++slot.served_total;
+    }
+  }
+}
+
+void ShardedBrokerStore::ApplyDayFeedback(const sim::DayOutcome& outcome) {
+  for (const sim::TrialTriple& t : outcome.trials) {
+    if (t.broker >= slots_.size()) continue;
+    std::lock_guard<std::mutex> lock(stripes_[StripeOf(t.broker)].mu);
+    slots_[t.broker].last_workload = t.workload;
+    slots_[t.broker].last_signup_rate = t.signup_rate;
+  }
+}
+
+BrokerSlot ShardedBrokerStore::Get(size_t broker) const {
+  std::lock_guard<std::mutex> lock(stripes_[StripeOf(broker)].mu);
+  return slots_[broker];
+}
+
+double ShardedBrokerStore::TotalWorkload() const {
+  double total = 0.0;
+  for (size_t s = 0; s < num_stripes_; ++s) {
+    std::lock_guard<std::mutex> lock(stripes_[s].mu);
+    for (size_t b = s; b < slots_.size(); b += num_stripes_) {
+      total += slots_[b].workload;
+    }
+  }
+  return total;
+}
+
+}  // namespace lacb::serve

@@ -1,0 +1,101 @@
+// Sharded broker-state store: the concurrent view of per-broker serving
+// state that batch workers read and write without a global lock.
+//
+// Brokers are partitioned into lock stripes (broker b belongs to stripe
+// b % num_stripes); every mutation takes only its stripe's mutex, so
+// workers committing assignments for disjoint stripes never contend, and a
+// whole-roster snapshot costs num_stripes lock acquisitions instead of a
+// stop-the-world lock. Each slot carries the state the assignment path
+// consumes: today's workload, the current capacity estimate (residual =
+// capacity − workload is the admission headroom the paper's B₊ filter
+// uses), the day's committed predicted utility, and the cached bandit
+// feedback (w_b, s_b) from the most recent day close.
+//
+// The store is a *view*, not the environment of record: the simulator's
+// Platform stays authoritative for ground truth (appeals, realized
+// utility, sign-up draws). With one worker the two agree exactly — that is
+// the determinism gate — and with many workers the store is what makes
+// concurrent workload reads and commits race-free.
+
+#ifndef LACB_SERVE_BROKER_STORE_H_
+#define LACB_SERVE_BROKER_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "lacb/sim/platform.h"
+
+namespace lacb::serve {
+
+/// \brief Per-broker serving state (one slot per broker).
+struct BrokerSlot {
+  double workload = 0.0;       ///< Requests committed today.
+  double capacity = 0.0;       ///< Today's capacity estimate (0 = unknown).
+  double day_utility = 0.0;    ///< Σ predicted utility committed today.
+  uint64_t served_total = 0;   ///< Requests committed over the store's life.
+  double last_workload = 0.0;  ///< w_b of the latest closed day.
+  double last_signup_rate = 0.0;  ///< s_b of the latest closed day.
+};
+
+/// \brief Striped-lock store of BrokerSlots.
+class ShardedBrokerStore {
+ public:
+  /// \brief `num_stripes` is clamped to [1, num_brokers].
+  ShardedBrokerStore(size_t num_brokers, size_t num_stripes);
+
+  ShardedBrokerStore(const ShardedBrokerStore&) = delete;
+  ShardedBrokerStore& operator=(const ShardedBrokerStore&) = delete;
+
+  size_t num_brokers() const { return slots_.size(); }
+  size_t num_stripes() const { return num_stripes_; }
+
+  /// \brief Zeroes the intra-day state (workload, day_utility) of every
+  /// broker; capacities and feedback caches persist across days.
+  void ResetDay();
+
+  /// \brief Installs today's capacity estimates (size must match roster;
+  /// extra/missing entries are ignored defensively).
+  void SetCapacities(const std::vector<double>& capacities);
+
+  /// \brief Copies every broker's current workload into `out` (resized).
+  /// Stripe-consistent: each stripe is copied atomically.
+  void SnapshotWorkloads(std::vector<double>* out) const;
+
+  /// \brief residual[b] = max(0, capacity − workload); brokers with an
+  /// unknown capacity (0) report `unknown_residual`.
+  std::vector<double> ResidualCapacities(double unknown_residual) const;
+
+  /// \brief Applies one batch's accepted assignments: bumps workloads,
+  /// served counts, and day utility. Edges are grouped by stripe so each
+  /// stripe's mutex is taken once per batch.
+  void CommitAccepted(const std::vector<sim::CommittedEdge>& edges);
+
+  /// \brief Day-close feedback fan-in: caches each broker's (w_b, s_b)
+  /// observation from the platform's day outcome.
+  void ApplyDayFeedback(const sim::DayOutcome& outcome);
+
+  /// \brief Copy of one broker's slot (takes its stripe lock).
+  BrokerSlot Get(size_t broker) const;
+
+  /// \brief Σ workload across the roster (stripe-consistent).
+  double TotalWorkload() const;
+
+ private:
+  size_t StripeOf(size_t broker) const { return broker % num_stripes_; }
+
+  // Stripes are cacheline-aligned so neighbouring locks don't false-share.
+  struct alignas(64) Stripe {
+    mutable std::mutex mu;
+  };
+
+  size_t num_stripes_;
+  std::unique_ptr<Stripe[]> stripes_;
+  std::vector<BrokerSlot> slots_;
+};
+
+}  // namespace lacb::serve
+
+#endif  // LACB_SERVE_BROKER_STORE_H_

@@ -1,0 +1,69 @@
+// Load drivers for the online serving layer.
+//
+// Two ways to feed an AssignmentService from a platform-generated request
+// schedule:
+//
+//  - Trace replay walks the dataset's day/batch schedule. In *lockstep*
+//    mode each scheduled batch is submitted, flushed, and fully drained
+//    before the next one — batch edges then coincide exactly with the
+//    offline protocol, which is what makes the single-worker determinism
+//    gate bit-identical to core::RunPolicy. In *free-run* mode all of a
+//    day's requests are pumped as fast as the queue admits them and the
+//    micro-batcher's size/deadline limits shape the batches — the
+//    saturation mode the throughput bench measures.
+//
+//  - The Poisson generator is an open-loop arrival process: exponential
+//    inter-arrival gaps at a target rate, submitted on the wall clock
+//    regardless of downstream progress (arrivals beyond the admission
+//    bound are shed — that is the point of open-loop load). A
+//    non-positive rate degenerates to free-run pumping.
+//
+// RunPolicyServed drives a whole run — days opened/closed around the
+// chosen load mode — and aggregates the same PolicyRunResult the offline
+// engine produces, so benches and tests compare the two paths directly.
+
+#ifndef LACB_SERVE_LOAD_GENERATOR_H_
+#define LACB_SERVE_LOAD_GENERATOR_H_
+
+#include <cstdint>
+
+#include "lacb/core/engine.h"
+#include "lacb/serve/service.h"
+
+namespace lacb::serve {
+
+/// \brief How a run's requests reach the service.
+enum class LoadMode {
+  kLockstepReplay,  ///< Batch-by-batch, drained between scheduled batches.
+  kFreeRunReplay,   ///< Pump each day as fast as admission allows.
+  kPoisson,         ///< Open-loop Poisson arrivals at `poisson_rate`.
+};
+
+/// \brief Options of a served run.
+struct ServedRunOptions {
+  ServeOptions serve;
+  LoadMode mode = LoadMode::kLockstepReplay;
+  /// Mean arrivals per second for LoadMode::kPoisson; <= 0 pumps with no
+  /// pacing (saturation).
+  double poisson_rate = 0.0;
+  /// Seed of the Poisson arrival clock (independent of the dataset seed).
+  uint64_t poisson_seed = 1234;
+};
+
+/// \brief Submits day `day` of the service's request schedule in the given
+/// mode (the day must already be open). Lockstep flushes + drains per
+/// scheduled batch; the other modes only submit.
+Status PumpDay(AssignmentService* service, size_t day, const ServedRunOptions&
+               options);
+
+/// \brief Runs `factory`'s policy over `config` through the online serving
+/// path and aggregates the offline engine's PolicyRunResult (plus the
+/// serve-only fields: shed_requests, p99_batch_latency, and the serve.*
+/// telemetry instruments).
+Result<core::PolicyRunResult> RunPolicyServed(
+    const sim::DatasetConfig& config, const policy::PolicyFactory& factory,
+    const ServedRunOptions& options);
+
+}  // namespace lacb::serve
+
+#endif  // LACB_SERVE_LOAD_GENERATOR_H_

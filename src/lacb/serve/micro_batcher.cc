@@ -1,0 +1,98 @@
+#include "lacb/serve/micro_batcher.h"
+
+#include <utility>
+
+namespace lacb::serve {
+
+MicroBatcher::MicroBatcher(BoundedRequestQueue* queue,
+                           MicroBatcherOptions options,
+                           std::function<void()> on_flush_retired)
+    : queue_(queue),
+      options_(options),
+      on_flush_retired_(std::move(on_flush_retired)) {
+  if (options_.max_batch_size == 0) options_.max_batch_size = 1;
+}
+
+void MicroBatcher::AddCarryover(std::vector<sim::Request> requests) {
+  if (requests.empty()) return;
+  auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(carryover_mu_);
+  for (sim::Request& r : requests) {
+    carryover_.push_back(std::move(r));
+    carryover_times_.push_back(now);
+  }
+}
+
+size_t MicroBatcher::carryover_size() const {
+  std::lock_guard<std::mutex> lock(carryover_mu_);
+  return carryover_.size();
+}
+
+void MicroBatcher::DrainCarryoverInto(MicroBatch* batch) {
+  std::lock_guard<std::mutex> lock(carryover_mu_);
+  for (size_t i = 0; i < carryover_.size(); ++i) {
+    batch->requests.push_back(std::move(carryover_[i]));
+    batch->arrival_times.push_back(carryover_times_[i]);
+  }
+  carryover_.clear();
+  carryover_times_.clear();
+}
+
+std::optional<MicroBatch> MicroBatcher::NextBatch() {
+  MicroBatch batch;
+  std::chrono::steady_clock::time_point deadline{};
+  bool deadline_armed = false;
+
+  for (;;) {
+    QueueItem item;
+    PopResult r = deadline_armed ? queue_->PopUntil(deadline, &item)
+                                 : queue_->Pop(&item);
+    switch (r) {
+      case PopResult::kClosed: {
+        // Shutdown: emit whatever is pending (partial batch + carryover)
+        // exactly once, then signal end-of-stream.
+        DrainCarryoverInto(&batch);
+        if (batch.requests.empty()) return std::nullopt;
+        batch.close_cause = BatchCloseCause::kShutdown;
+        return batch;
+      }
+      case PopResult::kTimeout: {
+        // Deadlines are armed only after the first request, so this batch
+        // is never empty.
+        batch.close_cause = BatchCloseCause::kDeadline;
+        DrainCarryoverInto(&batch);
+        return batch;
+      }
+      case PopResult::kItem:
+        break;
+    }
+    if (item.kind == QueueItem::Kind::kFlush) {
+      if (on_flush_retired_) on_flush_retired_();
+      if (batch.requests.empty()) {
+        // Empty flush: nothing forming, emit no batch. Pending carryover
+        // keeps waiting — appeals ride the end of the next real batch,
+        // they never form one of their own (the platform's re-queue
+        // appends end-of-day appeals to the *next day's* first batch).
+        deadline_armed = false;
+        continue;
+      }
+      DrainCarryoverInto(&batch);
+      batch.close_cause = BatchCloseCause::kFlush;
+      return batch;
+    }
+    if (!deadline_armed) {
+      deadline = std::chrono::steady_clock::now() + options_.max_batch_delay;
+      deadline_armed = true;
+    }
+    batch.requests.push_back(std::move(item.request));
+    batch.arrival_times.push_back(item.enqueued_at);
+    ++batch.from_queue;
+    if (batch.requests.size() >= options_.max_batch_size) {
+      batch.close_cause = BatchCloseCause::kSize;
+      DrainCarryoverInto(&batch);
+      return batch;
+    }
+  }
+}
+
+}  // namespace lacb::serve

@@ -1,0 +1,102 @@
+// Deadline-driven micro-batcher: turns the request stream into assignment
+// batches — the online generalization of the paper's fixed-time-window
+// protocol (Sec. III), where the window closes on whichever of two limits
+// is hit first:
+//
+//   - size:     the forming batch reached max_batch_size, or
+//   - deadline: max_batch_delay elapsed since the batch's first request
+//               was pulled (the clock starts at the first request, so an
+//               idle service never emits empty batches).
+//
+// Two more close causes exist: an explicit flush token in the stream
+// (deterministic batch edges for day boundaries and lockstep replay) and
+// queue shutdown (the final partial batch is emitted, never dropped).
+//
+// Appealed clients re-enter through the carryover buffer: AddCarryover is
+// thread-safe and the pending carryover is appended to the *end* of the
+// next batch that closes — exactly where the offline Platform re-queues
+// appeals (end of the following batch, or the next day's first batch when
+// the appeal outlives the day), which is what makes the single-worker
+// serve path bit-identical to the offline engine.
+//
+// NextBatch is single-consumer: only the batcher thread calls it.
+
+#ifndef LACB_SERVE_MICRO_BATCHER_H_
+#define LACB_SERVE_MICRO_BATCHER_H_
+
+#include <chrono>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "lacb/serve/request_queue.h"
+#include "lacb/sim/request.h"
+
+namespace lacb::serve {
+
+/// \brief Why a batch closed (exported as per-cause close counters).
+enum class BatchCloseCause { kSize, kDeadline, kFlush, kShutdown };
+
+/// \brief One closed batch, ready for a worker.
+struct MicroBatch {
+  std::vector<sim::Request> requests;
+  /// Per-request ingestion timestamps (parallel to `requests`) for
+  /// end-to-end latency accounting.
+  std::vector<std::chrono::steady_clock::time_point> arrival_times;
+  /// How many of `requests` were drained from the ingestion queue (the
+  /// rest are carryover); the service retires exactly this many units of
+  /// in-system work when the batch commits.
+  size_t from_queue = 0;
+  BatchCloseCause close_cause = BatchCloseCause::kSize;
+};
+
+/// \brief Batching knobs.
+struct MicroBatcherOptions {
+  /// Close the batch at this many requests.
+  size_t max_batch_size = 64;
+  /// Close the batch this long after its first request was pulled.
+  std::chrono::microseconds max_batch_delay{2000};
+};
+
+/// \brief Deadline/size/flush-driven batch former over a request queue.
+class MicroBatcher {
+ public:
+  /// \brief `on_flush_retired` fires once per flush token consumed (the
+  /// service uses it to retire the token from its in-system accounting);
+  /// may be empty.
+  MicroBatcher(BoundedRequestQueue* queue, MicroBatcherOptions options,
+               std::function<void()> on_flush_retired = nullptr);
+
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  /// \brief Blocks until the next batch closes. Empty flushes (a flush
+  /// token with nothing pending) emit no batch. Returns nullopt once the
+  /// queue is closed and everything — including carryover — has been
+  /// emitted.
+  std::optional<MicroBatch> NextBatch();
+
+  /// \brief Queues appealed requests for the end of the next closing
+  /// batch. Thread-safe (workers call this; NextBatch consumes it).
+  void AddCarryover(std::vector<sim::Request> requests);
+
+  /// \brief Pending carryover count (test/diagnostic hook).
+  size_t carryover_size() const;
+
+ private:
+  /// \brief Moves pending carryover to the end of `batch`.
+  void DrainCarryoverInto(MicroBatch* batch);
+
+  BoundedRequestQueue* queue_;
+  MicroBatcherOptions options_;
+  std::function<void()> on_flush_retired_;
+
+  mutable std::mutex carryover_mu_;
+  std::vector<sim::Request> carryover_;
+  std::vector<std::chrono::steady_clock::time_point> carryover_times_;
+};
+
+}  // namespace lacb::serve
+
+#endif  // LACB_SERVE_MICRO_BATCHER_H_

@@ -1,0 +1,87 @@
+#include "lacb/serve/request_queue.h"
+
+#include <utility>
+
+namespace lacb::serve {
+
+BoundedRequestQueue::BoundedRequestQueue(size_t capacity,
+                                         obs::Gauge* depth_gauge)
+    : capacity_(capacity == 0 ? 1 : capacity), depth_gauge_(depth_gauge) {}
+
+void BoundedRequestQueue::UpdateGauge() {
+  if (depth_gauge_ != nullptr) {
+    depth_gauge_->Set(static_cast<double>(items_.size()));
+  }
+}
+
+bool BoundedRequestQueue::TryPush(QueueItem item) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    UpdateGauge();
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+bool BoundedRequestQueue::PushBlocking(QueueItem item) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    UpdateGauge();
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+PopResult BoundedRequestQueue::Pop(QueueItem* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return PopResult::kClosed;
+  *out = std::move(items_.front());
+  items_.pop_front();
+  UpdateGauge();
+  lock.unlock();
+  not_full_.notify_one();
+  return PopResult::kItem;
+}
+
+PopResult BoundedRequestQueue::PopUntil(
+    std::chrono::steady_clock::time_point deadline, QueueItem* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  bool ready = not_empty_.wait_until(
+      lock, deadline, [&] { return closed_ || !items_.empty(); });
+  if (!ready) return PopResult::kTimeout;
+  if (items_.empty()) return PopResult::kClosed;
+  *out = std::move(items_.front());
+  items_.pop_front();
+  UpdateGauge();
+  lock.unlock();
+  not_full_.notify_one();
+  return PopResult::kItem;
+}
+
+void BoundedRequestQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+size_t BoundedRequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+bool BoundedRequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+}  // namespace lacb::serve

@@ -1,0 +1,110 @@
+// Bounded MPSC ingestion queue: the service's admission-control front door.
+//
+// Producers (request handlers, load generators, appeal re-queues) push from
+// any thread; the single consumer is the micro-batcher thread. The queue is
+// bounded: TryPush fails immediately when the bound is hit — that is the
+// admission-control path, the caller counts the request as shed — while
+// PushBlocking waits for room (used for control tokens that must not be
+// dropped). Backpressure composes through the pipeline: a slow worker pool
+// fills the batch channel, which stalls the batcher, which fills this
+// queue, which sheds new arrivals instead of growing without bound.
+//
+// Items are either client requests or flush tokens. A flush token asks the
+// micro-batcher to close the batch it is currently forming (day boundaries
+// and lockstep replay use this to force deterministic batch edges).
+
+#ifndef LACB_SERVE_REQUEST_QUEUE_H_
+#define LACB_SERVE_REQUEST_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+
+#include "lacb/obs/metrics.h"
+#include "lacb/sim/request.h"
+
+namespace lacb::serve {
+
+/// \brief One unit of work accepted by the ingestion queue.
+struct QueueItem {
+  enum class Kind { kRequest, kFlush };
+
+  Kind kind = Kind::kRequest;
+  sim::Request request;
+  /// When the item entered the queue (end-to-end latency baseline).
+  std::chrono::steady_clock::time_point enqueued_at;
+
+  static QueueItem Flush() {
+    QueueItem item;
+    item.kind = Kind::kFlush;
+    item.enqueued_at = std::chrono::steady_clock::now();
+    return item;
+  }
+  static QueueItem Of(const sim::Request& request) {
+    QueueItem item;
+    item.kind = Kind::kRequest;
+    item.request = request;
+    item.enqueued_at = std::chrono::steady_clock::now();
+    return item;
+  }
+};
+
+/// \brief Outcome of a consumer pop.
+enum class PopResult {
+  kItem,     ///< `*out` holds the next item.
+  kTimeout,  ///< Deadline expired with no item available.
+  kClosed,   ///< Queue closed and fully drained.
+};
+
+/// \brief Bounded multi-producer single-consumer queue of QueueItems.
+class BoundedRequestQueue {
+ public:
+  /// \brief `capacity` > 0 bounds the number of queued items; an optional
+  /// gauge tracks the live depth (e.g. "serve.queue_depth").
+  explicit BoundedRequestQueue(size_t capacity, obs::Gauge* depth_gauge = nullptr);
+
+  BoundedRequestQueue(const BoundedRequestQueue&) = delete;
+  BoundedRequestQueue& operator=(const BoundedRequestQueue&) = delete;
+
+  /// \brief Non-blocking producer push. Returns false — the caller sheds
+  /// the item — when the queue is full or closed.
+  bool TryPush(QueueItem item);
+
+  /// \brief Blocking producer push: waits for room. Returns false only if
+  /// the queue is (or becomes) closed.
+  bool PushBlocking(QueueItem item);
+
+  /// \brief Consumer pop; blocks until an item arrives or the queue is
+  /// closed and drained.
+  PopResult Pop(QueueItem* out);
+
+  /// \brief Consumer pop with a deadline; kTimeout when it expires first.
+  PopResult PopUntil(std::chrono::steady_clock::time_point deadline,
+                     QueueItem* out);
+
+  /// \brief Closes the queue: further pushes fail, pops drain the backlog
+  /// then return kClosed. Idempotent.
+  void Close();
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const;
+  bool closed() const;
+
+ private:
+  void UpdateGauge();  // callers hold mu_
+
+  const size_t capacity_;
+  obs::Gauge* depth_gauge_;
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<QueueItem> items_;
+  bool closed_ = false;
+};
+
+}  // namespace lacb::serve
+
+#endif  // LACB_SERVE_REQUEST_QUEUE_H_

@@ -1,0 +1,21 @@
+// Umbrella header for the online serving layer.
+//
+//   auto factory = lacb::core::SuitePolicyFactory(data, suite, index);
+//   lacb::serve::ServedRunOptions opts;
+//   opts.serve.num_workers = 4;
+//   opts.mode = lacb::serve::LoadMode::kFreeRunReplay;
+//   auto run = lacb::serve::RunPolicyServed(data, factory, opts);
+//
+// See docs/serving.md for the architecture, configuration knobs,
+// backpressure semantics, and metric names.
+
+#ifndef LACB_SERVE_SERVE_H_
+#define LACB_SERVE_SERVE_H_
+
+#include "lacb/serve/broker_store.h"
+#include "lacb/serve/load_generator.h"
+#include "lacb/serve/micro_batcher.h"
+#include "lacb/serve/request_queue.h"
+#include "lacb/serve/service.h"
+
+#endif  // LACB_SERVE_SERVE_H_

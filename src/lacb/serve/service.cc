@@ -1,0 +1,372 @@
+#include "lacb/serve/service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "lacb/common/stopwatch.h"
+#include "lacb/obs/context.h"
+#include "lacb/policy/lacb_policy.h"
+
+namespace lacb::serve {
+
+Result<std::unique_ptr<AssignmentService>> AssignmentService::Create(
+    const sim::DatasetConfig& config, const policy::PolicyFactory& factory,
+    const ServeOptions& options) {
+  if (!factory) {
+    return Status::InvalidArgument("AssignmentService requires a factory");
+  }
+  if (options.num_workers == 0) {
+    return Status::InvalidArgument("AssignmentService requires >= 1 worker");
+  }
+  LACB_ASSIGN_OR_RETURN(sim::Platform platform, sim::Platform::Create(config));
+  std::vector<std::unique_ptr<policy::AssignmentPolicy>> replicas;
+  replicas.reserve(options.num_workers);
+  for (size_t i = 0; i < options.num_workers; ++i) {
+    LACB_ASSIGN_OR_RETURN(std::unique_ptr<policy::AssignmentPolicy> replica,
+                          factory());
+    if (replica == nullptr) {
+      return Status::InvalidArgument("policy factory returned null");
+    }
+    LACB_RETURN_NOT_OK(replica->Initialize(platform));
+    replicas.push_back(std::move(replica));
+  }
+  return std::unique_ptr<AssignmentService>(new AssignmentService(
+      std::make_unique<sim::Platform>(std::move(platform)),
+      std::move(replicas), options));
+}
+
+AssignmentService::AssignmentService(
+    std::unique_ptr<sim::Platform> platform,
+    std::vector<std::unique_ptr<policy::AssignmentPolicy>> replicas,
+    const ServeOptions& options)
+    : options_(options),
+      platform_(std::move(platform)),
+      replicas_(std::move(replicas)),
+      policy_name_(replicas_.front()->name()),
+      store_(platform_->num_brokers(), options.num_stripes) {
+  channel_capacity_ = options_.batch_channel_capacity != 0
+                          ? options_.batch_channel_capacity
+                          : 2 * options_.num_workers;
+}
+
+AssignmentService::~AssignmentService() { Shutdown(); }
+
+Status AssignmentService::Start() {
+  if (started_) return Status::FailedPrecondition("service already started");
+  registry_ = &obs::ActiveRegistry();
+  tracer_ = &obs::ActiveTracer();
+  submitted_counter_ = &registry_->GetCounter("serve.submitted");
+  shed_counter_ = &registry_->GetCounter("serve.shed_requests");
+  assigned_counter_ = &registry_->GetCounter("serve.assigned_requests");
+  unmatched_counter_ = &registry_->GetCounter("serve.unmatched_requests");
+  appeal_counter_ = &registry_->GetCounter("serve.appeals_requeued");
+  batch_counter_ = &registry_->GetCounter("serve.batches");
+  size_close_counter_ = &registry_->GetCounter("serve.batch_close.size");
+  deadline_close_counter_ =
+      &registry_->GetCounter("serve.batch_close.deadline");
+  flush_close_counter_ = &registry_->GetCounter("serve.batch_close.flush");
+  inflight_gauge_ = &registry_->GetGauge("serve.inflight_batches");
+  batch_size_hist_ = &registry_->GetHistogram(
+      "serve.batch_size",
+      std::vector<double>{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
+  assign_latency_hist_ =
+      &registry_->GetHistogram("serve.batch_assign_seconds");
+  e2e_latency_hist_ = &registry_->GetHistogram("serve.e2e_seconds");
+
+  queue_ = std::make_unique<BoundedRequestQueue>(
+      options_.queue_capacity, &registry_->GetGauge("serve.queue_depth"));
+  MicroBatcherOptions batch_opts;
+  batch_opts.max_batch_size = options_.max_batch_size;
+  batch_opts.max_batch_delay = options_.max_batch_delay;
+  batcher_ = std::make_unique<MicroBatcher>(queue_.get(), batch_opts,
+                                            [this] { RetireWork(1); });
+
+  started_ = true;
+  batcher_thread_ = std::thread([this] { BatcherLoop(); });
+  worker_threads_.reserve(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    worker_threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  return Status::OK();
+}
+
+Status AssignmentService::OpenDay(size_t day) {
+  if (!started_) return Status::FailedPrecondition("service not started");
+  if (day_open_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("previous day is still open");
+  }
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    if (in_system_ > 0) {
+      return Status::FailedPrecondition("service must be idle to open a day");
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    LACB_RETURN_NOT_OK(error_);
+  }
+  {
+    std::lock_guard<std::mutex> lock(env_mu_);
+    LACB_RETURN_NOT_OK(platform_->StartDayExternal(day));
+  }
+  store_.ResetDay();
+  day_boundary_seconds_ = 0.0;
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    Stopwatch sw;
+    LACB_RETURN_NOT_OK(replicas_[i]->BeginDay(*platform_, day));
+    if (i == 0) day_boundary_seconds_ += sw.ElapsedSeconds();
+  }
+  // Publish the lead replica's capacity estimates so the store's residual
+  // view is live for capacity-aware consumers.
+  if (auto* lacb = dynamic_cast<policy::LacbPolicy*>(replicas_.front().get());
+      lacb != nullptr && !lacb->capacities().empty()) {
+    store_.SetCapacities(lacb->capacities());
+  }
+  current_day_.store(day, std::memory_order_release);
+  batch_seq_.store(0, std::memory_order_release);
+  day_open_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+bool AssignmentService::Submit(const sim::Request& request) {
+  if (!started_) return false;
+  if (!day_open_.load(std::memory_order_acquire)) {
+    shed_counter_->Increment();
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    ++in_system_;
+  }
+  if (!queue_->TryPush(QueueItem::Of(request))) {
+    RetireWork(1);
+    shed_counter_->Increment();
+    return false;
+  }
+  submitted_counter_->Increment();
+  return true;
+}
+
+void AssignmentService::Flush() {
+  if (!started_) return;
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    ++in_system_;
+  }
+  if (!queue_->PushBlocking(QueueItem::Flush())) {
+    RetireWork(1);  // queue already closed (shutdown)
+  }
+}
+
+Status AssignmentService::WaitIdle() {
+  {
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    idle_cv_.wait(lock, [&] {
+      if (in_system_ <= 0) return true;
+      std::lock_guard<std::mutex> elock(error_mu_);
+      return !error_.ok();
+    });
+  }
+  std::lock_guard<std::mutex> lock(error_mu_);
+  return error_;
+}
+
+Result<sim::DayOutcome> AssignmentService::CloseDay() {
+  if (!day_open_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("no day is open");
+  }
+  Flush();
+  LACB_RETURN_NOT_OK(WaitIdle());
+  sim::DayOutcome outcome;
+  {
+    std::lock_guard<std::mutex> lock(env_mu_);
+    LACB_ASSIGN_OR_RETURN(outcome, platform_->EndDay());
+  }
+  store_.ApplyDayFeedback(outcome);
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    Stopwatch sw;
+    LACB_RETURN_NOT_OK(replicas_[i]->EndDay(outcome));
+    if (i == 0) day_boundary_seconds_ += sw.ElapsedSeconds();
+  }
+  day_open_.store(false, std::memory_order_release);
+  return outcome;
+}
+
+void AssignmentService::Shutdown() {
+  if (!started_ || shutdown_) return;
+  shutdown_ = true;
+  queue_->Close();
+  if (batcher_thread_.joinable()) batcher_thread_.join();
+  for (std::thread& t : worker_threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void AssignmentService::BatcherLoop() {
+  obs::ScopedContextAdoption adopt(registry_, tracer_);
+  for (;;) {
+    std::optional<MicroBatch> batch = batcher_->NextBatch();
+    if (!batch.has_value()) break;
+    std::unique_lock<std::mutex> lock(channel_mu_);
+    channel_not_full_.wait(lock, [&] {
+      return channel_closed_ || channel_.size() < channel_capacity_;
+    });
+    if (channel_closed_) {
+      lock.unlock();
+      RetireWork(static_cast<int64_t>(batch->from_queue));
+      continue;
+    }
+    channel_.push_back(std::move(*batch));
+    inflight_gauge_->Set(static_cast<double>(channel_.size()));
+    lock.unlock();
+    channel_not_empty_.notify_one();
+  }
+  {
+    std::lock_guard<std::mutex> lock(channel_mu_);
+    channel_closed_ = true;
+  }
+  channel_not_empty_.notify_all();
+}
+
+void AssignmentService::WorkerLoop(size_t worker_index) {
+  obs::ScopedContextAdoption adopt(registry_, tracer_);
+  for (;;) {
+    MicroBatch batch;
+    {
+      std::unique_lock<std::mutex> lock(channel_mu_);
+      channel_not_empty_.wait(
+          lock, [&] { return channel_closed_ || !channel_.empty(); });
+      if (channel_.empty()) return;  // closed and drained
+      batch = std::move(channel_.front());
+      channel_.pop_front();
+      inflight_gauge_->Set(static_cast<double>(channel_.size()));
+    }
+    channel_not_full_.notify_one();
+    int64_t units = static_cast<int64_t>(batch.from_queue);
+    Status status = ProcessBatch(worker_index, std::move(batch));
+    if (!status.ok()) SetError(status);
+    // Retire after the full disposition (including appeal re-queues) so
+    // WaitIdle cannot observe a half-committed batch.
+    RetireWork(units);
+  }
+}
+
+Status AssignmentService::ProcessBatch(size_t worker_index, MicroBatch batch) {
+  LACB_TRACE_SPAN("serve.batch");
+  if (!day_open_.load(std::memory_order_acquire)) {
+    // Only carryover-only batches can surface here (CloseDay drains every
+    // queued item before the day closes): appeals that outlive the horizon
+    // are dropped, exactly like the platform's appeal overflow at the end
+    // of the run.
+    return Status::OK();
+  }
+  batch_counter_->Increment();
+  switch (batch.close_cause) {
+    case BatchCloseCause::kSize:
+      size_close_counter_->Increment();
+      break;
+    case BatchCloseCause::kDeadline:
+      deadline_close_counter_->Increment();
+      break;
+    case BatchCloseCause::kFlush:
+    case BatchCloseCause::kShutdown:
+      flush_close_counter_->Increment();
+      break;
+  }
+  batch_size_hist_->Record(static_cast<double>(batch.requests.size()));
+
+  std::vector<double> workloads;
+  store_.SnapshotWorkloads(&workloads);
+  la::Matrix utility;
+  {
+    LACB_TRACE_SPAN("serve.utility_matrix");
+    utility = platform_->utility_model().UtilityMatrix(batch.requests,
+                                                       platform_->brokers());
+  }
+
+  policy::BatchInput input;
+  input.requests = &batch.requests;
+  input.utility = &utility;
+  input.workloads = &workloads;
+  input.day = current_day_.load(std::memory_order_acquire);
+  input.batch = batch_seq_.fetch_add(1, std::memory_order_acq_rel);
+
+  std::vector<int64_t> assignment;
+  {
+    LACB_TRACE_SPAN("serve.assign");
+    Stopwatch sw;
+    LACB_ASSIGN_OR_RETURN(assignment,
+                          replicas_[worker_index]->AssignBatch(input));
+    double elapsed = sw.ElapsedSeconds();
+    assign_latency_hist_->Record(elapsed);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    assign_seconds_ += elapsed;
+  }
+
+  sim::ExternalCommitOutcome commit;
+  {
+    LACB_TRACE_SPAN("serve.commit");
+    std::lock_guard<std::mutex> lock(env_mu_);
+    LACB_ASSIGN_OR_RETURN(
+        commit, platform_->CommitExternalBatch(batch.requests, assignment));
+  }
+
+  if (!commit.appealed.empty()) {
+    appeal_counter_->Increment(commit.appealed.size());
+    batcher_->AddCarryover(std::move(commit.appealed));
+  }
+  store_.CommitAccepted(commit.accepted);
+  assigned_counter_->Increment(commit.accepted.size());
+  size_t unmatched = 0;
+  for (int64_t a : assignment) {
+    if (a < 0) ++unmatched;
+  }
+  unmatched_counter_->Increment(unmatched);
+
+  auto now = std::chrono::steady_clock::now();
+  for (const auto& arrival : batch.arrival_times) {
+    e2e_latency_hist_->Record(
+        std::chrono::duration<double>(now - arrival).count());
+  }
+  return Status::OK();
+}
+
+void AssignmentService::RetireWork(int64_t units) {
+  if (units == 0) return;
+  bool idle;
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    in_system_ -= units;
+    idle = in_system_ <= 0;
+  }
+  if (idle) idle_cv_.notify_all();
+}
+
+void AssignmentService::SetError(const Status& status) {
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    if (error_.ok()) error_ = status;
+  }
+  idle_cv_.notify_all();
+}
+
+ServeStats AssignmentService::Stats() const {
+  ServeStats stats;
+  if (!started_) return stats;
+  stats.submitted = submitted_counter_->value();
+  stats.shed = shed_counter_->value();
+  stats.batches = batch_counter_->value();
+  stats.assigned = assigned_counter_->value();
+  stats.unmatched = unmatched_counter_->value();
+  stats.appeals = appeal_counter_->value();
+  stats.size_closes = size_close_counter_->value();
+  stats.deadline_closes = deadline_close_counter_->value();
+  stats.flush_closes = flush_close_counter_->value();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats.assign_seconds = assign_seconds_;
+  }
+  return stats;
+}
+
+}  // namespace lacb::serve

@@ -1,0 +1,225 @@
+// AssignmentService: the online serving layer over the LACB pipeline.
+//
+// Turns the offline day/batch replay (core::RunPolicy) into a concurrent
+// request-assignment service:
+//
+//   producers ──▶ BoundedRequestQueue ──▶ batcher thread (MicroBatcher)
+//                 (admission control)          │ closed batches
+//                                              ▼
+//                                   bounded batch channel
+//                                              │
+//                              worker pool (one policy replica each)
+//                     snapshot workloads ▸ utility matrix ▸ AssignBatch
+//                                              │
+//                      Platform commit (serialized ground truth: appeals,
+//                      realized-utility edges) + ShardedBrokerStore commit
+//                      (striped, concurrent view) ▸ appeals re-queued
+//
+// The environment of record stays the simulator's Platform — created from
+// the same DatasetConfig as the offline engine, so the ground-truth models
+// and RNG streams are identical. Policy *compute* (AssignBatch, which
+// carries the cubic KM cost) runs concurrently across workers; only the
+// O(batch) truth commit serializes on the environment mutex. Each worker
+// owns a policy replica built by the same factory; replicas share learning
+// through the broadcast day-close feedback but keep independent
+// exploration streams.
+//
+// Day protocol: OpenDay → Submit/Flush (any threads) → CloseDay (drains
+// in-flight work, closes the platform day, broadcasts feedback). With one
+// worker and flush-delimited batches the realized utility is bit-identical
+// to core::RunPolicy — the determinism gate in serve_test.cc.
+
+#ifndef LACB_SERVE_SERVICE_H_
+#define LACB_SERVE_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lacb/common/result.h"
+#include "lacb/obs/metrics.h"
+#include "lacb/obs/trace.h"
+#include "lacb/policy/assignment_policy.h"
+#include "lacb/serve/broker_store.h"
+#include "lacb/serve/micro_batcher.h"
+#include "lacb/serve/request_queue.h"
+#include "lacb/sim/platform.h"
+
+namespace lacb::serve {
+
+/// \brief Serving-layer configuration.
+struct ServeOptions {
+  /// Ingestion-queue bound; arrivals beyond it are shed (admission control).
+  size_t queue_capacity = 4096;
+  /// Micro-batch close limits (see MicroBatcher).
+  size_t max_batch_size = 64;
+  std::chrono::microseconds max_batch_delay{2000};
+  /// Assignment worker threads (each gets its own policy replica).
+  size_t num_workers = 1;
+  /// Lock stripes of the broker store.
+  size_t num_stripes = 16;
+  /// Closed-batch channel bound; 0 = 2 × num_workers. A full channel
+  /// stalls the batcher, which backpressures the ingestion queue.
+  size_t batch_channel_capacity = 0;
+};
+
+/// \brief Aggregate service counters (a convenience copy of the obs
+/// instruments, safe to read after Shutdown).
+struct ServeStats {
+  uint64_t submitted = 0;        ///< Requests accepted by the queue.
+  uint64_t shed = 0;             ///< Requests refused at admission.
+  uint64_t batches = 0;          ///< Batches committed.
+  uint64_t assigned = 0;         ///< Requests committed to a broker.
+  uint64_t unmatched = 0;        ///< Requests left unassigned by the policy.
+  uint64_t appeals = 0;          ///< Appeals re-queued into later batches.
+  uint64_t size_closes = 0;      ///< Batches closed by max_batch_size.
+  uint64_t deadline_closes = 0;  ///< Batches closed by max_batch_delay.
+  uint64_t flush_closes = 0;     ///< Batches closed by flush tokens.
+  double assign_seconds = 0.0;   ///< Σ AssignBatch wall time (all workers).
+};
+
+/// \brief The concurrent online assignment service.
+class AssignmentService {
+ public:
+  /// \brief Builds the service over a fresh platform instance of `config`,
+  /// with one policy replica per worker from `factory`. The service is
+  /// idle until Start().
+  static Result<std::unique_ptr<AssignmentService>> Create(
+      const sim::DatasetConfig& config, const policy::PolicyFactory& factory,
+      const ServeOptions& options);
+
+  ~AssignmentService();
+  AssignmentService(const AssignmentService&) = delete;
+  AssignmentService& operator=(const AssignmentService&) = delete;
+
+  /// \brief Spawns the batcher and worker threads. Telemetry written by
+  /// those threads targets the obs context active on the calling thread.
+  Status Start();
+
+  /// \brief Opens platform day `day` and runs every replica's BeginDay.
+  /// Requires an idle service (previous day closed, no in-flight work).
+  Status OpenDay(size_t day);
+
+  /// \brief Thread-safe producer entry point. Returns false when the
+  /// request was shed at admission (queue full). Requires an open day.
+  bool Submit(const sim::Request& request);
+
+  /// \brief Enqueues a flush token: the micro-batcher closes its forming
+  /// batch when the token is reached. Blocks for queue room (tokens are
+  /// never shed).
+  void Flush();
+
+  /// \brief Blocks until all accepted work has been committed (appealed
+  /// requests waiting in carryover do not block idleness — like the
+  /// offline platform they ride into the next closing batch or day).
+  Status WaitIdle();
+
+  /// \brief Flushes + drains, then closes the platform day: realized
+  /// utility, feedback triples, replica EndDay broadcast, store feedback.
+  Result<sim::DayOutcome> CloseDay();
+
+  /// \brief Stops intake, drains workers, joins all threads. Idempotent.
+  void Shutdown();
+
+  const sim::Platform& platform() const { return *platform_; }
+  const ShardedBrokerStore& store() const { return store_; }
+  /// \brief Name of the served policy (replica 0).
+  const std::string& policy_name() const { return policy_name_; }
+  /// \brief Day-boundary (BeginDay/EndDay) policy compute of the last
+  /// open/close cycle, seconds (replica 0's share).
+  double day_boundary_seconds() const { return day_boundary_seconds_; }
+
+  ServeStats Stats() const;
+
+ private:
+  AssignmentService(std::unique_ptr<sim::Platform> platform,
+                    std::vector<std::unique_ptr<policy::AssignmentPolicy>>
+                        replicas,
+                    const ServeOptions& options);
+
+  void BatcherLoop();
+  void WorkerLoop(size_t worker_index);
+  Status ProcessBatch(size_t worker_index, MicroBatch batch);
+
+  void RetireWork(int64_t units);
+  void SetError(const Status& status);
+
+  // --- Immutable after construction ---
+  ServeOptions options_;
+  std::unique_ptr<sim::Platform> platform_;
+  std::vector<std::unique_ptr<policy::AssignmentPolicy>> replicas_;
+  std::string policy_name_;
+
+  // --- Environment of record (serialized) ---
+  std::mutex env_mu_;
+
+  // --- Concurrent state ---
+  ShardedBrokerStore store_;
+  std::unique_ptr<BoundedRequestQueue> queue_;
+  std::unique_ptr<MicroBatcher> batcher_;
+
+  // Closed-batch channel: batcher → workers.
+  std::mutex channel_mu_;
+  std::condition_variable channel_not_empty_;
+  std::condition_variable channel_not_full_;
+  std::deque<MicroBatch> channel_;
+  size_t channel_capacity_ = 0;
+  bool channel_closed_ = false;
+
+  // In-system accounting: accepted-but-uncommitted queue items (requests +
+  // flush tokens). Guarded by idle_mu_; CloseDay/WaitIdle wait on it.
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  int64_t in_system_ = 0;
+
+  // First worker/batcher error; checked at drain points.
+  std::mutex error_mu_;
+  Status error_ = Status::OK();
+
+  // Day state: written by the control thread at day boundaries, read by
+  // workers mid-day (atomics keep unsynchronized producers race-free).
+  std::atomic<bool> day_open_{false};
+  std::atomic<size_t> current_day_{0};
+  std::atomic<uint64_t> batch_seq_{0};  // per-day batch sequence
+  double day_boundary_seconds_ = 0.0;
+
+  // Threads.
+  bool started_ = false;
+  bool shutdown_ = false;
+  std::thread batcher_thread_;
+  std::vector<std::thread> worker_threads_;
+
+  // Telemetry (captured from the Start() caller's active context).
+  obs::MetricRegistry* registry_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* submitted_counter_ = nullptr;
+  obs::Counter* shed_counter_ = nullptr;
+  obs::Counter* assigned_counter_ = nullptr;
+  obs::Counter* unmatched_counter_ = nullptr;
+  obs::Counter* appeal_counter_ = nullptr;
+  obs::Counter* batch_counter_ = nullptr;
+  obs::Counter* size_close_counter_ = nullptr;
+  obs::Counter* deadline_close_counter_ = nullptr;
+  obs::Counter* flush_close_counter_ = nullptr;
+  obs::Gauge* inflight_gauge_ = nullptr;
+  obs::Histogram* batch_size_hist_ = nullptr;
+  obs::Histogram* assign_latency_hist_ = nullptr;
+  obs::Histogram* e2e_latency_hist_ = nullptr;
+
+  // Aggregate assign-time (ServeStats mirror; obs histograms carry the
+  // distribution).
+  mutable std::mutex stats_mu_;
+  double assign_seconds_ = 0.0;
+};
+
+}  // namespace lacb::serve
+
+#endif  // LACB_SERVE_SERVICE_H_

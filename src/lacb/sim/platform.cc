@@ -40,6 +40,7 @@ Status Platform::StartDay(size_t day) {
     return Status::OutOfRange("day beyond dataset horizon");
   }
   day_open_ = true;
+  external_day_ = false;
   current_day_ = day;
   today_batches_ = requests_[day];
   // Re-queued appeals from the previous day's tail join the first batch.
@@ -50,6 +51,27 @@ Status Platform::StartDay(size_t day) {
     appeal_overflow_.clear();
   }
   batch_committed_.assign(today_batches_.size(), false);
+  workloads_today_.assign(brokers_.size(), 0.0);
+  committed_.clear();
+  appeals_today_ = 0;
+  for (Broker& b : brokers_) b.workload_today = 0.0;
+  return Status::OK();
+}
+
+Status Platform::StartDayExternal(size_t day) {
+  if (day_open_) {
+    return Status::FailedPrecondition("previous day is still open");
+  }
+  if (day >= requests_.size()) {
+    return Status::OutOfRange("day beyond dataset horizon");
+  }
+  day_open_ = true;
+  external_day_ = true;
+  current_day_ = day;
+  // No internal schedule: batches arrive via CommitExternalBatch, so
+  // EndDay's all-batches-committed check is trivially satisfied.
+  today_batches_.clear();
+  batch_committed_.clear();
   workloads_today_.assign(brokers_.size(), 0.0);
   committed_.clear();
   appeals_today_ = 0;
@@ -76,6 +98,10 @@ Result<la::Matrix> Platform::BatchUtility(size_t batch) const {
 Status Platform::CommitAssignment(size_t batch,
                                   const std::vector<int64_t>& assignment) {
   if (!day_open_) return Status::FailedPrecondition("no day is open");
+  if (external_day_) {
+    return Status::FailedPrecondition(
+        "day was opened for external commits; use CommitExternalBatch");
+  }
   if (batch >= today_batches_.size()) {
     return Status::OutOfRange("batch index out of range");
   }
@@ -114,6 +140,43 @@ Status Platform::CommitAssignment(size_t batch,
     committed_.push_back(CommittedEdge{b, u});
   }
   return Status::OK();
+}
+
+Result<ExternalCommitOutcome> Platform::CommitExternalBatch(
+    const std::vector<Request>& requests,
+    const std::vector<int64_t>& assignment) {
+  if (!day_open_ || !external_day_) {
+    return Status::FailedPrecondition("no external day is open");
+  }
+  if (assignment.size() != requests.size()) {
+    return Status::InvalidArgument(
+        "assignment size does not match batch size");
+  }
+  for (int64_t b : assignment) {
+    if (b != -1 && (b < 0 || static_cast<size_t>(b) >= brokers_.size())) {
+      return Status::OutOfRange("assignment references unknown broker");
+    }
+  }
+  ExternalCommitOutcome out;
+  // Mirrors CommitAssignment byte-for-byte (same utility lookups, same
+  // RNG draw order) so identical batch compositions replay identically;
+  // only the appeal destination differs — the caller re-queues.
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (assignment[i] == -1) continue;
+    size_t b = static_cast<size_t>(assignment[i]);
+    double u = utility_model_.Utility(requests[i], brokers_[b]);
+    if (config_.appeal_rate > 0.0 &&
+        rng_.Bernoulli(config_.appeal_rate * (1.0 - u))) {
+      ++appeals_today_;
+      out.appealed.push_back(requests[i]);
+      continue;
+    }
+    workloads_today_[b] += 1.0;
+    brokers_[b].workload_today = workloads_today_[b];
+    committed_.push_back(CommittedEdge{b, u});
+    out.accepted.push_back(CommittedEdge{b, u});
+  }
+  return out;
 }
 
 Result<DayOutcome> Platform::EndDay() {
@@ -175,6 +238,7 @@ Result<DayOutcome> Platform::EndDay() {
   }
 
   day_open_ = false;
+  external_day_ = false;
   return out;
 }
 

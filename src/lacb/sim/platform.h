@@ -38,6 +38,20 @@ struct TrialTriple {
   double signup_rate = 0.0;
 };
 
+/// \brief One committed (broker, predicted-utility) assignment edge.
+struct CommittedEdge {
+  size_t broker = 0;
+  double utility = 0.0;
+};
+
+/// \brief Result of an externally-batched commit (the serve path): which
+/// requests appealed (for the caller to re-queue) and which edges were
+/// accepted into today's workload.
+struct ExternalCommitOutcome {
+  std::vector<Request> appealed;
+  std::vector<CommittedEdge> accepted;
+};
+
 /// \brief End-of-day outcome delivered to the engine.
 struct DayOutcome {
   /// One triple per broker (workload may be 0).
@@ -64,8 +78,30 @@ class Platform {
   size_t num_days() const { return requests_.size(); }
   size_t num_brokers() const { return brokers_.size(); }
 
+  /// \brief Full generated request schedule, [day][batch][i] (replay
+  /// drivers read this to feed the serving layer).
+  const std::vector<std::vector<std::vector<Request>>>& all_requests() const {
+    return requests_;
+  }
+
   /// \brief Opens day `day` (must follow the previously closed day).
   Status StartDay(size_t day);
+
+  /// \brief Opens day `day` with no internal batch schedule: the caller
+  /// supplies arbitrarily-formed batches via CommitExternalBatch (the
+  /// online serving path). Appeals are returned to the caller instead of
+  /// being re-queued internally, and EndDay closes the day as usual. The
+  /// ground-truth models and RNG stream are shared with the batch
+  /// protocol, so identical batch compositions yield bit-identical
+  /// outcomes.
+  Status StartDayExternal(size_t day);
+
+  /// \brief Commits an externally-formed batch against the open external
+  /// day: applies appeals (returned for re-queueing), updates workloads,
+  /// and records accepted edges for the day's realized utility.
+  Result<ExternalCommitOutcome> CommitExternalBatch(
+      const std::vector<Request>& requests,
+      const std::vector<int64_t>& assignment);
 
   /// \brief Number of batches in the currently open day.
   size_t NumBatchesToday() const { return today_batches_.size(); }
@@ -102,11 +138,6 @@ class Platform {
            std::vector<std::vector<std::vector<Request>>> requests,
            UtilityModel utility_model, Rng rng);
 
-  struct CommittedEdge {
-    size_t broker;
-    double utility;
-  };
-
   DatasetConfig config_;
   std::vector<Broker> brokers_;
   std::vector<std::vector<std::vector<Request>>> requests_;  // [day][batch]
@@ -116,6 +147,7 @@ class Platform {
 
   // Open-day state.
   bool day_open_ = false;
+  bool external_day_ = false;  // opened via StartDayExternal
   size_t current_day_ = 0;
   std::vector<std::vector<Request>> today_batches_;
   std::vector<bool> batch_committed_;
