@@ -29,7 +29,8 @@ struct SweepPoint {
 
 Result<SweepPoint> RunSweepPoint(const sim::DatasetConfig& data,
                                  const core::PolicySuiteConfig& suite,
-                                 size_t workers) {
+                                 size_t workers,
+                                 obs::EventRecorder* recorder = nullptr) {
   serve::ServedRunOptions opts;
   opts.mode = serve::LoadMode::kFreeRunReplay;
   opts.serve.num_workers = workers;
@@ -37,6 +38,13 @@ Result<SweepPoint> RunSweepPoint(const sim::DatasetConfig& data,
   opts.serve.max_batch_delay = std::chrono::milliseconds(2);
   opts.serve.queue_capacity = 1u << 16;  // free-run saturation, no shedding
   opts.serve.num_stripes = 16;
+  // Sample the breathing of the pipeline every 2ms; the series rides into
+  // BENCH_serve.json through each run's telemetry snapshot.
+  opts.sample_interval = std::chrono::milliseconds(2);
+  opts.sample_instruments = {"serve.queue_depth", "serve.carryover_depth",
+                             "serve.shed_requests", "serve.submitted",
+                             "serve.inflight_batches"};
+  opts.recorder = recorder;
 
   SweepPoint point;
   point.workers = workers;
@@ -104,9 +112,15 @@ Status Run() {
   table.SetHeader({"workers", "wall_s", "req_per_s", "shed", "assign_p50_ms",
                    "assign_p95_ms", "assign_p99_ms", "e2e_p99_ms"});
   std::vector<core::PolicyRunResult> runs;
+  // The widest sweep point also records an event timeline: the exported
+  // TRACE_serve.json opens in chrome://tracing / ui.perfetto.dev and shows
+  // the request flows hopping producer -> batcher -> worker threads.
+  obs::EventRecorder recorder;
   for (size_t workers : {1u, 2u, 4u}) {
-    LACB_ASSIGN_OR_RETURN(SweepPoint point,
-                          RunSweepPoint(data, suite, workers));
+    LACB_ASSIGN_OR_RETURN(
+        SweepPoint point,
+        RunSweepPoint(data, suite, workers,
+                      workers == 4 ? &recorder : nullptr));
     LACB_RETURN_NOT_OK(table.AddRow(
         {std::to_string(point.workers),
          TablePrinter::Num(point.wall_seconds, 3),
@@ -142,6 +156,20 @@ Status Run() {
   }
 
   LACB_RETURN_NOT_OK(telemetry_log.Write());
+
+  // Timeline + time-series artifacts for the 4-worker point. CI uploads
+  // these next to BENCH_serve.json.
+  LACB_RETURN_NOT_OK(
+      obs::WriteChromeTrace(recorder, "TRACE_serve.json", "bench_serve"));
+  std::cout << "wrote TRACE_serve.json ("
+            << recorder.Snapshot().events.size() << " events)\n";
+  const core::PolicyRunResult& widest = points.back().run;
+  if (widest.telemetry != nullptr && !widest.telemetry->series.empty()) {
+    LACB_RETURN_NOT_OK(
+        widest.telemetry->series.WriteJsonl("SERIES_serve.jsonl"));
+    std::cout << "wrote SERIES_serve.jsonl ("
+              << widest.telemetry->series.points.size() << " samples)\n";
+  }
   std::cout << "\n"
             << (all_ok ? "ALL SHAPE CHECKS PASSED" : "SHAPE CHECKS FAILED")
             << "\n";

@@ -1,10 +1,13 @@
 #include "lacb/core/engine.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "lacb/common/stopwatch.h"
+#include "lacb/core/metrics.h"
 #include "lacb/matching/assignment.h"
 #include "lacb/obs/obs.h"
+#include "lacb/policy/lacb_policy.h"
 
 namespace lacb::core {
 
@@ -121,6 +124,30 @@ Result<PolicyRunResult> RunPolicy(const sim::DatasetConfig& config,
         result.overload_excess += w - knee;
       }
     }
+
+    // Per-day trajectory gauges: the end-of-run snapshot keeps only their
+    // final value, but an attached TimeSeriesSampler (ticked below, one
+    // sample per simulated day) turns them into the convergence curves the
+    // paper plots — capacity-estimate error shrinking, overload
+    // concentration (Gini) flattening under capacity-aware policies.
+    obs::MetricRegistry& reg = telemetry.registry();
+    reg.GetGauge("engine.day_utility").Set(outcome.realized_utility);
+    reg.GetGauge("engine.workload_gini")
+        .Set(GiniCoefficient(outcome.per_broker_workload));
+    if (auto* lacb = dynamic_cast<policy::LacbPolicy*>(policy);
+        lacb != nullptr && lacb->capacities().size() == n) {
+      double abs_err = 0.0;
+      for (size_t b = 0; b < n; ++b) {
+        abs_err += std::abs(lacb->capacities()[b] -
+                            platform.brokers()[b].latent.true_capacity);
+      }
+      reg.GetGauge("engine.capacity_mae")
+          .Set(abs_err / static_cast<double>(std::max<size_t>(1, n)));
+    }
+    if (obs::TimeSeriesSampler* sampler = obs::ActiveSampler();
+        sampler != nullptr) {
+      sampler->Sample(static_cast<double>(day), reg);
+    }
   }
   double d = static_cast<double>(std::max<size_t>(1, days));
   for (size_t b = 0; b < n; ++b) {
@@ -134,8 +161,14 @@ Result<PolicyRunResult> RunPolicy(const sim::DatasetConfig& config,
     meta["num_brokers"] = std::to_string(platform.num_brokers());
     meta["num_days"] = std::to_string(days);
     meta["policy_seconds"] = std::to_string(result.policy_seconds);
-    result.telemetry = std::make_shared<obs::RunTelemetry>(obs::CaptureRun(
-        telemetry.registry(), telemetry.tracer(), std::move(meta)));
+    obs::RunTelemetry captured = obs::CaptureRun(
+        telemetry.registry(), telemetry.tracer(), std::move(meta));
+    if (obs::TimeSeriesSampler* sampler = obs::ActiveSampler();
+        sampler != nullptr) {
+      captured.series = sampler->Series();
+    }
+    result.telemetry =
+        std::make_shared<obs::RunTelemetry>(std::move(captured));
   }
   return result;
 }

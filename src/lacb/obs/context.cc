@@ -33,6 +33,8 @@ Tracer& SinkTracer() {
 
 thread_local MetricRegistry* tl_registry = nullptr;
 thread_local Tracer* tl_tracer = nullptr;
+thread_local EventRecorder* tl_recorder = nullptr;
+thread_local TimeSeriesSampler* tl_sampler = nullptr;
 
 }  // namespace
 
@@ -46,6 +48,16 @@ Tracer& ActiveTracer() {
   return tl_tracer != nullptr ? *tl_tracer : GlobalTracer();
 }
 
+EventRecorder* ActiveEventRecorder() {
+  if (!g_enabled.load(std::memory_order_relaxed)) return nullptr;
+  return tl_recorder;
+}
+
+TimeSeriesSampler* ActiveSampler() {
+  if (!g_enabled.load(std::memory_order_relaxed)) return nullptr;
+  return tl_sampler;
+}
+
 void SetCollectionEnabled(bool enabled) {
   g_enabled.store(enabled, std::memory_order_relaxed);
 }
@@ -55,15 +67,36 @@ bool CollectionEnabled() {
 }
 
 ScopedContextAdoption::ScopedContextAdoption(MetricRegistry* registry,
-                                             Tracer* tracer)
-    : prev_registry_(tl_registry), prev_tracer_(tl_tracer) {
+                                             Tracer* tracer,
+                                             EventRecorder* recorder)
+    : prev_registry_(tl_registry),
+      prev_tracer_(tl_tracer),
+      prev_recorder_(tl_recorder) {
   tl_registry = registry;
   tl_tracer = tracer;
+  tl_recorder = recorder;
 }
 
 ScopedContextAdoption::~ScopedContextAdoption() {
   tl_registry = prev_registry_;
   tl_tracer = prev_tracer_;
+  tl_recorder = prev_recorder_;
+}
+
+ScopedEventRecording::ScopedEventRecording(EventRecorder* recorder)
+    : prev_recorder_(tl_recorder) {
+  tl_recorder = recorder;
+}
+
+ScopedEventRecording::~ScopedEventRecording() { tl_recorder = prev_recorder_; }
+
+ScopedSamplerAttachment::ScopedSamplerAttachment(TimeSeriesSampler* sampler)
+    : prev_sampler_(tl_sampler) {
+  tl_sampler = sampler;
+}
+
+ScopedSamplerAttachment::~ScopedSamplerAttachment() {
+  tl_sampler = prev_sampler_;
 }
 
 ScopedTelemetry::ScopedTelemetry()

@@ -19,11 +19,27 @@
 
 namespace lacb::obs {
 
+class EventRecorder;
+class TimeSeriesSampler;
+
 /// \brief Registry that instrumentation on this thread currently targets.
 MetricRegistry& ActiveRegistry();
 
 /// \brief Tracer that LACB_TRACE_SPAN on this thread currently targets.
 Tracer& ActiveTracer();
+
+/// \brief Event-timeline recorder installed on this thread, or null —
+/// unlike the registry/tracer there is no process default: timeline
+/// recording is opt-in via ScopedEventRecording (it retains every event,
+/// not aggregates, so it is a debugging/profiling plane, not an always-on
+/// one). Null while collection is disabled.
+EventRecorder* ActiveEventRecorder();
+
+/// \brief Time-series sampler attached to this thread, or null. The
+/// engine ticks it once per simulated day (see core::RunPolicy); attach
+/// one via ScopedSamplerAttachment around a run to capture per-day
+/// trajectories. Null while collection is disabled.
+TimeSeriesSampler* ActiveSampler();
 
 /// \brief Process-wide collection switch (default on). When off, spans
 /// and metric lookups still resolve but write to a throwaway context that
@@ -36,11 +52,14 @@ bool CollectionEnabled();
 /// worker-thread pool points its threads at the run-scoped telemetry of
 /// the thread that launched it (the serve layer's batcher and assignment
 /// workers adopt the service's context): both instruments are internally
-/// thread-safe, so many threads may adopt the same pair. Null pointers
-/// re-select the process-wide default context.
+/// thread-safe, so many threads may adopt the same pair. Null
+/// registry/tracer pointers re-select the process-wide default context;
+/// the optional event recorder is forwarded as-is (null = no recording on
+/// the adopting thread).
 class ScopedContextAdoption {
  public:
-  ScopedContextAdoption(MetricRegistry* registry, Tracer* tracer);
+  ScopedContextAdoption(MetricRegistry* registry, Tracer* tracer,
+                        EventRecorder* recorder = nullptr);
   ~ScopedContextAdoption();
   ScopedContextAdoption(const ScopedContextAdoption&) = delete;
   ScopedContextAdoption& operator=(const ScopedContextAdoption&) = delete;
@@ -48,6 +67,36 @@ class ScopedContextAdoption {
  private:
   MetricRegistry* prev_registry_;
   Tracer* prev_tracer_;
+  EventRecorder* prev_recorder_;
+};
+
+/// \brief Installs `recorder` as this thread's active event-timeline
+/// recorder for the guard's lifetime (restores the previous one on exit).
+/// The serving layer captures the recorder active on the Start() caller
+/// and forwards it to its batcher/worker threads.
+class ScopedEventRecording {
+ public:
+  explicit ScopedEventRecording(EventRecorder* recorder);
+  ~ScopedEventRecording();
+  ScopedEventRecording(const ScopedEventRecording&) = delete;
+  ScopedEventRecording& operator=(const ScopedEventRecording&) = delete;
+
+ private:
+  EventRecorder* prev_recorder_;
+};
+
+/// \brief Attaches `sampler` as this thread's active time-series sampler
+/// for the guard's lifetime. Install one around core::RunPolicy to get a
+/// per-simulated-day sample of the run's registry.
+class ScopedSamplerAttachment {
+ public:
+  explicit ScopedSamplerAttachment(TimeSeriesSampler* sampler);
+  ~ScopedSamplerAttachment();
+  ScopedSamplerAttachment(const ScopedSamplerAttachment&) = delete;
+  ScopedSamplerAttachment& operator=(const ScopedSamplerAttachment&) = delete;
+
+ private:
+  TimeSeriesSampler* prev_sampler_;
 };
 
 /// \brief Installs a fresh registry + tracer as this thread's active

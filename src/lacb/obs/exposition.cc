@@ -1,0 +1,199 @@
+#include "lacb/obs/exposition.h"
+
+#include "lacb/obs/prometheus.h"
+
+#if !defined(_WIN32)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace lacb::obs {
+
+#if defined(_WIN32)
+
+// The exposition endpoint is POSIX-only; the rest of the obs plane (and
+// the offline exporters) work everywhere.
+Result<std::unique_ptr<ExpositionServer>> ExpositionServer::Start(
+    SnapshotFn, const ExpositionOptions&) {
+  return Status::NotImplemented("ExpositionServer requires POSIX sockets");
+}
+ExpositionServer::~ExpositionServer() = default;
+void ExpositionServer::Stop() {}
+void ExpositionServer::AcceptLoop() {}
+void ExpositionServer::HandleConnection(int) {}
+ExpositionServer::ExpositionServer(SnapshotFn fn, int fd, int port)
+    : snapshot_fn_(std::move(fn)), listen_fd_(fd), port_(port) {}
+
+#else
+
+namespace {
+
+// Full write; EINTR-safe, SIGPIPE suppressed (a scraper that hangs up
+// mid-response must not kill the process).
+void SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+std::string HttpResponse(int code, const char* reason,
+                         const std::string& content_type,
+                         const std::string& body) {
+  std::string out = "HTTP/1.1 " + std::to_string(code) + " " + reason +
+                    "\r\n"
+                    "Content-Type: " +
+                    content_type +
+                    "\r\n"
+                    "Content-Length: " +
+                    std::to_string(body.size()) +
+                    "\r\n"
+                    "Connection: close\r\n"
+                    "\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ExpositionServer>> ExpositionServer::Start(
+    SnapshotFn snapshot_fn, const ExpositionOptions& options) {
+  if (!snapshot_fn) {
+    return Status::InvalidArgument(
+        "ExpositionServer requires a snapshot callback");
+  }
+  if (options.port < 0 || options.port > 65535) {
+    return Status::InvalidArgument("ExpositionServer: port out of range");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError("ExpositionServer: socket() failed");
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options.port));
+  if (::inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(fd);
+    return Status::InvalidArgument("ExpositionServer: bad bind address '" +
+                                   options.bind_address + "'");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::IoError("ExpositionServer: cannot bind " +
+                           options.bind_address + ":" +
+                           std::to_string(options.port));
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    return Status::IoError("ExpositionServer: listen() failed");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    ::close(fd);
+    return Status::IoError("ExpositionServer: getsockname() failed");
+  }
+  return std::unique_ptr<ExpositionServer>(new ExpositionServer(
+      std::move(snapshot_fn), fd, static_cast<int>(ntohs(bound.sin_port))));
+}
+
+ExpositionServer::ExpositionServer(SnapshotFn snapshot_fn, int listen_fd,
+                                   int port)
+    : snapshot_fn_(std::move(snapshot_fn)),
+      listen_fd_(listen_fd),
+      port_(port) {
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+ExpositionServer::~ExpositionServer() { Stop(); }
+
+void ExpositionServer::Stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  // shutdown() unblocks the accept(2) in flight; close() releases the fd.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+void ExpositionServer::AcceptLoop() {
+  for (;;) {
+    int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket closed by Stop()
+    }
+    if (stopping_.load(std::memory_order_relaxed)) {
+      ::close(client);
+      return;
+    }
+    HandleConnection(client);
+    ::close(client);
+  }
+}
+
+void ExpositionServer::HandleConnection(int client_fd) {
+  // Read until the end of the request head (or 4 KiB — scrape requests
+  // are one line plus a few headers).
+  std::string head;
+  char buf[1024];
+  while (head.size() < 4096 && head.find("\r\n\r\n") == std::string::npos) {
+    ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    head.append(buf, static_cast<size_t>(n));
+  }
+
+  // "GET <path> HTTP/1.x"
+  size_t sp1 = head.find(' ');
+  size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                        : head.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos || head.compare(0, sp1, "GET") != 0) {
+    SendAll(client_fd, HttpResponse(405, "Method Not Allowed", "text/plain",
+                                    "only GET is supported\n"));
+    return;
+  }
+  std::string path = head.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (size_t query = path.find('?'); query != std::string::npos) {
+    path.resize(query);
+  }
+
+  if (path == "/metrics") {
+    scrapes_.fetch_add(1, std::memory_order_relaxed);
+    SendAll(client_fd,
+            HttpResponse(200, "OK",
+                         "text/plain; version=0.0.4; charset=utf-8",
+                         RenderPrometheus(snapshot_fn_())));
+  } else if (path == "/healthz") {
+    SendAll(client_fd, HttpResponse(200, "OK", "text/plain", "ok\n"));
+  } else {
+    SendAll(client_fd,
+            HttpResponse(404, "Not Found", "text/plain",
+                         "try /metrics or /healthz\n"));
+  }
+}
+
+#endif  // !defined(_WIN32)
+
+}  // namespace lacb::obs

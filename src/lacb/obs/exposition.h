@@ -1,0 +1,81 @@
+// ExpositionServer: a minimal HTTP listener that serves live metrics in
+// the Prometheus text format — the scrape endpoint of the serving layer.
+//
+//   GET /metrics  -> 200, RenderPrometheus(snapshot_fn())
+//   GET /healthz  -> 200, "ok"
+//   anything else -> 404
+//
+// Implementation is deliberately small: one blocking-accept loop on a
+// dedicated thread, one connection handled at a time, no keep-alive, no
+// third-party dependencies — a scrape every few seconds is the design
+// load, not user traffic. The snapshot callback runs on the server thread,
+// so it must be thread-safe (MetricRegistry::Snapshot is).
+//
+// Binding to port 0 picks an ephemeral port; port() reports the bound one
+// (tests and CI smoke checks rely on this). Stop() unblocks the accept
+// loop and joins the thread; the destructor calls it.
+
+#ifndef LACB_OBS_EXPOSITION_H_
+#define LACB_OBS_EXPOSITION_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "lacb/common/result.h"
+#include "lacb/obs/metrics.h"
+
+namespace lacb::obs {
+
+/// \brief Listener configuration.
+struct ExpositionOptions {
+  /// TCP port; 0 binds an ephemeral port (see ExpositionServer::port()).
+  int port = 0;
+  /// Listen address; default loopback-only (scrapers run on-host; expose
+  /// on 0.0.0.0 explicitly when the scraper is remote).
+  std::string bind_address = "127.0.0.1";
+};
+
+/// \brief Blocking-accept HTTP exposition endpoint.
+class ExpositionServer {
+ public:
+  /// \brief Called per /metrics scrape; must be thread-safe.
+  using SnapshotFn = std::function<MetricsSnapshot()>;
+
+  /// \brief Binds, listens, and spawns the accept thread. Fails with
+  /// IoError when the port cannot be bound.
+  static Result<std::unique_ptr<ExpositionServer>> Start(
+      SnapshotFn snapshot_fn, const ExpositionOptions& options = {});
+
+  ~ExpositionServer();
+  ExpositionServer(const ExpositionServer&) = delete;
+  ExpositionServer& operator=(const ExpositionServer&) = delete;
+
+  /// \brief The bound TCP port (resolves ephemeral binds).
+  int port() const { return port_; }
+  /// \brief Scrapes served so far (diagnostic).
+  uint64_t scrapes() const { return scrapes_.load(std::memory_order_relaxed); }
+
+  /// \brief Closes the listen socket and joins the accept thread.
+  /// Idempotent.
+  void Stop();
+
+ private:
+  ExpositionServer(SnapshotFn snapshot_fn, int listen_fd, int port);
+
+  void AcceptLoop();
+  void HandleConnection(int client_fd);
+
+  SnapshotFn snapshot_fn_;
+  int listen_fd_;
+  int port_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> scrapes_{0};
+  std::thread accept_thread_;
+};
+
+}  // namespace lacb::obs
+
+#endif  // LACB_OBS_EXPOSITION_H_

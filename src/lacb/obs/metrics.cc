@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "lacb/common/logging.h"
+
 namespace lacb::obs {
 
 // ---------------------------------------------------------------------------
@@ -146,8 +148,60 @@ HistogramSnapshot Histogram::Snapshot() const {
 // ---------------------------------------------------------------------------
 // MetricRegistry.
 
+bool IsValidInstrumentName(const std::string& name) {
+  if (name.empty() || name.front() == '.' || name.back() == '.') return false;
+  bool segment_start = true;
+  for (char c : name) {
+    if (c == '.') {
+      if (segment_start) return false;  // empty segment ("a..b")
+      segment_start = true;
+      continue;
+    }
+    if (segment_start) {
+      if (!(c == '_' || (c >= 'a' && c <= 'z'))) return false;
+      segment_start = false;
+    } else if (!(c == '_' || (c >= 'a' && c <= 'z') ||
+                 (c >= '0' && c <= '9'))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+const char* KindName(int kind) {
+  switch (kind) {
+    case 0:
+      return "counter";
+    case 1:
+      return "gauge";
+    default:
+      return "histogram";
+  }
+}
+}  // namespace
+
+void MetricRegistry::RegisterName(const std::string& name,
+                                  InstrumentKind kind) {
+  if (!IsValidInstrumentName(name)) {
+    LACB_LOG(Error) << "invalid instrument name '" << name
+                    << "' (want dotted snake_case, e.g. "
+                       "\"serve.queue_depth\")";
+    LACB_CHECK(IsValidInstrumentName(name));
+  }
+  auto [it, inserted] = kinds_.emplace(name, kind);
+  if (!inserted && it->second != kind) {
+    LACB_LOG(Error) << "instrument '" << name << "' already registered as a "
+                    << KindName(static_cast<int>(it->second))
+                    << "; cannot re-register as a "
+                    << KindName(static_cast<int>(kind));
+    LACB_CHECK(it->second == kind);
+  }
+}
+
 Counter& MetricRegistry::GetCounter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
+  RegisterName(name, InstrumentKind::kCounter);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return *slot;
@@ -155,6 +209,7 @@ Counter& MetricRegistry::GetCounter(const std::string& name) {
 
 Gauge& MetricRegistry::GetGauge(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
+  RegisterName(name, InstrumentKind::kGauge);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return *slot;
@@ -167,6 +222,7 @@ Histogram& MetricRegistry::GetHistogram(const std::string& name) {
 Histogram& MetricRegistry::GetHistogram(const std::string& name,
                                         std::vector<double> bounds) {
   std::lock_guard<std::mutex> lock(mu_);
+  RegisterName(name, InstrumentKind::kHistogram);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
   return *slot;

@@ -125,10 +125,19 @@ struct MetricsSnapshot {
   std::map<std::string, HistogramSnapshot> histograms;
 };
 
+/// \brief True when `name` is valid dotted snake_case: non-empty
+/// '.'-separated segments, each `[a-z_][a-z0-9_]*`.
+bool IsValidInstrumentName(const std::string& name);
+
 /// \brief Thread-safe name → instrument registry.
 ///
 /// Get* creates the instrument on first use; returned references remain
 /// valid (and their addresses stable) until the registry is destroyed.
+/// Names are validated at registration: a malformed name (see
+/// IsValidInstrumentName) or a name re-registered as a *different*
+/// instrument type fails fast with LACB_CHECK — both are call-site bugs
+/// that would otherwise surface as silently-forked metric families in the
+/// exporters.
 class MetricRegistry {
  public:
   MetricRegistry() = default;
@@ -146,7 +155,13 @@ class MetricRegistry {
   MetricsSnapshot Snapshot() const;
 
  private:
+  enum class InstrumentKind { kCounter, kGauge, kHistogram };
+
+  /// Validates `name` and records/compares its kind (callers hold mu_).
+  void RegisterName(const std::string& name, InstrumentKind kind);
+
   mutable std::mutex mu_;
+  std::map<std::string, InstrumentKind> kinds_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;

@@ -11,9 +11,13 @@
 #define LACB_OBS_OBS_H_
 
 #include "lacb/obs/context.h"
+#include "lacb/obs/event_trace.h"
+#include "lacb/obs/exposition.h"
 #include "lacb/obs/json.h"
 #include "lacb/obs/metrics.h"
+#include "lacb/obs/prometheus.h"
 #include "lacb/obs/snapshot.h"
+#include "lacb/obs/timeseries.h"
 #include "lacb/obs/trace.h"
 
 #endif  // LACB_OBS_OBS_H_

@@ -1,0 +1,92 @@
+#include "lacb/obs/prometheus.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace lacb::obs {
+
+namespace {
+
+// Shortest decimal form that round-trips a double ("%.17g" always
+// round-trips but prints 0.1 as 0.10000000000000001; try ascending
+// precision first).
+std::string FormatDouble(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    double parsed = 0.0;
+    std::sscanf(buf, "%lf", &parsed);
+    if (parsed == v) break;
+  }
+  return buf;
+}
+
+void AppendFamilyHeader(std::string* out, const std::string& name,
+                        const char* type) {
+  out->append("# TYPE ").append(name).append(" ").append(type).append("\n");
+}
+
+void AppendHistogram(std::string* out, const std::string& name,
+                     const HistogramSnapshot& h) {
+  AppendFamilyHeader(out, name, "histogram");
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < h.bounds.size(); ++i) {
+    cumulative += i < h.counts.size() ? h.counts[i] : 0;
+    out->append(name)
+        .append("_bucket{le=\"")
+        .append(FormatDouble(h.bounds[i]))
+        .append("\"} ")
+        .append(std::to_string(cumulative))
+        .append("\n");
+  }
+  // The overflow bucket closes the family: le="+Inf" must equal _count.
+  out->append(name).append("_bucket{le=\"+Inf\"} ");
+  out->append(std::to_string(h.count)).append("\n");
+  out->append(name).append("_sum ").append(FormatDouble(h.sum)).append("\n");
+  out->append(name).append("_count ").append(std::to_string(h.count));
+  out->append("\n");
+
+  // Streaming P2 quantile estimates ride along as gauges.
+  const struct {
+    const char* suffix;
+    double value;
+  } quantiles[] = {{"_p50", h.p50}, {"_p95", h.p95}, {"_p99", h.p99}};
+  for (const auto& q : quantiles) {
+    std::string qname = name + q.suffix;
+    AppendFamilyHeader(out, qname, "gauge");
+    out->append(qname).append(" ").append(FormatDouble(q.value)).append("\n");
+  }
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '.') c = '_';
+  }
+  return out;
+}
+
+std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    std::string pname = PrometheusName(name);
+    AppendFamilyHeader(&out, pname, "counter");
+    out.append(pname).append(" ").append(std::to_string(value)).append("\n");
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::string pname = PrometheusName(name);
+    AppendFamilyHeader(&out, pname, "gauge");
+    out.append(pname).append(" ").append(FormatDouble(value)).append("\n");
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    AppendHistogram(&out, PrometheusName(name), hist);
+  }
+  return out;
+}
+
+}  // namespace lacb::obs

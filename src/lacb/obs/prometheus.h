@@ -1,0 +1,36 @@
+// Prometheus text exposition: renders a MetricsSnapshot in the exposition
+// format v0.0.4 that `prometheus` (and every compatible scraper) ingests.
+//
+// Mapping from the obs instruments:
+//   Counter   -> `# TYPE <name> counter`  + one sample line
+//   Gauge     -> `# TYPE <name> gauge`    + one sample line
+//   Histogram -> `# TYPE <name> histogram` + cumulative `<name>_bucket`
+//                lines (one per upper bound, plus le="+Inf"), `<name>_sum`
+//                and `<name>_count`
+//
+// Instrument names are dotted snake_case ("serve.queue_depth"); Prometheus
+// metric names cannot contain dots, so every '.' becomes '_'. The streaming
+// p50/p95/p99 estimates are additionally exported as `<name>_p50` etc.
+// gauges — quantiles are not part of the histogram type and scrapers that
+// prefer exact aggregation use the buckets instead.
+
+#ifndef LACB_OBS_PROMETHEUS_H_
+#define LACB_OBS_PROMETHEUS_H_
+
+#include <string>
+
+#include "lacb/obs/metrics.h"
+
+namespace lacb::obs {
+
+/// \brief Dotted snake_case instrument name -> Prometheus metric name
+/// ('.' becomes '_'; anything else is already in the legal charset).
+std::string PrometheusName(const std::string& name);
+
+/// \brief Renders every instrument of `snapshot` in the text exposition
+/// format (one `# TYPE` comment per metric family, samples after it).
+std::string RenderPrometheus(const MetricsSnapshot& snapshot);
+
+}  // namespace lacb::obs
+
+#endif  // LACB_OBS_PROMETHEUS_H_

@@ -138,6 +138,8 @@ JsonValue RunTelemetry::ToJson() const {
   JsonValue span_array = JsonValue::Array();
   for (const SpanSnapshot& s : spans) span_array.Append(SpanToJson(s));
   out.Set("spans", std::move(span_array));
+
+  if (!series.empty()) out.Set("time_series", series.ToJson());
   return out;
 }
 
@@ -177,6 +179,10 @@ Result<RunTelemetry> RunTelemetry::FromJson(const JsonValue& json) {
       LACB_ASSIGN_OR_RETURN(SpanSnapshot span, SpanFromJson(s));
       out.spans.push_back(std::move(span));
     }
+  }
+  if (const JsonValue* series = json.Find("time_series");
+      series != nullptr) {
+    LACB_ASSIGN_OR_RETURN(out.series, TimeSeries::FromJson(*series));
   }
   return out;
 }

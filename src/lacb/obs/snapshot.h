@@ -15,6 +15,7 @@
 #include "lacb/common/result.h"
 #include "lacb/obs/json.h"
 #include "lacb/obs/metrics.h"
+#include "lacb/obs/timeseries.h"
 #include "lacb/obs/trace.h"
 
 namespace lacb::obs {
@@ -26,6 +27,9 @@ struct RunTelemetry {
   MetricsSnapshot metrics;
   /// Aggregated span forest (children of the implicit root).
   std::vector<SpanSnapshot> spans;
+  /// Sampled trajectory over the run (empty unless a TimeSeriesSampler was
+  /// attached); serialized as "time_series" when non-empty.
+  TimeSeries series;
 
   /// \brief Flat per-label totals over the whole span forest.
   std::map<std::string, SpanAggregate> SpansByLabel() const;

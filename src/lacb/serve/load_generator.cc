@@ -91,10 +91,22 @@ Result<core::PolicyRunResult> RunPolicyServed(
   // Same run-scoped collection pattern as core::RunPolicy: everything the
   // service and its worker threads record lands in this context.
   obs::ScopedTelemetry telemetry;
+  obs::ScopedEventRecording record(options.recorder);
 
   LACB_ASSIGN_OR_RETURN(std::unique_ptr<AssignmentService> service,
                         AssignmentService::Create(config, factory, options.serve));
   LACB_RETURN_NOT_OK(service->Start());
+
+  // Wall-clock sampling of the run's registry (the sampling thread holds a
+  // pointer to the run-scoped registry, which outlives it).
+  std::unique_ptr<obs::TimeSeriesSampler> sampler;
+  if (options.sample_interval.count() > 0) {
+    obs::TimeSeriesSampler::Options sampler_opts;
+    sampler_opts.instruments = options.sample_instruments;
+    sampler_opts.time_unit = "seconds";
+    sampler = std::make_unique<obs::TimeSeriesSampler>(std::move(sampler_opts));
+    LACB_RETURN_NOT_OK(sampler->StartPeriodic(options.sample_interval));
+  }
 
   const sim::Platform& platform = service->platform();
   core::PolicyRunResult result;
@@ -145,6 +157,7 @@ Result<core::PolicyRunResult> RunPolicyServed(
   ServeStats stats = service->Stats();
   result.shed_requests = stats.shed;
   service->Shutdown();
+  if (sampler != nullptr) sampler->StopPeriodic();
 
   obs::MetricsSnapshot metrics = telemetry.registry().Snapshot();
   auto latency = metrics.histograms.find("serve.batch_assign_seconds");
@@ -161,8 +174,11 @@ Result<core::PolicyRunResult> RunPolicyServed(
     meta["num_days"] = std::to_string(days);
     meta["num_workers"] = std::to_string(options.serve.num_workers);
     meta["policy_seconds"] = std::to_string(result.policy_seconds);
-    result.telemetry = std::make_shared<obs::RunTelemetry>(obs::CaptureRun(
-        telemetry.registry(), telemetry.tracer(), std::move(meta)));
+    obs::RunTelemetry captured = obs::CaptureRun(
+        telemetry.registry(), telemetry.tracer(), std::move(meta));
+    if (sampler != nullptr) captured.series = sampler->Series();
+    result.telemetry =
+        std::make_shared<obs::RunTelemetry>(std::move(captured));
   }
   return result;
 }

@@ -25,7 +25,10 @@
 #ifndef LACB_SERVE_LOAD_GENERATOR_H_
 #define LACB_SERVE_LOAD_GENERATOR_H_
 
+#include <chrono>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "lacb/core/engine.h"
 #include "lacb/serve/service.h"
@@ -48,6 +51,18 @@ struct ServedRunOptions {
   double poisson_rate = 0.0;
   /// Seed of the Poisson arrival clock (independent of the dataset seed).
   uint64_t poisson_seed = 1234;
+  /// Wall-clock cadence of time-series samples over the run's registry
+  /// (queue depth, carryover, shed, ... — see sample_instruments); zero
+  /// disables sampling. The series lands in the result's
+  /// RunTelemetry::series.
+  std::chrono::milliseconds sample_interval{0};
+  /// Instrument selection for the sampler; empty samples every counter
+  /// and gauge.
+  std::vector<std::string> sample_instruments;
+  /// Optional event-timeline recorder (not owned): installed for the
+  /// driving thread and forwarded by the service to its batcher/worker
+  /// threads, so one request is traceable across the pipeline.
+  obs::EventRecorder* recorder = nullptr;
 };
 
 /// \brief Submits day `day` of the service's request schedule in the given

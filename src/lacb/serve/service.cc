@@ -1,6 +1,7 @@
 #include "lacb/serve/service.h"
 
 #include <algorithm>
+#include <unordered_set>
 #include <utility>
 
 #include "lacb/common/stopwatch.h"
@@ -8,6 +9,16 @@
 #include "lacb/policy/lacb_policy.h"
 
 namespace lacb::serve {
+
+namespace {
+
+// Flow identity of a request across the serve pipeline. Request ids are
+// non-negative and a flow id of 0 means "no flow", so shift by one.
+uint64_t RequestFlowId(const sim::Request& request) {
+  return static_cast<uint64_t>(request.id) + 1;
+}
+
+}  // namespace
 
 Result<std::unique_ptr<AssignmentService>> AssignmentService::Create(
     const sim::DatasetConfig& config, const policy::PolicyFactory& factory,
@@ -55,6 +66,7 @@ Status AssignmentService::Start() {
   if (started_) return Status::FailedPrecondition("service already started");
   registry_ = &obs::ActiveRegistry();
   tracer_ = &obs::ActiveTracer();
+  recorder_ = obs::ActiveEventRecorder();
   submitted_counter_ = &registry_->GetCounter("serve.submitted");
   shed_counter_ = &registry_->GetCounter("serve.shed_requests");
   assigned_counter_ = &registry_->GetCounter("serve.assigned_requests");
@@ -66,6 +78,7 @@ Status AssignmentService::Start() {
       &registry_->GetCounter("serve.batch_close.deadline");
   flush_close_counter_ = &registry_->GetCounter("serve.batch_close.flush");
   inflight_gauge_ = &registry_->GetGauge("serve.inflight_batches");
+  carryover_gauge_ = &registry_->GetGauge("serve.carryover_depth");
   batch_size_hist_ = &registry_->GetHistogram(
       "serve.batch_size",
       std::vector<double>{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
@@ -80,6 +93,15 @@ Status AssignmentService::Start() {
   batch_opts.max_batch_delay = options_.max_batch_delay;
   batcher_ = std::make_unique<MicroBatcher>(queue_.get(), batch_opts,
                                             [this] { RetireWork(1); });
+
+  if (options_.exposition_port >= 0) {
+    obs::ExpositionOptions expo;
+    expo.port = options_.exposition_port;
+    LACB_ASSIGN_OR_RETURN(
+        exposition_,
+        obs::ExpositionServer::Start(
+            [registry = registry_] { return registry->Snapshot(); }, expo));
+  }
 
   started_ = true;
   batcher_thread_ = std::thread([this] { BatcherLoop(); });
@@ -141,9 +163,17 @@ bool AssignmentService::Submit(const sim::Request& request) {
   if (!queue_->TryPush(QueueItem::Of(request))) {
     RetireWork(1);
     shed_counter_->Increment();
+    if (recorder_ != nullptr) recorder_->Instant("serve.shed");
     return false;
   }
   submitted_counter_->Increment();
+  if (recorder_ != nullptr) {
+    // The flow arrow starts at the producer's enqueue slice and is picked
+    // up by the batcher and worker threads downstream.
+    recorder_->Begin("serve.enqueue");
+    recorder_->FlowBegin("serve.request", RequestFlowId(request));
+    recorder_->End("serve.enqueue");
+  }
   return true;
 }
 
@@ -200,13 +230,22 @@ void AssignmentService::Shutdown() {
   for (std::thread& t : worker_threads_) {
     if (t.joinable()) t.join();
   }
+  if (exposition_ != nullptr) exposition_->Stop();
 }
 
 void AssignmentService::BatcherLoop() {
-  obs::ScopedContextAdoption adopt(registry_, tracer_);
+  obs::ScopedContextAdoption adopt(registry_, tracer_, recorder_);
   for (;;) {
     std::optional<MicroBatch> batch = batcher_->NextBatch();
     if (!batch.has_value()) break;
+    if (recorder_ != nullptr) {
+      recorder_->Begin("serve.batch_close");
+      for (const sim::Request& r : batch->requests) {
+        recorder_->FlowStep("serve.request", RequestFlowId(r));
+      }
+      recorder_->End("serve.batch_close");
+    }
+    carryover_gauge_->Set(static_cast<double>(batcher_->carryover_size()));
     std::unique_lock<std::mutex> lock(channel_mu_);
     channel_not_full_.wait(lock, [&] {
       return channel_closed_ || channel_.size() < channel_capacity_;
@@ -229,7 +268,7 @@ void AssignmentService::BatcherLoop() {
 }
 
 void AssignmentService::WorkerLoop(size_t worker_index) {
-  obs::ScopedContextAdoption adopt(registry_, tracer_);
+  obs::ScopedContextAdoption adopt(registry_, tracer_, recorder_);
   for (;;) {
     MicroBatch batch;
     {
@@ -253,6 +292,7 @@ void AssignmentService::WorkerLoop(size_t worker_index) {
 
 Status AssignmentService::ProcessBatch(size_t worker_index, MicroBatch batch) {
   LACB_TRACE_SPAN("serve.batch");
+  obs::ScopedTimelineEvent timeline("serve.batch");
   if (!day_open_.load(std::memory_order_acquire)) {
     // Only carryover-only batches can surface here (CloseDay drains every
     // queued item before the day closes): appeals that outlive the horizon
@@ -294,6 +334,7 @@ Status AssignmentService::ProcessBatch(size_t worker_index, MicroBatch batch) {
   std::vector<int64_t> assignment;
   {
     LACB_TRACE_SPAN("serve.assign");
+    obs::ScopedTimelineEvent timeline_assign("serve.assign");
     Stopwatch sw;
     LACB_ASSIGN_OR_RETURN(assignment,
                           replicas_[worker_index]->AssignBatch(input));
@@ -306,14 +347,32 @@ Status AssignmentService::ProcessBatch(size_t worker_index, MicroBatch batch) {
   sim::ExternalCommitOutcome commit;
   {
     LACB_TRACE_SPAN("serve.commit");
+    obs::ScopedTimelineEvent timeline_commit("serve.commit");
     std::lock_guard<std::mutex> lock(env_mu_);
     LACB_ASSIGN_OR_RETURN(
         commit, platform_->CommitExternalBatch(batch.requests, assignment));
   }
 
+  if (recorder_ != nullptr) {
+    // Terminate each request's flow at the commit; appealed requests keep
+    // their flow alive (they re-enter through carryover and step again at
+    // the next batch close).
+    std::unordered_set<int64_t> appealed_ids;
+    appealed_ids.reserve(commit.appealed.size());
+    for (const sim::Request& r : commit.appealed) appealed_ids.insert(r.id);
+    recorder_->Begin("serve.disposition");
+    for (const sim::Request& r : batch.requests) {
+      if (appealed_ids.count(r.id) == 0) {
+        recorder_->FlowEnd("serve.request", RequestFlowId(r));
+      }
+    }
+    recorder_->End("serve.disposition");
+  }
+
   if (!commit.appealed.empty()) {
     appeal_counter_->Increment(commit.appealed.size());
     batcher_->AddCarryover(std::move(commit.appealed));
+    carryover_gauge_->Set(static_cast<double>(batcher_->carryover_size()));
   }
   store_.CommitAccepted(commit.accepted);
   assigned_counter_->Increment(commit.accepted.size());

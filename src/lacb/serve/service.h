@@ -45,6 +45,8 @@
 #include <vector>
 
 #include "lacb/common/result.h"
+#include "lacb/obs/event_trace.h"
+#include "lacb/obs/exposition.h"
 #include "lacb/obs/metrics.h"
 #include "lacb/obs/trace.h"
 #include "lacb/policy/assignment_policy.h"
@@ -69,6 +71,11 @@ struct ServeOptions {
   /// Closed-batch channel bound; 0 = 2 × num_workers. A full channel
   /// stalls the batcher, which backpressures the ingestion queue.
   size_t batch_channel_capacity = 0;
+  /// Prometheus exposition listener (GET /metrics): -1 disables it, 0
+  /// binds an ephemeral port (read it back via exposition_port()), any
+  /// other value binds that port on 127.0.0.1. The scrape endpoint serves
+  /// the registry captured at Start().
+  int exposition_port = -1;
 };
 
 /// \brief Aggregate service counters (a convenience copy of the obs
@@ -137,6 +144,12 @@ class AssignmentService {
   /// open/close cycle, seconds (replica 0's share).
   double day_boundary_seconds() const { return day_boundary_seconds_; }
 
+  /// \brief Bound port of the exposition listener, or -1 when disabled
+  /// (only meaningful after Start()).
+  int exposition_port() const {
+    return exposition_ != nullptr ? exposition_->port() : -1;
+  }
+
   ServeStats Stats() const;
 
  private:
@@ -197,9 +210,13 @@ class AssignmentService {
   std::thread batcher_thread_;
   std::vector<std::thread> worker_threads_;
 
-  // Telemetry (captured from the Start() caller's active context).
+  // Telemetry (captured from the Start() caller's active context; the
+  // recorder is null unless the caller had a ScopedEventRecording open,
+  // and is forwarded to the batcher/worker threads).
   obs::MetricRegistry* registry_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
+  obs::EventRecorder* recorder_ = nullptr;
+  std::unique_ptr<obs::ExpositionServer> exposition_;
   obs::Counter* submitted_counter_ = nullptr;
   obs::Counter* shed_counter_ = nullptr;
   obs::Counter* assigned_counter_ = nullptr;
@@ -210,6 +227,7 @@ class AssignmentService {
   obs::Counter* deadline_close_counter_ = nullptr;
   obs::Counter* flush_close_counter_ = nullptr;
   obs::Gauge* inflight_gauge_ = nullptr;
+  obs::Gauge* carryover_gauge_ = nullptr;
   obs::Histogram* batch_size_hist_ = nullptr;
   obs::Histogram* assign_latency_hist_ = nullptr;
   obs::Histogram* e2e_latency_hist_ = nullptr;

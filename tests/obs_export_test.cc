@@ -1,0 +1,522 @@
+// Exporter plane of lacb/obs: event-timeline recording + Chrome trace
+// JSON, Prometheus text exposition + the HTTP scrape endpoint, and
+// time-series telemetry — plus the gate that a fully instrumented
+// lockstep serve run stays bit-identical to the offline engine.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lacb/core/engine.h"
+#include "lacb/core/policy_suite.h"
+#include "lacb/obs/obs.h"
+#include "lacb/serve/serve.h"
+
+namespace lacb {
+namespace {
+
+using obs::ChromeTraceJson;
+using obs::EventPhase;
+using obs::EventRecorder;
+using obs::JsonValue;
+using obs::TraceSnapshot;
+
+sim::DatasetConfig TinyConfig() {
+  sim::DatasetConfig cfg;
+  cfg.name = "obs_export";
+  cfg.num_brokers = 30;
+  cfg.num_requests = 360;
+  cfg.num_days = 3;
+  cfg.imbalance = 0.2;
+  cfg.seed = 321;
+  return cfg;
+}
+
+serve::ServedRunOptions LockstepOptions() {
+  serve::ServedRunOptions opts;
+  opts.mode = serve::LoadMode::kLockstepReplay;
+  opts.serve.num_workers = 1;
+  opts.serve.max_batch_size = 1u << 20;
+  opts.serve.max_batch_delay = std::chrono::seconds(300);
+  opts.serve.queue_capacity = 4096;
+  return opts;
+}
+
+// Minimal blocking HTTP client for the exposition smoke checks.
+std::string HttpGet(int port, const std::string& path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::string request = "GET " + path +
+                        " HTTP/1.1\r\nHost: localhost\r\n"
+                        "Connection: close\r\n\r\n";
+  (void)::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// EventRecorder.
+// ---------------------------------------------------------------------------
+
+TEST(EventRecorderTest, MergesThreadsInTimestampOrder) {
+  EventRecorder recorder;
+  recorder.Begin("main_work");
+  std::thread worker([&recorder] {
+    recorder.Begin("worker_work");
+    recorder.Instant("tick");
+    recorder.End("worker_work");
+  });
+  worker.join();
+  recorder.End("main_work");
+
+  TraceSnapshot snap = recorder.Snapshot();
+  EXPECT_EQ(snap.threads, 2u);
+  EXPECT_EQ(snap.dropped, 0u);
+  ASSERT_EQ(snap.events.size(), 5u);
+  for (size_t i = 1; i < snap.events.size(); ++i) {
+    EXPECT_LE(snap.events[i - 1].ts_micros, snap.events[i].ts_micros);
+  }
+  std::set<uint32_t> tids;
+  for (const auto& e : snap.events) tids.insert(e.tid);
+  EXPECT_EQ(tids.size(), 2u);
+}
+
+TEST(EventRecorderTest, DropOldestKeepsNewestAndCounts) {
+  EventRecorder recorder(/*capacity_per_thread=*/4);
+  for (uint64_t i = 1; i <= 10; ++i) recorder.Instant("tick", i);
+
+  EXPECT_EQ(recorder.dropped(), 6u);
+  TraceSnapshot snap = recorder.Snapshot();
+  EXPECT_EQ(snap.dropped, 6u);
+  ASSERT_EQ(snap.events.size(), 4u);
+  // Drop-oldest: the retained ring is the newest four, in order.
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(snap.events[i].flow_id, 7u + i);
+  }
+}
+
+TEST(EventRecorderTest, ScopedTimelineEventNoOpWithoutRecorder) {
+  // No recorder installed: must not crash, must not record anywhere.
+  { obs::ScopedTimelineEvent ev("orphan"); }
+
+  EventRecorder recorder;
+  {
+    obs::ScopedEventRecording guard(&recorder);
+    obs::ScopedTimelineEvent ev("scoped");
+  }
+  TraceSnapshot snap = recorder.Snapshot();
+  ASSERT_EQ(snap.events.size(), 2u);
+  EXPECT_EQ(snap.events[0].phase, EventPhase::kBegin);
+  EXPECT_EQ(snap.events[1].phase, EventPhase::kEnd);
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace export.
+// ---------------------------------------------------------------------------
+
+// Walks exported traceEvents and asserts every "B" has a matching "E" on
+// the same thread (LIFO per tid, like a real trace viewer enforces).
+void ExpectBalancedSlices(const JsonValue& trace) {
+  const JsonValue* events = trace.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  std::map<int64_t, std::vector<std::string>> open;  // tid -> slice stack
+  for (const JsonValue& e : events->items()) {
+    const std::string ph = e.Find("ph")->as_string();
+    if (ph != "B" && ph != "E") continue;
+    int64_t tid = static_cast<int64_t>(e.Find("tid")->as_number());
+    const std::string name = e.Find("name")->as_string();
+    if (ph == "B") {
+      open[tid].push_back(name);
+    } else {
+      ASSERT_FALSE(open[tid].empty())
+          << "E without B on tid " << tid << ": " << name;
+      EXPECT_EQ(open[tid].back(), name);
+      open[tid].pop_back();
+    }
+  }
+  for (const auto& [tid, stack] : open) {
+    EXPECT_TRUE(stack.empty()) << "unclosed slice on tid " << tid;
+  }
+}
+
+TEST(ChromeTraceTest, ExportParsesWithMetadataAndBalancedSlices) {
+  EventRecorder recorder;
+  recorder.Begin("outer");
+  recorder.Begin("inner");
+  recorder.End("inner");
+  recorder.End("outer");
+  std::thread t([&recorder] {
+    recorder.Begin("thread_slice");
+    recorder.End("thread_slice");
+  });
+  t.join();
+
+  JsonValue doc = ChromeTraceJson(recorder.Snapshot(), "unit");
+  // Serialize + reparse: the on-disk artifact must be valid JSON.
+  Result<JsonValue> parsed = JsonValue::Parse(doc.ToString());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& trace = parsed.value();
+
+  const JsonValue* events = trace.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_GE(events->items().size(), 7u);  // metadata row + 6 events
+  const JsonValue& meta = events->items()[0];
+  EXPECT_EQ(meta.Find("ph")->as_string(), "M");
+  EXPECT_EQ(meta.Find("name")->as_string(), "process_name");
+  EXPECT_EQ(meta.Find("args")->Find("name")->as_string(), "unit");
+
+  ExpectBalancedSlices(trace);
+  EXPECT_DOUBLE_EQ(
+      trace.Find("otherData")->Find("dropped_events")->as_number(), 0.0);
+}
+
+TEST(ChromeTraceTest, WriteChromeTraceProducesLoadableFile) {
+  EventRecorder recorder;
+  recorder.Begin("slice");
+  recorder.End("slice");
+  std::string path = ::testing::TempDir() + "obs_export_trace.json";
+  ASSERT_TRUE(obs::WriteChromeTrace(recorder, path).ok());
+
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  Result<JsonValue> parsed = JsonValue::Parse(buffer.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_NE(parsed.value().Find("traceEvents"), nullptr);
+  std::remove(path.c_str());
+}
+
+// The acceptance gate: one request traced across the serve pipeline. The
+// flow arrow must start at the producer's enqueue, step on the batcher
+// thread, and terminate on a worker thread — at least two distinct tids.
+TEST(ChromeTraceTest, ServeRunConnectsRequestFlowAcrossThreads) {
+  EventRecorder recorder;
+  serve::ServedRunOptions opts = LockstepOptions();
+  opts.recorder = &recorder;
+
+  core::PolicySuiteConfig suite;
+  suite.seed = 55;
+  sim::DatasetConfig cfg = TinyConfig();
+  auto served =
+      serve::RunPolicyServed(cfg, core::SuitePolicyFactory(cfg, suite, 1), opts);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+
+  TraceSnapshot snap = recorder.Snapshot();
+  ASSERT_GT(snap.events.size(), 0u);
+  EXPECT_GE(snap.threads, 3u);  // producer, batcher, worker
+
+  // Group flow events by id; require at least one flow that begins,
+  // terminates, and touches >= 2 threads.
+  std::map<uint64_t, std::set<uint32_t>> flow_tids;
+  std::map<uint64_t, std::set<EventPhase>> flow_phases;
+  for (const auto& e : snap.events) {
+    if (e.flow_id == 0) continue;
+    if (e.phase != EventPhase::kFlowBegin &&
+        e.phase != EventPhase::kFlowStep && e.phase != EventPhase::kFlowEnd) {
+      continue;
+    }
+    flow_tids[e.flow_id].insert(e.tid);
+    flow_phases[e.flow_id].insert(e.phase);
+  }
+  size_t cross_thread_flows = 0;
+  for (const auto& [id, tids] : flow_tids) {
+    const auto& phases = flow_phases[id];
+    if (tids.size() >= 2 && phases.count(EventPhase::kFlowBegin) > 0 &&
+        phases.count(EventPhase::kFlowEnd) > 0) {
+      ++cross_thread_flows;
+    }
+  }
+  EXPECT_GT(cross_thread_flows, 0u)
+      << "no request flow connects two threads end-to-end";
+
+  // The exported document is a valid trace: parses, slices balanced.
+  Result<JsonValue> parsed =
+      JsonValue::Parse(ChromeTraceJson(snap, "serve").ToString());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ExpectBalancedSlices(parsed.value());
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition.
+// ---------------------------------------------------------------------------
+
+// Parses "name value" sample lines (comments skipped) into a map.
+std::map<std::string, double> ParseExposition(const std::string& text) {
+  std::map<std::string, double> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    size_t space = line.rfind(' ');
+    EXPECT_NE(space, std::string::npos) << "malformed sample line: " << line;
+    out[line.substr(0, space)] = std::stod(line.substr(space + 1));
+  }
+  return out;
+}
+
+TEST(PrometheusTest, NameManglingReplacesDots) {
+  EXPECT_EQ(obs::PrometheusName("serve.queue_depth"), "serve_queue_depth");
+  EXPECT_EQ(obs::PrometheusName("engine.batch_close.size"),
+            "engine_batch_close_size");
+  EXPECT_EQ(obs::PrometheusName("plain"), "plain");
+}
+
+TEST(PrometheusTest, RoundTripsCounterGaugeHistogram) {
+  obs::MetricRegistry registry;
+  registry.GetCounter("serve.submitted").Increment(42);
+  registry.GetGauge("serve.queue_depth").Set(7.5);
+  obs::Histogram& h =
+      registry.GetHistogram("serve.latency", std::vector<double>{1.0, 2.0});
+  h.Record(0.5);
+  h.Record(1.5);
+  h.Record(99.0);  // overflow bucket
+
+  std::string text = obs::RenderPrometheus(registry.Snapshot());
+  EXPECT_NE(text.find("# TYPE serve_submitted counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE serve_queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE serve_latency histogram"), std::string::npos);
+
+  std::map<std::string, double> samples = ParseExposition(text);
+  EXPECT_DOUBLE_EQ(samples.at("serve_submitted"), 42.0);
+  EXPECT_DOUBLE_EQ(samples.at("serve_queue_depth"), 7.5);
+  // Cumulative buckets: le="1" holds 1, le="2" holds 2, +Inf equals count.
+  EXPECT_DOUBLE_EQ(samples.at("serve_latency_bucket{le=\"1\"}"), 1.0);
+  EXPECT_DOUBLE_EQ(samples.at("serve_latency_bucket{le=\"2\"}"), 2.0);
+  EXPECT_DOUBLE_EQ(samples.at("serve_latency_bucket{le=\"+Inf\"}"), 3.0);
+  EXPECT_DOUBLE_EQ(samples.at("serve_latency_count"), 3.0);
+  EXPECT_DOUBLE_EQ(samples.at("serve_latency_sum"), 101.0);
+  // Streaming quantiles ride along as gauges.
+  EXPECT_EQ(samples.count("serve_latency_p50"), 1u);
+  EXPECT_EQ(samples.count("serve_latency_p99"), 1u);
+}
+
+TEST(ExpositionServerTest, ServesMetricsHealthAndNotFound) {
+  obs::MetricRegistry registry;
+  registry.GetCounter("unit.scrape_me").Increment(5);
+
+  auto server = obs::ExpositionServer::Start(
+      [&registry] { return registry.Snapshot(); });
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  int port = server.value()->port();
+  ASSERT_GT(port, 0);
+
+  std::string metrics = HttpGet(port, "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("unit_scrape_me 5"), std::string::npos);
+
+  std::string health = HttpGet(port, "/healthz");
+  EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(health.find("ok"), std::string::npos);
+
+  std::string missing = HttpGet(port, "/nope");
+  EXPECT_NE(missing.find("HTTP/1.1 404"), std::string::npos);
+
+  EXPECT_GE(server.value()->scrapes(), 1u);
+  server.value()->Stop();
+  server.value()->Stop();  // idempotent
+}
+
+TEST(ExpositionServerTest, AssignmentServiceStartsListenerFromOptions) {
+  obs::ScopedTelemetry telemetry;
+  sim::DatasetConfig cfg = TinyConfig();
+  core::PolicySuiteConfig suite;
+  suite.seed = 55;
+
+  serve::ServeOptions options;
+  options.exposition_port = 0;  // ephemeral
+  auto service = serve::AssignmentService::Create(
+      cfg, core::SuitePolicyFactory(cfg, suite, 1), options);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  ASSERT_TRUE(service.value()->Start().ok());
+
+  int port = service.value()->exposition_port();
+  ASSERT_GT(port, 0);
+  std::string metrics = HttpGet(port, "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("serve_submitted"), std::string::npos);
+  EXPECT_NE(metrics.find("serve_queue_depth"), std::string::npos);
+  service.value()->Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Time-series telemetry.
+// ---------------------------------------------------------------------------
+
+TEST(TimeSeriesTest, SamplerSelectsInstrumentsAndEvaluatesProbes) {
+  obs::MetricRegistry registry;
+  registry.GetCounter("a.count").Increment(3);
+  registry.GetGauge("b.depth").Set(2.0);
+  registry.GetGauge("c.ignored").Set(99.0);
+
+  obs::TimeSeriesSampler::Options opts;
+  opts.instruments = {"a.count", "b.depth", "never.registered"};
+  opts.time_unit = "day";
+  obs::TimeSeriesSampler sampler(opts);
+  double probe_value = 10.0;
+  sampler.AddProbe("derived.probe", [&probe_value] { return probe_value; });
+
+  sampler.Sample(0.0, registry);
+  registry.GetCounter("a.count").Increment();
+  probe_value = 20.0;
+  sampler.Sample(1.0, registry);
+
+  obs::TimeSeries series = sampler.Series();
+  EXPECT_EQ(series.time_unit, "day");
+  ASSERT_EQ(series.points.size(), 2u);
+  EXPECT_DOUBLE_EQ(series.points[0].values.at("a.count"), 3.0);
+  EXPECT_DOUBLE_EQ(series.points[1].values.at("a.count"), 4.0);
+  EXPECT_DOUBLE_EQ(series.points[0].values.at("b.depth"), 2.0);
+  EXPECT_DOUBLE_EQ(series.points[0].values.at("derived.probe"), 10.0);
+  EXPECT_DOUBLE_EQ(series.points[1].values.at("derived.probe"), 20.0);
+  // Unselected and absent instruments are excluded, not zero-filled.
+  EXPECT_EQ(series.points[0].values.count("c.ignored"), 0u);
+  EXPECT_EQ(series.points[0].values.count("never.registered"), 0u);
+}
+
+TEST(TimeSeriesTest, JsonAndJsonlRoundTrip) {
+  obs::TimeSeries series;
+  series.time_unit = "day";
+  series.points.push_back({0.0, {{"x", 1.0}, {"y", 2.5}}});
+  series.points.push_back({1.0, {{"x", 3.0}}});
+
+  Result<JsonValue> parsed = JsonValue::Parse(series.ToJson().ToString());
+  ASSERT_TRUE(parsed.ok());
+  Result<obs::TimeSeries> restored = obs::TimeSeries::FromJson(parsed.value());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->time_unit, "day");
+  ASSERT_EQ(restored->points.size(), 2u);
+  EXPECT_DOUBLE_EQ(restored->points[0].values.at("y"), 2.5);
+  EXPECT_DOUBLE_EQ(restored->points[1].values.at("x"), 3.0);
+
+  std::string path = ::testing::TempDir() + "obs_export_series.jsonl";
+  ASSERT_TRUE(series.WriteJsonl(path).ok());
+  std::ifstream in(path);
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(in, line)) {
+    Result<JsonValue> row = JsonValue::Parse(line);
+    ASSERT_TRUE(row.ok()) << "line " << lines << ": " << line;
+    EXPECT_NE(row.value().Find("t"), nullptr);
+    EXPECT_NE(row.value().Find("values"), nullptr);
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(TimeSeriesTest, EngineTicksAttachedSamplerOncePerDay) {
+  sim::DatasetConfig cfg = TinyConfig();
+  core::PolicySuiteConfig suite;
+  suite.seed = 55;
+  auto policy = core::MakeSuitePolicy(cfg, suite, 8);  // LACB-Opt
+  ASSERT_TRUE(policy.ok());
+
+  obs::TimeSeriesSampler::Options opts;
+  opts.time_unit = "day";
+  obs::TimeSeriesSampler sampler(opts);
+  obs::ScopedSamplerAttachment attach(&sampler);
+  auto result = core::RunPolicy(cfg, policy->get());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  obs::TimeSeries series = sampler.Series();
+  ASSERT_EQ(series.points.size(), cfg.num_days);
+  for (size_t d = 0; d < series.points.size(); ++d) {
+    EXPECT_DOUBLE_EQ(series.points[d].t, static_cast<double>(d));
+    EXPECT_EQ(series.points[d].values.count("engine.day_utility"), 1u);
+    EXPECT_EQ(series.points[d].values.count("engine.workload_gini"), 1u);
+    // LACB policies expose their capacity-estimate error against latent
+    // truth.
+    EXPECT_EQ(series.points[d].values.count("engine.capacity_mae"), 1u);
+  }
+  // The per-day trajectory rides inside the run's telemetry snapshot and
+  // survives the JSON round trip.
+  ASSERT_NE(result->telemetry, nullptr);
+  ASSERT_EQ(result->telemetry->series.points.size(), cfg.num_days);
+  Result<JsonValue> parsed =
+      JsonValue::Parse(result->telemetry->ToJson().ToString());
+  ASSERT_TRUE(parsed.ok());
+  Result<obs::RunTelemetry> restored =
+      obs::RunTelemetry::FromJson(parsed.value());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->series.points.size(), cfg.num_days);
+  EXPECT_EQ(restored->series.time_unit, "day");
+}
+
+// ---------------------------------------------------------------------------
+// Determinism under full instrumentation.
+// ---------------------------------------------------------------------------
+
+// The observability plane must be a pure observer: a lockstep single-worker
+// serve run with event recording, wall-clock sampling, and a live scrape
+// endpoint all enabled produces bit-identical results to core::RunPolicy.
+TEST(InstrumentedDeterminismTest, LockstepServeMatchesOfflineEngine) {
+  sim::DatasetConfig cfg = TinyConfig();
+  core::PolicySuiteConfig suite;
+  suite.seed = 55;
+  const size_t index = 8;  // LACB-Opt: the heaviest stateful policy
+
+  auto offline_policy = core::MakeSuitePolicy(cfg, suite, index);
+  ASSERT_TRUE(offline_policy.ok());
+  auto offline = core::RunPolicy(cfg, offline_policy->get());
+  ASSERT_TRUE(offline.ok());
+
+  EventRecorder recorder;
+  serve::ServedRunOptions opts = LockstepOptions();
+  opts.recorder = &recorder;
+  opts.sample_interval = std::chrono::milliseconds(5);
+  opts.sample_instruments = {"serve.queue_depth", "serve.carryover_depth",
+                             "serve.shed_requests", "serve.submitted"};
+  opts.serve.exposition_port = 0;
+
+  auto served = serve::RunPolicyServed(
+      cfg, core::SuitePolicyFactory(cfg, suite, index), opts);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+
+  EXPECT_EQ(offline->policy, served->policy);
+  EXPECT_DOUBLE_EQ(offline->total_utility, served->total_utility);
+  ASSERT_EQ(offline->daily_utility.size(), served->daily_utility.size());
+  for (size_t d = 0; d < offline->daily_utility.size(); ++d) {
+    EXPECT_DOUBLE_EQ(offline->daily_utility[d], served->daily_utility[d])
+        << "day " << d;
+  }
+  EXPECT_EQ(offline->total_appeals, served->total_appeals);
+  EXPECT_EQ(served->shed_requests, 0u);
+
+  // Instrumentation actually observed the run.
+  EXPECT_GT(recorder.Snapshot().events.size(), 0u);
+  ASSERT_NE(served->telemetry, nullptr);
+  EXPECT_GE(served->telemetry->series.points.size(), 1u);
+  EXPECT_EQ(served->telemetry->series.time_unit, "seconds");
+}
+
+}  // namespace
+}  // namespace lacb

@@ -47,8 +47,37 @@ TEST(MetricRegistryTest, GetReturnsStableInstances) {
   EXPECT_EQ(&registry.GetCounter("x"), &a);
   EXPECT_EQ(registry.GetCounter("x").value(), 3u);
   EXPECT_EQ(registry.GetCounter("y").value(), 0u);
-  EXPECT_EQ(&registry.GetGauge("x"), &registry.GetGauge("x"));
-  EXPECT_EQ(&registry.GetHistogram("x"), &registry.GetHistogram("x"));
+  EXPECT_EQ(&registry.GetGauge("g"), &registry.GetGauge("g"));
+  EXPECT_EQ(&registry.GetHistogram("h"), &registry.GetHistogram("h"));
+}
+
+TEST(MetricRegistryTest, ValidatesInstrumentNames) {
+  EXPECT_TRUE(IsValidInstrumentName("serve.queue_depth"));
+  EXPECT_TRUE(IsValidInstrumentName("x"));
+  EXPECT_TRUE(IsValidInstrumentName("engine.batch_close.size"));
+  EXPECT_TRUE(IsValidInstrumentName("_private.v2"));
+  EXPECT_FALSE(IsValidInstrumentName(""));
+  EXPECT_FALSE(IsValidInstrumentName(".leading"));
+  EXPECT_FALSE(IsValidInstrumentName("trailing."));
+  EXPECT_FALSE(IsValidInstrumentName("a..b"));
+  EXPECT_FALSE(IsValidInstrumentName("CamelCase"));
+  EXPECT_FALSE(IsValidInstrumentName("has-dash"));
+  EXPECT_FALSE(IsValidInstrumentName("has space"));
+  EXPECT_FALSE(IsValidInstrumentName("9starts_with_digit"));
+  EXPECT_FALSE(IsValidInstrumentName("seg.9digit"));
+}
+
+TEST(MetricRegistryDeathTest, MalformedNameAborts) {
+  MetricRegistry registry;
+  EXPECT_DEATH(registry.GetCounter("Bad-Name"), "invalid instrument name");
+}
+
+TEST(MetricRegistryDeathTest, CrossTypeReRegistrationAborts) {
+  MetricRegistry registry;
+  registry.GetCounter("serve.submitted");
+  EXPECT_DEATH(registry.GetGauge("serve.submitted"), "already registered");
+  registry.GetHistogram("serve.latency");
+  EXPECT_DEATH(registry.GetCounter("serve.latency"), "already registered");
 }
 
 TEST(MetricRegistryTest, SnapshotListsEveryInstrument) {
@@ -127,6 +156,60 @@ TEST(P2QuantileTest, AccurateOnExponentialDistribution) {
   }
   EXPECT_NEAR(p50.Estimate(), -std::log(0.5), 0.05);
   EXPECT_NEAR(p95.Estimate(), -std::log(0.05), 0.15);
+}
+
+TEST(P2QuantileTest, ExactForEveryCountBelowFive) {
+  // Below the 5-observation threshold the estimator is the exact sorted
+  // sample interpolated at rank q*(n-1) — check every prefix length.
+  const double values[4] = {4.0, 1.0, 3.0, 2.0};
+  P2Quantile p50(0.50);
+  EXPECT_DOUBLE_EQ(p50.Estimate(), 0.0);  // no observations yet
+  p50.Record(values[0]);
+  EXPECT_DOUBLE_EQ(p50.Estimate(), 4.0);  // n=1: the sample itself
+  p50.Record(values[1]);
+  EXPECT_DOUBLE_EQ(p50.Estimate(), 2.5);  // n=2: midpoint of {1,4}
+  p50.Record(values[2]);
+  EXPECT_DOUBLE_EQ(p50.Estimate(), 3.0);  // n=3: middle of {1,3,4}
+  p50.Record(values[3]);
+  EXPECT_DOUBLE_EQ(p50.Estimate(), 2.5);  // n=4: median of {1,2,3,4}
+
+  P2Quantile p95(0.95);
+  p95.Record(10.0);
+  p95.Record(20.0);
+  // n=2, rank 0.95: 10 + 0.95 * (20 - 10).
+  EXPECT_DOUBLE_EQ(p95.Estimate(), 19.5);
+}
+
+TEST(P2QuantileTest, DuplicateValueStreamStaysOnTheValue) {
+  // A constant stream must estimate the constant at every quantile — the
+  // marker-adjustment denominators (pos[i+1] - pos[i-1] etc.) must not
+  // divide by zero or drift off the plateau.
+  P2Quantile p50(0.50), p99(0.99);
+  for (int i = 0; i < 1000; ++i) {
+    p50.Record(7.25);
+    p99.Record(7.25);
+  }
+  EXPECT_DOUBLE_EQ(p50.Estimate(), 7.25);
+  EXPECT_DOUBLE_EQ(p99.Estimate(), 7.25);
+
+  // Two-valued stream: every quantile estimate stays inside [lo, hi].
+  P2Quantile p90(0.90);
+  for (int i = 0; i < 1000; ++i) p90.Record(i % 2 == 0 ? 1.0 : 2.0);
+  EXPECT_GE(p90.Estimate(), 1.0);
+  EXPECT_LE(p90.Estimate(), 2.0);
+}
+
+TEST(HistogramTest, OverflowBucketCatchesEverythingAboveLastBound) {
+  Histogram h({1.0, 2.0});
+  for (double v : {5.0, 100.0, 1e9}) h.Record(v);
+  h.Record(2.0);  // exactly on the last bound: belongs to the last bucket
+  HistogramSnapshot snap = h.Snapshot();
+  ASSERT_EQ(snap.counts.size(), 3u);
+  EXPECT_EQ(snap.counts[0], 0u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 3u);  // overflow
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.max, 1e9);
 }
 
 TEST(HistogramTest, DefaultLatencyBoundsAreStrictlyIncreasing) {
