@@ -10,7 +10,16 @@
 // and serialized; AssignBatch carries the cubic KM cost and is not).
 // On machines with fewer cores the scaling check is reported as SKIP —
 // the sweep still runs and the numbers are recorded.
+//
+// A second sweep turns on deterministic fault injection
+// (docs/robustness.md) and scales every fault rate together: at each
+// point it re-checks the request-conservation identity
+//   submitted == assigned + unmatched + failed + dropped_appeals
+// from the run's own counters and records throughput, p99 end-to-end
+// latency, the degraded-batch fraction, and the retry/redrive counts
+// into BENCH_fault.json — the graceful-degradation curve under load.
 
+#include <cstdio>
 #include <thread>
 
 #include "bench_util.h"
@@ -66,6 +75,71 @@ Result<SweepPoint> RunSweepPoint(const sim::DatasetConfig& data,
   }
   // Distinguish the sweep points in BENCH_serve.json.
   point.run.policy.append("@").append(std::to_string(workers)).append("w");
+  return point;
+}
+
+uint64_t Counter(const core::PolicyRunResult& run, const std::string& name) {
+  if (run.telemetry == nullptr) return 0;
+  const auto& counters = run.telemetry->metrics.counters;
+  auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+/// \brief One point of the fault sweep: every injection rate scaled by
+/// `rate`, supervision + solve budget + commit retry all armed.
+Result<SweepPoint> RunFaultPoint(const sim::DatasetConfig& data,
+                                 const core::PolicySuiteConfig& suite,
+                                 double rate) {
+  serve::ServedRunOptions opts;
+  opts.mode = serve::LoadMode::kFreeRunReplay;
+  opts.serve.num_workers = 2;
+  opts.serve.max_batch_size = 32;
+  opts.serve.max_batch_delay = std::chrono::milliseconds(2);
+  opts.serve.queue_capacity = 1u << 16;
+  opts.serve.num_stripes = 16;
+  // Arm the whole fault-tolerance surface: budgeted solves (generous, so
+  // only injected overruns degrade), bounded commit retries, supervision.
+  opts.serve.solve_budget = std::chrono::seconds(10);
+  opts.serve.commit_max_attempts = 4;
+  opts.serve.commit_backoff_base = std::chrono::microseconds(50);
+  // Stall detection must sit above the worst-case honest batch latency or
+  // slow machines redrive healthy workers (harmless — exactly-once holds —
+  // but it muddies the incident counts this sweep reports). The KM solve
+  // can take hundreds of ms on a loaded single core, so supervision here
+  // effectively covers crashes only; chaos tests exercise tight stall
+  // timeouts deliberately.
+  opts.serve.stall_timeout = std::chrono::seconds(10);
+  opts.serve.supervisor_poll = std::chrono::microseconds(500);
+  serve::FaultPlan plan;
+  plan.seed = 2027;
+  plan.commit_transient_rate = rate;
+  plan.commit_after_apply_fraction = 0.5;
+  plan.commit_stall_rate = rate / 2;
+  plan.solve_over_budget_rate = rate;
+  plan.store_stall_rate = rate / 2;
+  plan.worker_stall_rate = rate / 2;
+  plan.worker_crash_rate = rate / 2;
+  plan.stall_duration = std::chrono::microseconds(500);
+  opts.serve.fault_plan = plan;
+
+  SweepPoint point;
+  Stopwatch sw;
+  LACB_ASSIGN_OR_RETURN(
+      point.run, serve::RunPolicyServed(
+                     data, core::SuitePolicyFactory(data, suite, 5), opts));
+  point.wall_seconds = sw.ElapsedSeconds();
+  double committed = 0.0;
+  for (double w : point.run.broker_requests) committed += w;
+  point.throughput = committed / std::max(1e-9, point.wall_seconds);
+  if (point.run.telemetry != nullptr) {
+    const auto& hists = point.run.telemetry->metrics.histograms;
+    if (auto it = hists.find("serve.e2e_seconds"); it != hists.end())
+      point.e2e_latency = it->second;
+  }
+  // Distinguish the sweep points in BENCH_fault.json.
+  char label[32];
+  std::snprintf(label, sizeof(label), "@fault%.2f", rate);
+  point.run.policy.append(label);
   return point;
 }
 
@@ -156,6 +230,65 @@ Status Run() {
   }
 
   LACB_RETURN_NOT_OK(telemetry_log.Write());
+
+  // Fault sweep: scale every injection rate together and watch the
+  // pipeline degrade gracefully instead of leaking requests.
+  std::cout << "\nfault sweep (2 workers, supervised, budgeted solves):\n";
+  bench::BenchTelemetryLog fault_log("fault");
+  TablePrinter fault_table;
+  fault_table.SetHeader({"fault_rate", "req_per_s", "e2e_p99_ms", "degraded",
+                         "retries", "redriven", "crashes", "failed",
+                         "conserved"});
+  std::vector<core::PolicyRunResult> fault_runs;
+  bool all_conserved = true;
+  bool faulted_degraded = false;
+  uint64_t no_fault_incidents = 0;
+  for (double rate : {0.0, 0.05, 0.10, 0.20}) {
+    LACB_ASSIGN_OR_RETURN(SweepPoint point,
+                          RunFaultPoint(data, suite, rate));
+    uint64_t submitted = Counter(point.run, "serve.submitted");
+    uint64_t assigned = Counter(point.run, "serve.assigned_requests");
+    uint64_t unmatched = Counter(point.run, "serve.unmatched_requests");
+    uint64_t failed = Counter(point.run, "serve.failed_requests");
+    uint64_t dropped = Counter(point.run, "serve.dropped_appeals");
+    uint64_t degraded = Counter(point.run, "serve.degraded_batches");
+    uint64_t batches = Counter(point.run, "serve.batches");
+    uint64_t retries = Counter(point.run, "serve.commit_retries");
+    uint64_t redriven = Counter(point.run, "serve.redriven_batches");
+    uint64_t crashes = Counter(point.run, "serve.worker_crashes");
+    bool conserved = submitted == assigned + unmatched + failed + dropped;
+    all_conserved &= conserved;
+    if (rate > 0.0) faulted_degraded |= degraded > 0;
+    if (rate == 0.0) no_fault_incidents = retries + redriven + crashes +
+                                          degraded + failed;
+    double degraded_frac =
+        batches == 0 ? 0.0
+                     : static_cast<double>(degraded) / static_cast<double>(batches);
+    LACB_RETURN_NOT_OK(fault_table.AddRow(
+        {TablePrinter::Num(rate, 2), TablePrinter::Num(point.throughput, 0),
+         TablePrinter::Num(point.e2e_latency.p99 * 1e3, 3),
+         TablePrinter::Num(degraded_frac, 3), std::to_string(retries),
+         std::to_string(redriven), std::to_string(crashes),
+         std::to_string(failed), conserved ? "yes" : "NO"}));
+    fault_runs.push_back(point.run);
+  }
+  bench::PrintBoth(fault_table);
+  fault_log.Add(data, fault_runs);
+  LACB_RETURN_NOT_OK(fault_log.Write());
+
+  all_ok &= bench::ShapeCheck(
+      "request conservation (submitted == assigned + unmatched + failed + "
+      "dropped) holds at every fault rate",
+      all_conserved, all_conserved ? "all points exact" : "ledger leak");
+  all_ok &= bench::ShapeCheck(
+      "zero-fault point is incident-free (no retries, redrives, crashes, "
+      "degradations, or failures)",
+      no_fault_incidents == 0, std::to_string(no_fault_incidents) +
+                                   " incidents at rate 0");
+  all_ok &= bench::ShapeCheck(
+      "injected over-budget solves surface as degraded batches",
+      faulted_degraded, faulted_degraded ? "degraded > 0 under faults"
+                                         : "no degradation seen");
 
   // Timeline + time-series artifacts for the 4-worker point. CI uploads
   // these next to BENCH_serve.json.

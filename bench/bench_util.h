@@ -115,6 +115,8 @@ class BenchTelemetryLog {
       // Serve-path fields; zero on offline runs, so no special casing.
       run.Set("shed_requests", static_cast<uint64_t>(r.shed_requests));
       run.Set("p99_batch_latency", r.p99_batch_latency);
+      run.Set("degraded_batches", static_cast<uint64_t>(r.degraded_batches));
+      run.Set("failed_requests", static_cast<uint64_t>(r.failed_requests));
       if (r.telemetry != nullptr) {
         run.Set("telemetry", r.telemetry->ToJson());
       }

@@ -56,6 +56,11 @@ struct PolicyRunResult {
   /// serializes offline and served runs uniformly.
   size_t shed_requests = 0;
   double p99_batch_latency = 0.0;
+  /// Fault-tolerance ledger of a served run (zero offline): batches that
+  /// fell back to the greedy degradation solve, and requests whose commit
+  /// exhausted its retry budget (see docs/robustness.md).
+  size_t degraded_batches = 0;
+  size_t failed_requests = 0;
 
   /// Structured run telemetry: metrics + span tree collected while this
   /// run executed (see docs/observability.md). Null when collection was

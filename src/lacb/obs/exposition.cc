@@ -15,6 +15,18 @@
 
 namespace lacb::obs {
 
+const char* HealthStateName(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kUnhealthy:
+      return "unhealthy";
+  }
+  return "unknown";
+}
+
 #if defined(_WIN32)
 
 // The exposition endpoint is POSIX-only; the rest of the obs plane (and
@@ -27,8 +39,13 @@ ExpositionServer::~ExpositionServer() = default;
 void ExpositionServer::Stop() {}
 void ExpositionServer::AcceptLoop() {}
 void ExpositionServer::HandleConnection(int) {}
-ExpositionServer::ExpositionServer(SnapshotFn fn, int fd, int port)
-    : snapshot_fn_(std::move(fn)), listen_fd_(fd), port_(port) {}
+ExpositionServer::ExpositionServer(SnapshotFn fn,
+                                   std::function<HealthReport()> health_fn,
+                                   int fd, int port)
+    : snapshot_fn_(std::move(fn)),
+      health_fn_(std::move(health_fn)),
+      listen_fd_(fd),
+      port_(port) {}
 
 #else
 
@@ -109,13 +126,16 @@ Result<std::unique_ptr<ExpositionServer>> ExpositionServer::Start(
     ::close(fd);
     return Status::IoError("ExpositionServer: getsockname() failed");
   }
-  return std::unique_ptr<ExpositionServer>(new ExpositionServer(
-      std::move(snapshot_fn), fd, static_cast<int>(ntohs(bound.sin_port))));
+  return std::unique_ptr<ExpositionServer>(
+      new ExpositionServer(std::move(snapshot_fn), options.health_fn, fd,
+                           static_cast<int>(ntohs(bound.sin_port))));
 }
 
-ExpositionServer::ExpositionServer(SnapshotFn snapshot_fn, int listen_fd,
-                                   int port)
+ExpositionServer::ExpositionServer(SnapshotFn snapshot_fn,
+                                   std::function<HealthReport()> health_fn,
+                                   int listen_fd, int port)
     : snapshot_fn_(std::move(snapshot_fn)),
+      health_fn_(std::move(health_fn)),
       listen_fd_(listen_fd),
       port_(port) {
   accept_thread_ = std::thread([this] { AcceptLoop(); });
@@ -186,7 +206,21 @@ void ExpositionServer::HandleConnection(int client_fd) {
                          "text/plain; version=0.0.4; charset=utf-8",
                          RenderPrometheus(snapshot_fn_())));
   } else if (path == "/healthz") {
-    SendAll(client_fd, HttpResponse(200, "OK", "text/plain", "ok\n"));
+    if (!health_fn_) {
+      // No health source wired: stay a liveness-only 200.
+      SendAll(client_fd, HttpResponse(200, "OK", "text/plain", "ok\n"));
+    } else {
+      HealthReport report = health_fn_();
+      std::string body = HealthStateName(report.state);
+      if (!report.detail.empty()) body += ": " + report.detail;
+      body += "\n";
+      if (report.state == HealthState::kUnhealthy) {
+        SendAll(client_fd, HttpResponse(503, "Service Unavailable",
+                                        "text/plain", body));
+      } else {
+        SendAll(client_fd, HttpResponse(200, "OK", "text/plain", body));
+      }
+    }
   } else {
     SendAll(client_fd,
             HttpResponse(404, "Not Found", "text/plain",

@@ -2,7 +2,10 @@
 // the Prometheus text format — the scrape endpoint of the serving layer.
 //
 //   GET /metrics  -> 200, RenderPrometheus(snapshot_fn())
-//   GET /healthz  -> 200, "ok"
+//   GET /healthz  -> liveness wired to the owner's health callback:
+//                    200 "healthy: ..."/"degraded: ..." while the service
+//                    can still make progress, 503 "unhealthy: ..." when it
+//                    cannot (no callback installed -> 200 "ok")
 //   anything else -> 404
 //
 // Implementation is deliberately small: one blocking-accept loop on a
@@ -29,6 +32,29 @@
 
 namespace lacb::obs {
 
+/// \brief Service liveness, coarsened for load balancers and probes.
+///
+/// The underlying gauge (serve.health_state) exports the numeric value, so
+/// the ordering is part of the metric contract: 0 healthy, 1 degraded,
+/// 2 unhealthy.
+enum class HealthState {
+  kHealthy = 0,    ///< Full capacity, no recent incidents.
+  kDegraded = 1,   ///< Making progress with reduced capacity or recent
+                   ///< faults (stalls, crashes, degraded batches, retries).
+  kUnhealthy = 2,  ///< Cannot make progress (fatal error or no live
+                   ///< workers); probes should take the instance out.
+};
+
+/// \brief Lower-case probe label of a state ("healthy"/"degraded"/
+/// "unhealthy").
+const char* HealthStateName(HealthState state);
+
+/// \brief One health evaluation: the state plus a human-readable cause.
+struct HealthReport {
+  HealthState state = HealthState::kHealthy;
+  std::string detail;
+};
+
 /// \brief Listener configuration.
 struct ExpositionOptions {
   /// TCP port; 0 binds an ephemeral port (see ExpositionServer::port()).
@@ -36,6 +62,9 @@ struct ExpositionOptions {
   /// Listen address; default loopback-only (scrapers run on-host; expose
   /// on 0.0.0.0 explicitly when the scraper is remote).
   std::string bind_address = "127.0.0.1";
+  /// Evaluated per /healthz probe; must be thread-safe (it runs on the
+  /// server thread). Unset -> /healthz is an unconditional 200 "ok".
+  std::function<HealthReport()> health_fn;
 };
 
 /// \brief Blocking-accept HTTP exposition endpoint.
@@ -63,12 +92,15 @@ class ExpositionServer {
   void Stop();
 
  private:
-  ExpositionServer(SnapshotFn snapshot_fn, int listen_fd, int port);
+  ExpositionServer(SnapshotFn snapshot_fn,
+                   std::function<HealthReport()> health_fn, int listen_fd,
+                   int port);
 
   void AcceptLoop();
   void HandleConnection(int client_fd);
 
   SnapshotFn snapshot_fn_;
+  std::function<HealthReport()> health_fn_;
   int listen_fd_;
   int port_;
   std::atomic<bool> stopping_{false};

@@ -90,6 +90,18 @@ BrokerSlot ShardedBrokerStore::Get(size_t broker) const {
   return slots_[broker];
 }
 
+double ShardedBrokerStore::MaxOverCapacity() const {
+  double worst = 0.0;
+  for (size_t s = 0; s < num_stripes_; ++s) {
+    std::lock_guard<std::mutex> lock(stripes_[s].mu);
+    for (size_t b = s; b < slots_.size(); b += num_stripes_) {
+      if (slots_[b].capacity <= 0.0) continue;
+      worst = std::max(worst, slots_[b].workload - slots_[b].capacity);
+    }
+  }
+  return worst;
+}
+
 double ShardedBrokerStore::TotalWorkload() const {
   double total = 0.0;
   for (size_t s = 0; s < num_stripes_; ++s) {

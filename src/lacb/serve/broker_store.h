@@ -83,6 +83,12 @@ class ShardedBrokerStore {
   /// \brief Σ workload across the roster (stripe-consistent).
   double TotalWorkload() const;
 
+  /// \brief max over brokers with a known capacity of (workload −
+  /// capacity); <= 0 means no broker is over its capacity estimate (the
+  /// chaos tests' no-overrun invariant). Brokers with unknown capacity
+  /// (0) are skipped.
+  double MaxOverCapacity() const;
+
  private:
   size_t StripeOf(size_t broker) const { return broker % num_stripes_; }
 

@@ -1,0 +1,100 @@
+#include "lacb/serve/fault.h"
+
+#include <limits>
+
+namespace lacb::serve {
+
+FaultInjector::FaultInjector(const FaultPlan& plan) : plan_(plan) {
+  Rng root(plan_.seed);
+  for (size_t s = 0; s < kNumFaultSites; ++s) {
+    sites_[s].rng = root.Fork(s);
+  }
+}
+
+FaultDecision FaultInjector::Decide(FaultSite site) {
+  SiteState& state = sites_[static_cast<size_t>(site)];
+  std::lock_guard<std::mutex> lock(state.mu);
+  ++state.draws;
+  // Every branch below draws a *fixed* number of uniforms per decision
+  // (Uniform() advances the engine by exactly one variate, unlike
+  // Bernoulli, whose consumption can depend on p), so the site stream
+  // stays aligned no matter which actions fire.
+  FaultDecision d;
+  switch (site) {
+    case FaultSite::kCommit: {
+      double u_transient = state.rng.Uniform();
+      double u_after = state.rng.Uniform();
+      double u_stall = state.rng.Uniform();
+      if (u_transient < plan_.commit_transient_rate) {
+        d.action = u_after < plan_.commit_after_apply_fraction
+                       ? FaultAction::kTransientErrorAfterApply
+                       : FaultAction::kTransientError;
+      } else if (u_stall < plan_.commit_stall_rate) {
+        d.action = FaultAction::kStall;
+        d.stall = plan_.stall_duration;
+      }
+      break;
+    }
+    case FaultSite::kSolve: {
+      if (state.rng.Uniform() < plan_.solve_over_budget_rate) {
+        d.action = FaultAction::kOverBudgetSolve;
+      }
+      break;
+    }
+    case FaultSite::kStore: {
+      if (state.rng.Uniform() < plan_.store_stall_rate) {
+        d.action = FaultAction::kStall;
+        d.stall = plan_.stall_duration;
+      }
+      break;
+    }
+    case FaultSite::kWorkerLoop: {
+      double u_crash = state.rng.Uniform();
+      double u_stall = state.rng.Uniform();
+      if (u_crash < plan_.worker_crash_rate) {
+        d.action = FaultAction::kCrashBeforeCommit;
+      } else if (u_stall < plan_.worker_stall_rate) {
+        d.action = FaultAction::kStall;
+        d.stall = plan_.stall_duration;
+      }
+      break;
+    }
+  }
+  return d;
+}
+
+uint64_t FaultInjector::decisions(FaultSite site) const {
+  const SiteState& state = sites_[static_cast<size_t>(site)];
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.draws;
+}
+
+std::vector<int64_t> GreedyCapacityAssign(const policy::BatchInput& input,
+                                          std::vector<double> residual) {
+  const std::vector<sim::Request>& requests = *input.requests;
+  const la::Matrix& utility = *input.utility;
+  std::vector<int64_t> assignment(requests.size(), -1);
+  size_t num_brokers = utility.cols();
+  if (residual.size() < num_brokers) {
+    residual.resize(num_brokers, std::numeric_limits<double>::infinity());
+  }
+  for (size_t r = 0; r < requests.size(); ++r) {
+    double best = -std::numeric_limits<double>::infinity();
+    int64_t pick = -1;
+    for (size_t b = 0; b < num_brokers; ++b) {
+      if (residual[b] <= 0.0) continue;
+      double u = utility(r, b);
+      if (u > best) {
+        best = u;
+        pick = static_cast<int64_t>(b);
+      }
+    }
+    if (pick >= 0) {
+      residual[static_cast<size_t>(pick)] -= 1.0;
+      assignment[r] = pick;
+    }
+  }
+  return assignment;
+}
+
+}  // namespace lacb::serve

@@ -1,0 +1,150 @@
+// Deterministic fault injection for the serving layer.
+//
+// A FaultPlan is a seeded description of *where* and *how often* the serve
+// pipeline misbehaves; a FaultInjector turns it into a reproducible
+// decision stream per injection site. Sites:
+//
+//   kCommit     — the platform commit: transient errors before the apply
+//                 (the classic retryable failure), transient errors *after*
+//                 the apply (a lost ack — the case idempotent commit tokens
+//                 exist for), and stalls.
+//   kSolve      — the per-batch assignment solve: over-budget overruns that
+//                 push the worker onto the greedy degradation path.
+//   kStore      — broker-store access stalls (slow reads).
+//   kWorkerLoop — the worker itself: stalls (a wedged thread the supervisor
+//                 redrives around) and crash-before-commit (the thread
+//                 exits; the supervisor re-queues its batch and restarts
+//                 it — crash faults therefore require an active
+//                 supervisor, i.e. ServeOptions::stall_timeout > 0).
+//
+// Determinism: each site owns an independent RNG stream forked from the
+// plan seed, and every Decide at a site draws a *fixed* number of variates,
+// so the k-th decision at a site is a pure function of (seed, site, k) — a
+// fixed plan replays bit-identically regardless of wall-clock timing. With
+// no plan installed (all rates zero) the injector is not constructed at all
+// and every injection point reduces to one null-pointer check.
+
+#ifndef LACB_SERVE_FAULT_H_
+#define LACB_SERVE_FAULT_H_
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "lacb/common/rng.h"
+#include "lacb/policy/assignment_policy.h"
+
+namespace lacb::serve {
+
+/// \brief Where a fault can be injected.
+enum class FaultSite : size_t {
+  kCommit = 0,
+  kSolve = 1,
+  kStore = 2,
+  kWorkerLoop = 3,
+};
+inline constexpr size_t kNumFaultSites = 4;
+
+/// \brief What a triggered fault does at its site.
+enum class FaultAction {
+  kNone,
+  /// Sleep for FaultDecision::stall before proceeding (commit, store,
+  /// worker-loop sites).
+  kStall,
+  /// Commit site: the commit attempt fails before anything is applied.
+  kTransientError,
+  /// Commit site: the commit *applies* but the acknowledgement is lost —
+  /// the caller sees an error and retries; only the idempotent commit
+  /// token keeps the retry from double-decrementing broker capacity.
+  kTransientErrorAfterApply,
+  /// Solve site: the solve overruns its budget (simulated deadline abort).
+  kOverBudgetSolve,
+  /// Worker-loop site: the worker dies before committing its batch.
+  kCrashBeforeCommit,
+};
+
+/// \brief Seeded description of the injected fault mix. All-zero rates
+/// (the default) mean "no plan installed".
+struct FaultPlan {
+  uint64_t seed = 1;
+  /// P(commit attempt reports a transient error).
+  double commit_transient_rate = 0.0;
+  /// Of transient commit errors, the fraction that are lost *acks* (the
+  /// commit applied); the rest fail before the apply.
+  double commit_after_apply_fraction = 0.5;
+  /// P(commit attempt stalls for stall_duration first).
+  double commit_stall_rate = 0.0;
+  /// P(batch solve overruns its ServeOptions::solve_budget).
+  double solve_over_budget_rate = 0.0;
+  /// P(broker-store snapshot stalls for stall_duration).
+  double store_stall_rate = 0.0;
+  /// P(worker stalls for stall_duration after picking up a batch).
+  double worker_stall_rate = 0.0;
+  /// P(worker crashes before committing the batch it picked up).
+  double worker_crash_rate = 0.0;
+  /// Length of every injected stall.
+  std::chrono::microseconds stall_duration{2000};
+
+  bool enabled() const {
+    return commit_transient_rate > 0.0 || commit_stall_rate > 0.0 ||
+           solve_over_budget_rate > 0.0 || store_stall_rate > 0.0 ||
+           worker_stall_rate > 0.0 || worker_crash_rate > 0.0;
+  }
+};
+
+/// \brief One resolved injection decision.
+struct FaultDecision {
+  FaultAction action = FaultAction::kNone;
+  std::chrono::microseconds stall{0};
+};
+
+/// \brief Thread-safe, per-site deterministic decision source.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// \brief Draws the next decision of `site`'s stream. Deterministic per
+  /// (plan seed, site, call index); safe from any thread.
+  FaultDecision Decide(FaultSite site);
+
+  /// \brief Decisions drawn at `site` so far (diagnostics/tests).
+  uint64_t decisions(FaultSite site) const;
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  struct SiteState {
+    SiteState() : rng(0) {}
+    mutable std::mutex mu;
+    Rng rng;
+    uint64_t draws = 0;
+  };
+
+  FaultPlan plan_;
+  std::array<SiteState, kNumFaultSites> sites_;
+};
+
+/// \brief Injection-point helper: one null check when no plan is installed.
+inline FaultDecision DecideAt(FaultInjector* injector, FaultSite site) {
+  if (injector == nullptr) return FaultDecision{};
+  return injector->Decide(site);
+}
+
+/// \brief Cheap capacity-aware fallback for solve-budget degradation:
+/// every request goes to the highest-predicted-utility broker that still
+/// has residual capacity (`residual` is decremented as the batch is
+/// walked; pass +inf entries for brokers with unknown capacity); a request
+/// with no broker left under capacity stays unmatched. O(R×B), no RNG, no
+/// learned state — the bounded-utility-loss floor the batch deadline falls
+/// back to.
+std::vector<int64_t> GreedyCapacityAssign(const policy::BatchInput& input,
+                                          std::vector<double> residual);
+
+}  // namespace lacb::serve
+
+#endif  // LACB_SERVE_FAULT_H_

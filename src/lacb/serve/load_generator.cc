@@ -156,6 +156,8 @@ Result<core::PolicyRunResult> RunPolicyServed(
 
   ServeStats stats = service->Stats();
   result.shed_requests = stats.shed;
+  result.degraded_batches = stats.degraded_batches;
+  result.failed_requests = stats.failed;
   service->Shutdown();
   if (sampler != nullptr) sampler->StopPeriodic();
 
@@ -174,6 +176,8 @@ Result<core::PolicyRunResult> RunPolicyServed(
     meta["num_days"] = std::to_string(days);
     meta["num_workers"] = std::to_string(options.serve.num_workers);
     meta["policy_seconds"] = std::to_string(result.policy_seconds);
+    meta["degraded_batches"] = std::to_string(stats.degraded_batches);
+    meta["failed_requests"] = std::to_string(stats.failed);
     obs::RunTelemetry captured = obs::CaptureRun(
         telemetry.registry(), telemetry.tracer(), std::move(meta));
     if (sampler != nullptr) captured.series = sampler->Series();

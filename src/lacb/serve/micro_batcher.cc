@@ -54,6 +54,7 @@ std::optional<MicroBatch> MicroBatcher::NextBatch() {
         DrainCarryoverInto(&batch);
         if (batch.requests.empty()) return std::nullopt;
         batch.close_cause = BatchCloseCause::kShutdown;
+        batch.token = next_token_++;
         return batch;
       }
       case PopResult::kTimeout: {
@@ -61,6 +62,7 @@ std::optional<MicroBatch> MicroBatcher::NextBatch() {
         // is never empty.
         batch.close_cause = BatchCloseCause::kDeadline;
         DrainCarryoverInto(&batch);
+        batch.token = next_token_++;
         return batch;
       }
       case PopResult::kItem:
@@ -78,6 +80,7 @@ std::optional<MicroBatch> MicroBatcher::NextBatch() {
       }
       DrainCarryoverInto(&batch);
       batch.close_cause = BatchCloseCause::kFlush;
+      batch.token = next_token_++;
       return batch;
     }
     if (!deadline_armed) {
@@ -90,6 +93,7 @@ std::optional<MicroBatch> MicroBatcher::NextBatch() {
     if (batch.requests.size() >= options_.max_batch_size) {
       batch.close_cause = BatchCloseCause::kSize;
       DrainCarryoverInto(&batch);
+      batch.token = next_token_++;
       return batch;
     }
   }

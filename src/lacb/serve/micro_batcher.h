@@ -25,9 +25,11 @@
 #define LACB_SERVE_MICRO_BATCHER_H_
 
 #include <chrono>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <optional>
+#include <type_traits>
 #include <vector>
 
 #include "lacb/serve/request_queue.h"
@@ -49,7 +51,20 @@ struct MicroBatch {
   /// in-system work when the batch commits.
   size_t from_queue = 0;
   BatchCloseCause close_cause = BatchCloseCause::kSize;
+  /// Unique non-zero identity of the batch, assigned at close and kept by
+  /// every copy: the idempotent-commit token (Platform dedups on it) and
+  /// the exactly-once terminal claim. A re-driven twin of a stalled or
+  /// crashed worker's batch carries the same token as the original.
+  uint64_t token = 0;
 };
+
+// All serving deadlines (ingestion, batching, retry backoff, heartbeats)
+// are computed on steady_clock: an NTP step on the wall clock must never
+// fire a batch deadline early or starve a stall detector.
+static_assert(
+    std::is_same_v<decltype(MicroBatch{}.arrival_times)::value_type,
+                   std::chrono::steady_clock::time_point>,
+    "serve-layer timestamps must use steady_clock");
 
 /// \brief Batching knobs.
 struct MicroBatcherOptions {
@@ -91,6 +106,7 @@ class MicroBatcher {
   BoundedRequestQueue* queue_;
   MicroBatcherOptions options_;
   std::function<void()> on_flush_retired_;
+  uint64_t next_token_ = 1;  // single-consumer: only NextBatch touches it
 
   mutable std::mutex carryover_mu_;
   std::vector<sim::Request> carryover_;

@@ -21,6 +21,7 @@
 #include <cstddef>
 #include <deque>
 #include <mutex>
+#include <type_traits>
 
 #include "lacb/obs/metrics.h"
 #include "lacb/sim/request.h"
@@ -50,6 +51,13 @@ struct QueueItem {
     return item;
   }
 };
+
+// Queue timestamps feed batch deadlines and latency accounting; pin them
+// to the monotonic clock so wall-clock (NTP) steps cannot re-order or
+// starve pops.
+static_assert(std::is_same_v<decltype(QueueItem{}.enqueued_at),
+                             std::chrono::steady_clock::time_point>,
+              "ingestion timestamps must use steady_clock");
 
 /// \brief Outcome of a consumer pop.
 enum class PopResult {

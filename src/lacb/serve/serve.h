@@ -13,9 +13,11 @@
 #define LACB_SERVE_SERVE_H_
 
 #include "lacb/serve/broker_store.h"
+#include "lacb/serve/fault.h"
 #include "lacb/serve/load_generator.h"
 #include "lacb/serve/micro_batcher.h"
 #include "lacb/serve/request_queue.h"
 #include "lacb/serve/service.h"
+#include "lacb/serve/supervisor.h"
 
 #endif  // LACB_SERVE_SERVE_H_

@@ -1,9 +1,13 @@
 #include "lacb/serve/service.h"
 
 #include <algorithm>
+#include <limits>
+#include <string_view>
+#include <thread>
 #include <unordered_set>
 #include <utility>
 
+#include "lacb/common/rng.h"
 #include "lacb/common/stopwatch.h"
 #include "lacb/obs/context.h"
 #include "lacb/policy/lacb_policy.h"
@@ -58,6 +62,9 @@ AssignmentService::AssignmentService(
   channel_capacity_ = options_.batch_channel_capacity != 0
                           ? options_.batch_channel_capacity
                           : 2 * options_.num_workers;
+  if (options_.fault_plan.enabled()) {
+    injector_ = std::make_unique<FaultInjector>(options_.fault_plan);
+  }
 }
 
 AssignmentService::~AssignmentService() { Shutdown(); }
@@ -77,8 +84,17 @@ Status AssignmentService::Start() {
   deadline_close_counter_ =
       &registry_->GetCounter("serve.batch_close.deadline");
   flush_close_counter_ = &registry_->GetCounter("serve.batch_close.flush");
+  failed_counter_ = &registry_->GetCounter("serve.failed_requests");
+  dropped_counter_ = &registry_->GetCounter("serve.dropped_appeals");
+  degraded_counter_ = &registry_->GetCounter("serve.degraded_batches");
+  retry_counter_ = &registry_->GetCounter("serve.commit_retries");
+  redrive_counter_ = &registry_->GetCounter("serve.redriven_batches");
+  stall_counter_ = &registry_->GetCounter("serve.worker_stalls");
+  crash_counter_ = &registry_->GetCounter("serve.worker_crashes");
+  restart_counter_ = &registry_->GetCounter("serve.worker_restarts");
   inflight_gauge_ = &registry_->GetGauge("serve.inflight_batches");
   carryover_gauge_ = &registry_->GetGauge("serve.carryover_depth");
+  health_gauge_ = &registry_->GetGauge("serve.health_state");
   batch_size_hist_ = &registry_->GetHistogram(
       "serve.batch_size",
       std::vector<double>{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
@@ -94,9 +110,26 @@ Status AssignmentService::Start() {
   batcher_ = std::make_unique<MicroBatcher>(queue_.get(), batch_opts,
                                             [this] { RetireWork(1); });
 
+  SupervisorOptions sup_opts;
+  sup_opts.stall_timeout = options_.stall_timeout;
+  sup_opts.poll_interval = options_.supervisor_poll;
+  supervisor_ = std::make_unique<WorkerSupervisor>(
+      options_.num_workers, sup_opts,
+      [this](MicroBatch&& batch) { RedriveBatch(std::move(batch)); },
+      [this](size_t worker) { RestartWorker(worker); },
+      [this](const char* kind) {
+        if (std::string_view(kind) == "crash") {
+          crash_counter_->Increment();
+        } else {
+          stall_counter_->Increment();
+        }
+        RecordIncident(kind);
+      });
+
   if (options_.exposition_port >= 0) {
     obs::ExpositionOptions expo;
     expo.port = options_.exposition_port;
+    expo.health_fn = [this] { return Health(); };
     LACB_ASSIGN_OR_RETURN(
         exposition_,
         obs::ExpositionServer::Start(
@@ -104,10 +137,14 @@ Status AssignmentService::Start() {
   }
 
   started_ = true;
+  supervisor_->Start();
   batcher_thread_ = std::thread([this] { BatcherLoop(); });
-  worker_threads_.reserve(options_.num_workers);
-  for (size_t i = 0; i < options_.num_workers; ++i) {
-    worker_threads_.emplace_back([this, i] { WorkerLoop(i); });
+  {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    worker_threads_.reserve(options_.num_workers);
+    for (size_t i = 0; i < options_.num_workers; ++i) {
+      worker_threads_.emplace_back([this, i] { WorkerLoop(i); });
+    }
   }
   return Status::OK();
 }
@@ -201,6 +238,15 @@ Status AssignmentService::WaitIdle() {
   return error_;
 }
 
+bool AssignmentService::WaitIdleFor(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(idle_mu_);
+  return idle_cv_.wait_for(lock, timeout, [&] {
+    if (in_system_ <= 0) return true;
+    std::lock_guard<std::mutex> elock(error_mu_);
+    return !error_.ok();
+  });
+}
+
 Result<sim::DayOutcome> AssignmentService::CloseDay() {
   if (!day_open_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("no day is open");
@@ -223,12 +269,47 @@ Result<sim::DayOutcome> AssignmentService::CloseDay() {
 }
 
 void AssignmentService::Shutdown() {
-  if (!started_ || shutdown_) return;
-  shutdown_ = true;
+  if (!started_ || shutdown_.load(std::memory_order_acquire)) return;
+  // Residual flush: if a day is still open, the batcher may be holding a
+  // forming batch — close it with a flush token and drain (bounded, in
+  // case workers are wedged) so it commits through the normal path
+  // instead of being dropped with the queue.
+  if (day_open_.load(std::memory_order_acquire)) {
+    Flush();
+    WaitIdleFor(std::chrono::milliseconds(5000));
+  }
+  // Stop supervision before joining workers: afterwards no restart can
+  // race a join, and no redrive can land in a closing channel.
+  supervisor_->Stop();
+  shutdown_.store(true, std::memory_order_release);
   queue_->Close();
   if (batcher_thread_.joinable()) batcher_thread_.join();
-  for (std::thread& t : worker_threads_) {
-    if (t.joinable()) t.join();
+  {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    for (std::thread& t : worker_threads_) {
+      if (t.joinable()) t.join();
+    }
+  }
+  // Defensive drain: a crash that lands after the supervisor stopped can
+  // leave batches in the channel; account for them explicitly so the
+  // request ledger stays exact.
+  for (;;) {
+    MicroBatch batch;
+    {
+      std::lock_guard<std::mutex> lock(channel_mu_);
+      if (channel_.empty()) break;
+      batch = std::move(channel_.front());
+      channel_.pop_front();
+    }
+    DropBatchTerminal(batch, failed_counter_);
+  }
+  // Appeals stranded in the batcher's carryover (re-queued but never
+  // emitted into a later batch — the end-of-run appeal overflow) are
+  // dropped here with accounting, keeping the conservation identity exact:
+  //   submitted == assigned + unmatched + failed + dropped_appeals.
+  if (batcher_ != nullptr) {
+    size_t stranded = batcher_->carryover_size();
+    if (stranded > 0) dropped_counter_->Increment(stranded);
   }
   if (exposition_ != nullptr) exposition_->Stop();
 }
@@ -252,7 +333,7 @@ void AssignmentService::BatcherLoop() {
     });
     if (channel_closed_) {
       lock.unlock();
-      RetireWork(static_cast<int64_t>(batch->from_queue));
+      DropBatchTerminal(*batch, failed_counter_);
       continue;
     }
     channel_.push_back(std::move(*batch));
@@ -269,6 +350,7 @@ void AssignmentService::BatcherLoop() {
 
 void AssignmentService::WorkerLoop(size_t worker_index) {
   obs::ScopedContextAdoption adopt(registry_, tracer_, recorder_);
+  const bool supervised = supervisor_ != nullptr && supervisor_->active();
   for (;;) {
     MicroBatch batch;
     {
@@ -281,12 +363,50 @@ void AssignmentService::WorkerLoop(size_t worker_index) {
       inflight_gauge_->Set(static_cast<double>(channel_.size()));
     }
     channel_not_full_.notify_one();
-    int64_t units = static_cast<int64_t>(batch.from_queue);
+
+    // Park a copy for the supervisor before any fault can hit: a stalled
+    // or crashed worker's batch is re-driven from the parked copy.
+    if (supervised) supervisor_->Park(worker_index, batch);
+
+    FaultDecision loop_fault =
+        DecideAt(injector_.get(), FaultSite::kWorkerLoop);
+    if (loop_fault.action == FaultAction::kCrashBeforeCommit && supervised &&
+        supervisor_->TryCrash(worker_index)) {
+      // Injected crash: this thread dies with the batch parked. The
+      // supervisor re-drives the copy (to the channel front, so order is
+      // preserved) and restarts the worker. Without a supervisor there is
+      // nobody to restart us, so crash faults require one (see fault.h);
+      // likewise TryCrash refuses once the supervisor is stopping (during
+      // Shutdown's drain), because dying then would strand the batch.
+      return;
+    }
+    if (loop_fault.action == FaultAction::kStall) {
+      // A wedged worker: no heartbeat for the whole sleep, so a stall
+      // longer than stall_timeout is detected and the batch re-driven;
+      // when this worker eventually finishes anyway, the terminal claim
+      // makes the slower twin a no-op.
+      std::this_thread::sleep_for(loop_fault.stall);
+    }
+
+    const uint64_t token = batch.token;
+    const size_t batch_requests = batch.requests.size();
+    const int64_t from_queue = static_cast<int64_t>(batch.from_queue);
     Status status = ProcessBatch(worker_index, std::move(batch));
-    if (!status.ok()) SetError(status);
-    // Retire after the full disposition (including appeal re-queues) so
-    // WaitIdle cannot observe a half-committed batch.
-    RetireWork(units);
+    if (supervised) supervisor_->Unpark(worker_index);
+    if (!status.ok()) {
+      SetError(status);
+      // Fatal error before the terminal claim: fail the batch explicitly
+      // so the ledger still balances and WaitIdle observes the retire.
+      bool claimed = false;
+      {
+        std::lock_guard<std::mutex> lock(env_mu_);
+        claimed = TryClaimTerminalLocked(token);
+      }
+      if (claimed) {
+        failed_counter_->Increment(batch_requests);
+        RetireWork(from_queue);
+      }
+    }
   }
 }
 
@@ -297,24 +417,23 @@ Status AssignmentService::ProcessBatch(size_t worker_index, MicroBatch batch) {
     // Only carryover-only batches can surface here (CloseDay drains every
     // queued item before the day closes): appeals that outlive the horizon
     // are dropped, exactly like the platform's appeal overflow at the end
-    // of the run.
+    // of the run — but with explicit ledger accounting.
+    DropBatchTerminal(batch, dropped_counter_);
     return Status::OK();
   }
-  batch_counter_->Increment();
-  switch (batch.close_cause) {
-    case BatchCloseCause::kSize:
-      size_close_counter_->Increment();
-      break;
-    case BatchCloseCause::kDeadline:
-      deadline_close_counter_->Increment();
-      break;
-    case BatchCloseCause::kFlush:
-    case BatchCloseCause::kShutdown:
-      flush_close_counter_->Increment();
-      break;
+  {
+    // Twin short-circuit: if another copy of this batch (a supervisor
+    // redrive) already reached its terminal, skip the solve entirely.
+    std::lock_guard<std::mutex> lock(env_mu_);
+    if (terminal_tokens_.count(batch.token) != 0) return Status::OK();
   }
-  batch_size_hist_->Record(static_cast<double>(batch.requests.size()));
 
+  // Store access (stall injection point: a slow snapshot read).
+  FaultDecision store_fault = DecideAt(injector_.get(), FaultSite::kStore);
+  if (store_fault.action == FaultAction::kStall) {
+    std::this_thread::sleep_for(store_fault.stall);
+    if (supervisor_ != nullptr) supervisor_->Beat(worker_index);
+  }
   std::vector<double> workloads;
   store_.SnapshotWorkloads(&workloads);
   la::Matrix utility;
@@ -331,8 +450,19 @@ Status AssignmentService::ProcessBatch(size_t worker_index, MicroBatch batch) {
   input.day = current_day_.load(std::memory_order_acquire);
   input.batch = batch_seq_.fetch_add(1, std::memory_order_acq_rel);
 
+  // Solve under budget. An injected overrun models a deadline abort: the
+  // real solve is skipped outright (replica state untouched, no RNG
+  // consumed — what a true cancellation would do). A measured overrun is
+  // detected after the fact, so its result is discarded. Both degrade to
+  // the greedy capacity-aware fallback over the store's residual view:
+  // feasible, O(R×B), bounded utility loss instead of a missed batch.
   std::vector<int64_t> assignment;
-  {
+  bool degraded = false;
+  const bool budgeted = options_.solve_budget.count() > 0;
+  FaultDecision solve_fault = DecideAt(injector_.get(), FaultSite::kSolve);
+  if (budgeted && solve_fault.action == FaultAction::kOverBudgetSolve) {
+    degraded = true;
+  } else {
     LACB_TRACE_SPAN("serve.assign");
     obs::ScopedTimelineEvent timeline_assign("serve.assign");
     Stopwatch sw;
@@ -340,54 +470,274 @@ Status AssignmentService::ProcessBatch(size_t worker_index, MicroBatch batch) {
                           replicas_[worker_index]->AssignBatch(input));
     double elapsed = sw.ElapsedSeconds();
     assign_latency_hist_->Record(elapsed);
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    assign_seconds_ += elapsed;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      assign_seconds_ += elapsed;
+    }
+    if (budgeted &&
+        elapsed > std::chrono::duration<double>(options_.solve_budget).count()) {
+      degraded = true;
+    }
   }
+  if (degraded) {
+    LACB_TRACE_SPAN("serve.assign_degraded");
+    assignment = GreedyCapacityAssign(
+        input, store_.ResidualCapacities(
+                   std::numeric_limits<double>::infinity()));
+  }
+  if (supervisor_ != nullptr) supervisor_->Beat(worker_index);
 
+  bool owner = false;
+  bool committed = false;
   sim::ExternalCommitOutcome commit;
-  {
-    LACB_TRACE_SPAN("serve.commit");
-    obs::ScopedTimelineEvent timeline_commit("serve.commit");
-    std::lock_guard<std::mutex> lock(env_mu_);
-    LACB_ASSIGN_OR_RETURN(
-        commit, platform_->CommitExternalBatch(batch.requests, assignment));
+  LACB_RETURN_NOT_OK(CommitWithRetry(worker_index, batch, assignment, &owner,
+                                     &committed, &commit));
+  if (!owner) {
+    // A twin claimed the terminal first: it did (or will do) the
+    // disposition and the retire; this copy evaporates.
+    return Status::OK();
   }
 
-  if (recorder_ != nullptr) {
-    // Terminate each request's flow at the commit; appealed requests keep
-    // their flow alive (they re-enter through carryover and step again at
-    // the next batch close).
-    std::unordered_set<int64_t> appealed_ids;
-    appealed_ids.reserve(commit.appealed.size());
-    for (const sim::Request& r : commit.appealed) appealed_ids.insert(r.id);
-    recorder_->Begin("serve.disposition");
-    for (const sim::Request& r : batch.requests) {
-      if (appealed_ids.count(r.id) == 0) {
-        recorder_->FlowEnd("serve.request", RequestFlowId(r));
+  // Terminal owner: batch-level instruments count exactly once per token,
+  // no matter how many twins raced.
+  batch_counter_->Increment();
+  switch (batch.close_cause) {
+    case BatchCloseCause::kSize:
+      size_close_counter_->Increment();
+      break;
+    case BatchCloseCause::kDeadline:
+      deadline_close_counter_->Increment();
+      break;
+    case BatchCloseCause::kFlush:
+    case BatchCloseCause::kShutdown:
+      flush_close_counter_->Increment();
+      break;
+  }
+  batch_size_hist_->Record(static_cast<double>(batch.requests.size()));
+  if (degraded) {
+    degraded_counter_->Increment();
+    RecordIncident("degraded_batch");
+  }
+
+  if (committed) {
+    if (recorder_ != nullptr) {
+      // Terminate each request's flow at the commit; appealed requests
+      // keep their flow alive (they re-enter through carryover and step
+      // again at the next batch close).
+      std::unordered_set<int64_t> appealed_ids;
+      appealed_ids.reserve(commit.appealed.size());
+      for (const sim::Request& r : commit.appealed) appealed_ids.insert(r.id);
+      recorder_->Begin("serve.disposition");
+      for (const sim::Request& r : batch.requests) {
+        if (appealed_ids.count(r.id) == 0) {
+          recorder_->FlowEnd("serve.request", RequestFlowId(r));
+        }
+      }
+      recorder_->End("serve.disposition");
+    }
+
+    if (!commit.appealed.empty()) {
+      appeal_counter_->Increment(commit.appealed.size());
+      if (queue_->closed()) {
+        // Shutdown already retired the batcher: an appeal re-queued now
+        // would never be drained. Drop with accounting instead of
+        // leaking the requests out of the ledger.
+        dropped_counter_->Increment(commit.appealed.size());
+      } else {
+        batcher_->AddCarryover(std::move(commit.appealed));
+        carryover_gauge_->Set(static_cast<double>(batcher_->carryover_size()));
       }
     }
-    recorder_->End("serve.disposition");
-  }
+    store_.CommitAccepted(commit.accepted);
+    assigned_counter_->Increment(commit.accepted.size());
+    size_t unmatched = 0;
+    for (int64_t a : assignment) {
+      if (a < 0) ++unmatched;
+    }
+    unmatched_counter_->Increment(unmatched);
 
-  if (!commit.appealed.empty()) {
-    appeal_counter_->Increment(commit.appealed.size());
-    batcher_->AddCarryover(std::move(commit.appealed));
-    carryover_gauge_->Set(static_cast<double>(batcher_->carryover_size()));
+    auto now = std::chrono::steady_clock::now();
+    for (const auto& arrival : batch.arrival_times) {
+      e2e_latency_hist_->Record(
+          std::chrono::duration<double>(now - arrival).count());
+    }
+  } else {
+    // Retry budget exhausted and the platform confirmed nothing applied:
+    // the whole batch is shed with explicit accounting.
+    failed_counter_->Increment(batch.requests.size());
+    RecordIncident("commit_failed");
   }
-  store_.CommitAccepted(commit.accepted);
-  assigned_counter_->Increment(commit.accepted.size());
-  size_t unmatched = 0;
-  for (int64_t a : assignment) {
-    if (a < 0) ++unmatched;
-  }
-  unmatched_counter_->Increment(unmatched);
-
-  auto now = std::chrono::steady_clock::now();
-  for (const auto& arrival : batch.arrival_times) {
-    e2e_latency_hist_->Record(
-        std::chrono::duration<double>(now - arrival).count());
-  }
+  RetireWork(static_cast<int64_t>(batch.from_queue));
   return Status::OK();
+}
+
+Status AssignmentService::CommitWithRetry(
+    size_t worker_index, const MicroBatch& batch,
+    const std::vector<int64_t>& assignment, bool* owner, bool* committed,
+    sim::ExternalCommitOutcome* outcome) {
+  *owner = false;
+  *committed = false;
+  const size_t max_attempts = std::max<size_t>(1, options_.commit_max_attempts);
+  for (size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    FaultDecision fault = DecideAt(injector_.get(), FaultSite::kCommit);
+    if (fault.action == FaultAction::kStall) {
+      // A slow commit; stall outside env_mu_ so the injected latency does
+      // not serialize the whole pipeline behind this worker.
+      std::this_thread::sleep_for(fault.stall);
+      if (supervisor_ != nullptr) supervisor_->Beat(worker_index);
+    }
+    {
+      LACB_TRACE_SPAN("serve.commit");
+      obs::ScopedTimelineEvent timeline_commit("serve.commit");
+      std::lock_guard<std::mutex> lock(env_mu_);
+      if (terminal_tokens_.count(batch.token) != 0) {
+        return Status::OK();  // a twin finished this batch; not the owner
+      }
+      if (fault.action != FaultAction::kTransientError) {
+        LACB_ASSIGN_OR_RETURN(*outcome,
+                              platform_->CommitExternalBatch(
+                                  batch.requests, assignment, batch.token));
+        if (fault.action != FaultAction::kTransientErrorAfterApply) {
+          *owner = TryClaimTerminalLocked(batch.token);
+          *committed = true;
+          return Status::OK();
+        }
+        // Lost acknowledgement: the commit applied but this caller sees an
+        // error. The retry hits the duplicate-token path and gets the
+        // cached outcome back — capacity is decremented once.
+      }
+      // else: failed before the apply — nothing happened; retry below.
+    }
+    // Transient failure: bounded exponential backoff with deterministic
+    // per-(token, attempt) jitter, slept outside every lock.
+    retry_counter_->Increment();
+    RecordIncident("commit_retry");
+    if (attempt < max_attempts) {
+      int64_t base_us = options_.commit_backoff_base.count()
+                        << std::min<size_t>(attempt - 1, 20);
+      int64_t capped_us =
+          std::min(options_.commit_backoff_cap.count(), base_us);
+      double jitter =
+          0.5 + 0.5 * Rng(options_.retry_jitter_seed)
+                          .Fork(batch.token * 0x9e3779b9ULL + attempt)
+                          .Uniform();
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          static_cast<int64_t>(static_cast<double>(capped_us) * jitter)));
+      if (supervisor_ != nullptr) supervisor_->Beat(worker_index);
+    }
+  }
+  // Retries exhausted. The last failure may have been a lost ack (the
+  // commit applied), so reconcile against the platform before declaring
+  // the batch failed — otherwise capacity would be consumed by requests
+  // the ledger counts as shed.
+  std::lock_guard<std::mutex> lock(env_mu_);
+  if (terminal_tokens_.count(batch.token) != 0) return Status::OK();
+  if (const sim::ExternalCommitOutcome* found =
+          platform_->FindExternalCommit(batch.token)) {
+    *outcome = *found;
+    *owner = TryClaimTerminalLocked(batch.token);
+    *committed = true;
+    return Status::OK();
+  }
+  *owner = TryClaimTerminalLocked(batch.token);
+  *committed = false;
+  return Status::OK();
+}
+
+bool AssignmentService::TryClaimTerminalLocked(uint64_t token) {
+  return terminal_tokens_.insert(token).second;
+}
+
+void AssignmentService::DropBatchTerminal(const MicroBatch& batch,
+                                          obs::Counter* bucket) {
+  bool claimed = false;
+  {
+    std::lock_guard<std::mutex> lock(env_mu_);
+    claimed = TryClaimTerminalLocked(batch.token);
+  }
+  if (!claimed) return;
+  if (!batch.requests.empty()) bucket->Increment(batch.requests.size());
+  RetireWork(static_cast<int64_t>(batch.from_queue));
+}
+
+void AssignmentService::RedriveBatch(MicroBatch&& batch) {
+  std::unique_lock<std::mutex> lock(channel_mu_);
+  if (channel_closed_) {
+    lock.unlock();
+    DropBatchTerminal(batch, failed_counter_);
+    return;
+  }
+  // Channel *front*, skipping the capacity bound: the replacement worker
+  // must see the re-driven batch before anything newer (deterministic
+  // order), and the supervisor must never block behind backpressure.
+  channel_.push_front(std::move(batch));
+  inflight_gauge_->Set(static_cast<double>(channel_.size()));
+  redrive_counter_->Increment();
+  lock.unlock();
+  channel_not_empty_.notify_one();
+}
+
+void AssignmentService::RestartWorker(size_t worker_index) {
+  std::lock_guard<std::mutex> lock(threads_mu_);
+  if (shutdown_.load(std::memory_order_acquire)) return;
+  std::thread& slot = worker_threads_[worker_index];
+  if (slot.joinable()) slot.join();  // the crashed thread has exited
+  restart_counter_->Increment();
+  slot = std::thread([this, worker_index] { WorkerLoop(worker_index); });
+}
+
+void AssignmentService::RecordIncident(const char* /*kind*/) {
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    any_incident_ = true;
+    ++incident_count_;
+    last_incident_ = std::chrono::steady_clock::now();
+  }
+  Health();  // refresh the exported gauge
+}
+
+obs::HealthReport AssignmentService::Health() const {
+  obs::HealthReport report;
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    if (!error_.ok()) {
+      report.state = obs::HealthState::kUnhealthy;
+      report.detail = "fatal: " + error_.message();
+    }
+  }
+  if (report.state != obs::HealthState::kUnhealthy && supervisor_ != nullptr &&
+      supervisor_->active()) {
+    size_t unavailable = supervisor_->WorkersUnavailable();
+    size_t total = supervisor_->num_workers();
+    if (total > 0 && unavailable >= total) {
+      report.state = obs::HealthState::kUnhealthy;
+      report.detail =
+          "all " + std::to_string(total) + " workers stalled or crashed";
+    } else if (unavailable > 0) {
+      report.state = obs::HealthState::kDegraded;
+      report.detail = std::to_string(unavailable) + "/" +
+                      std::to_string(total) + " workers unavailable";
+    }
+  }
+  if (report.state == obs::HealthState::kHealthy) {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    if (any_incident_ && std::chrono::steady_clock::now() - last_incident_ <=
+                             options_.health_window) {
+      report.state = obs::HealthState::kDegraded;
+      report.detail =
+          "recent fault incidents: " + std::to_string(incident_count_);
+    }
+  }
+  if (report.detail.empty()) report.detail = "serving";
+  if (health_gauge_ != nullptr) {
+    health_gauge_->Set(static_cast<double>(static_cast<int>(report.state)));
+  }
+  return report;
+}
+
+void AssignmentService::SetStoreCapacities(
+    const std::vector<double>& capacities) {
+  store_.SetCapacities(capacities);
 }
 
 void AssignmentService::RetireWork(int64_t units) {
@@ -421,6 +771,14 @@ ServeStats AssignmentService::Stats() const {
   stats.size_closes = size_close_counter_->value();
   stats.deadline_closes = deadline_close_counter_->value();
   stats.flush_closes = flush_close_counter_->value();
+  stats.failed = failed_counter_->value();
+  stats.dropped_appeals = dropped_counter_->value();
+  stats.degraded_batches = degraded_counter_->value();
+  stats.commit_retries = retry_counter_->value();
+  stats.redriven_batches = redrive_counter_->value();
+  stats.worker_stalls = stall_counter_->value();
+  stats.worker_crashes = crash_counter_->value();
+  stats.worker_restarts = restart_counter_->value();
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats.assign_seconds = assign_seconds_;

@@ -28,6 +28,18 @@
 // in-flight work, closes the platform day, broadcasts feedback). With one
 // worker and flush-delimited batches the realized utility is bit-identical
 // to core::RunPolicy — the determinism gate in serve_test.cc.
+//
+// Fault tolerance (docs/robustness.md): every batch carries an idempotent
+// commit token, so commit retries (exponential backoff + deterministic
+// jitter, bounded attempts) and supervisor re-drives can never
+// double-decrement broker capacity; a solve that exceeds its budget
+// degrades to a greedy capacity-aware assignment instead of missing the
+// batch; a heartbeat supervisor re-drives the in-flight batch of a
+// stalled/crashed worker and restarts crashed threads; health coarsens to
+// healthy/degraded/unhealthy on the serve.health_state gauge and /healthz.
+// Every accepted request reaches exactly one terminal —
+//   submitted == assigned + unmatched + failed + dropped_appeals
+// — under any schedule of injected faults (FaultPlan in ServeOptions).
 
 #ifndef LACB_SERVE_SERVICE_H_
 #define LACB_SERVE_SERVICE_H_
@@ -42,6 +54,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "lacb/common/result.h"
@@ -51,8 +64,10 @@
 #include "lacb/obs/trace.h"
 #include "lacb/policy/assignment_policy.h"
 #include "lacb/serve/broker_store.h"
+#include "lacb/serve/fault.h"
 #include "lacb/serve/micro_batcher.h"
 #include "lacb/serve/request_queue.h"
+#include "lacb/serve/supervisor.h"
 #include "lacb/sim/platform.h"
 
 namespace lacb::serve {
@@ -74,8 +89,42 @@ struct ServeOptions {
   /// Prometheus exposition listener (GET /metrics): -1 disables it, 0
   /// binds an ephemeral port (read it back via exposition_port()), any
   /// other value binds that port on 127.0.0.1. The scrape endpoint serves
-  /// the registry captured at Start().
+  /// the registry captured at Start(), and /healthz reports the service's
+  /// health state machine (200 healthy/degraded, 503 unhealthy).
   int exposition_port = -1;
+
+  // --- Fault tolerance (docs/robustness.md) ---
+
+  /// Per-batch solve budget: when the assignment solve exceeds it
+  /// (measured, or injected via FaultPlan::solve_over_budget_rate) the
+  /// worker discards the solve and falls back to GreedyCapacityAssign
+  /// over the store's residual capacities, counting
+  /// serve.degraded_batches. Zero = unlimited (no degradation).
+  std::chrono::microseconds solve_budget{0};
+  /// Commit retry bound: total attempts per batch before the batch is
+  /// declared failed (with explicit serve.failed_requests accounting).
+  size_t commit_max_attempts = 4;
+  /// Exponential backoff between commit attempts: attempt k sleeps
+  /// base × 2^(k−1) capped at commit_backoff_cap, scaled by a
+  /// deterministic per-(token, attempt) jitter in [0.5, 1].
+  std::chrono::microseconds commit_backoff_base{100};
+  std::chrono::microseconds commit_backoff_cap{5000};
+  /// Seed of the deterministic retry jitter.
+  uint64_t retry_jitter_seed = 2027;
+  /// Worker supervision: a busy worker whose heartbeat is older than this
+  /// is stalled (its parked batch is re-driven); a worker that announced
+  /// an injected crash is re-driven and restarted. Zero disables the
+  /// supervisor — and with it crash injection, which needs a restarter.
+  std::chrono::microseconds stall_timeout{0};
+  /// Supervisor heartbeat poll cadence.
+  std::chrono::microseconds supervisor_poll{500};
+  /// Health hysteresis: the service reports degraded for this long after
+  /// the latest fault incident (stall, crash, retry, degraded batch).
+  std::chrono::milliseconds health_window{2000};
+  /// Deterministic fault-injection plan. Default (all rates zero) installs
+  /// no injector: every injection point reduces to a null check and the
+  /// serve path is byte-identical to the fault-free build.
+  FaultPlan fault_plan;
 };
 
 /// \brief Aggregate service counters (a convenience copy of the obs
@@ -91,6 +140,16 @@ struct ServeStats {
   uint64_t deadline_closes = 0;  ///< Batches closed by max_batch_delay.
   uint64_t flush_closes = 0;     ///< Batches closed by flush tokens.
   double assign_seconds = 0.0;   ///< Σ AssignBatch wall time (all workers).
+
+  // --- Fault-tolerance ledger ---
+  uint64_t failed = 0;            ///< Requests in commit-exhausted batches.
+  uint64_t dropped_appeals = 0;   ///< Appeals dropped at day end/shutdown.
+  uint64_t degraded_batches = 0;  ///< Batches solved by the greedy fallback.
+  uint64_t commit_retries = 0;    ///< Commit attempts beyond the first.
+  uint64_t redriven_batches = 0;  ///< Batches re-driven by the supervisor.
+  uint64_t worker_stalls = 0;     ///< Stall detections.
+  uint64_t worker_crashes = 0;    ///< Crash detections.
+  uint64_t worker_restarts = 0;   ///< Workers restarted after a crash.
 };
 
 /// \brief The concurrent online assignment service.
@@ -134,7 +193,22 @@ class AssignmentService {
   Result<sim::DayOutcome> CloseDay();
 
   /// \brief Stops intake, drains workers, joins all threads. Idempotent.
+  /// If a day is still open, the forming residual batch is flushed and
+  /// committed (bounded drain) instead of being dropped silently.
   void Shutdown();
+
+  /// \brief Evaluates the health state machine: unhealthy on a fatal
+  /// error or when every worker is stalled/crashed; degraded while any
+  /// worker is unavailable or within health_window of the latest fault
+  /// incident; healthy otherwise. Thread-safe; also drives the
+  /// serve.health_state gauge and the /healthz endpoint.
+  obs::HealthReport Health() const;
+
+  /// \brief Installs per-broker capacities into the broker store (the
+  /// residual view the greedy degradation fallback consumes). Capacities
+  /// persist across ResetDay; OpenDay overwrites them only when the lead
+  /// replica is a LacbPolicy with its own estimates.
+  void SetStoreCapacities(const std::vector<double>& capacities);
 
   const sim::Platform& platform() const { return *platform_; }
   const ShardedBrokerStore& store() const { return store_; }
@@ -162,6 +236,28 @@ class AssignmentService {
   void WorkerLoop(size_t worker_index);
   Status ProcessBatch(size_t worker_index, MicroBatch batch);
 
+  /// Commit of one batch with bounded retries. On return `*owner` says
+  /// whether this caller claimed the batch's terminal (exactly one twin
+  /// of a re-driven batch does); when it did, `*committed` distinguishes
+  /// a successful commit (`*outcome` valid) from retry exhaustion.
+  Status CommitWithRetry(size_t worker_index, const MicroBatch& batch,
+                         const std::vector<int64_t>& assignment, bool* owner,
+                         bool* committed, sim::ExternalCommitOutcome* outcome);
+  /// Claims the terminal of `token`; true exactly once per token.
+  /// Requires env_mu_ held.
+  bool TryClaimTerminalLocked(uint64_t token);
+  /// Terminal-drop of a batch that can no longer be processed (day closed
+  /// or channel closed): the claiming twin counts every request dropped
+  /// and retires the batch's queue units.
+  void DropBatchTerminal(const MicroBatch& batch, obs::Counter* bucket);
+  /// Supervisor callbacks.
+  void RedriveBatch(MicroBatch&& batch);
+  void RestartWorker(size_t worker_index);
+  /// Folds a fault incident into the health state machine.
+  void RecordIncident(const char* kind);
+  /// Bounded WaitIdle used by the shutdown residual flush.
+  bool WaitIdleFor(std::chrono::milliseconds timeout);
+
   void RetireWork(int64_t units);
   void SetError(const Status& status);
 
@@ -173,6 +269,17 @@ class AssignmentService {
 
   // --- Environment of record (serialized) ---
   std::mutex env_mu_;
+  // Tokens whose batch reached its terminal (committed, failed, or
+  // dropped). Guarded by env_mu_: the claim is atomic with the platform
+  // commit, so exactly one twin of a re-driven batch does disposition and
+  // retires the batch's in-system units. Kept for the service's lifetime
+  // (tokens are globally unique) so a twin stalled across a day boundary
+  // can never re-commit into a later day.
+  std::unordered_set<uint64_t> terminal_tokens_;
+
+  // --- Fault tolerance ---
+  std::unique_ptr<FaultInjector> injector_;    // null: no plan installed
+  std::unique_ptr<WorkerSupervisor> supervisor_;  // null until Start()
 
   // --- Concurrent state ---
   ShardedBrokerStore store_;
@@ -193,8 +300,9 @@ class AssignmentService {
   std::condition_variable idle_cv_;
   int64_t in_system_ = 0;
 
-  // First worker/batcher error; checked at drain points.
-  std::mutex error_mu_;
+  // First worker/batcher error; checked at drain points (mutable: the
+  // const health probe reads it).
+  mutable std::mutex error_mu_;
   Status error_ = Status::OK();
 
   // Day state: written by the control thread at day boundaries, read by
@@ -204,11 +312,21 @@ class AssignmentService {
   std::atomic<uint64_t> batch_seq_{0};  // per-day batch sequence
   double day_boundary_seconds_ = 0.0;
 
-  // Threads.
+  // Threads. threads_mu_ serializes worker restarts (supervisor thread)
+  // against Shutdown's joins; the supervisor is stopped before the joins,
+  // so a restart can never race a join.
   bool started_ = false;
-  bool shutdown_ = false;
+  std::atomic<bool> shutdown_{false};
   std::thread batcher_thread_;
+  std::mutex threads_mu_;
   std::vector<std::thread> worker_threads_;
+
+  // Health state machine inputs (fatal errors and worker availability are
+  // read live; incidents decay after options_.health_window).
+  mutable std::mutex health_mu_;
+  bool any_incident_ = false;
+  uint64_t incident_count_ = 0;
+  std::chrono::steady_clock::time_point last_incident_;
 
   // Telemetry (captured from the Start() caller's active context; the
   // recorder is null unless the caller had a ScopedEventRecording open,
@@ -226,8 +344,17 @@ class AssignmentService {
   obs::Counter* size_close_counter_ = nullptr;
   obs::Counter* deadline_close_counter_ = nullptr;
   obs::Counter* flush_close_counter_ = nullptr;
+  obs::Counter* failed_counter_ = nullptr;
+  obs::Counter* dropped_counter_ = nullptr;
+  obs::Counter* degraded_counter_ = nullptr;
+  obs::Counter* retry_counter_ = nullptr;
+  obs::Counter* redrive_counter_ = nullptr;
+  obs::Counter* stall_counter_ = nullptr;
+  obs::Counter* crash_counter_ = nullptr;
+  obs::Counter* restart_counter_ = nullptr;
   obs::Gauge* inflight_gauge_ = nullptr;
   obs::Gauge* carryover_gauge_ = nullptr;
+  obs::Gauge* health_gauge_ = nullptr;
   obs::Histogram* batch_size_hist_ = nullptr;
   obs::Histogram* assign_latency_hist_ = nullptr;
   obs::Histogram* e2e_latency_hist_ = nullptr;

@@ -75,6 +75,7 @@ Status Platform::StartDayExternal(size_t day) {
   workloads_today_.assign(brokers_.size(), 0.0);
   committed_.clear();
   appeals_today_ = 0;
+  external_commits_.clear();
   for (Broker& b : brokers_) b.workload_today = 0.0;
   return Status::OK();
 }
@@ -144,13 +145,24 @@ Status Platform::CommitAssignment(size_t batch,
 
 Result<ExternalCommitOutcome> Platform::CommitExternalBatch(
     const std::vector<Request>& requests,
-    const std::vector<int64_t>& assignment) {
+    const std::vector<int64_t>& assignment, uint64_t commit_token) {
   if (!day_open_ || !external_day_) {
     return Status::FailedPrecondition("no external day is open");
   }
   if (assignment.size() != requests.size()) {
     return Status::InvalidArgument(
         "assignment size does not match batch size");
+  }
+  // Idempotency check first: a duplicate token returns the cached outcome
+  // before any RNG draw or workload mutation, so a retried commit is
+  // byte-for-byte free of side effects.
+  if (commit_token != 0) {
+    auto it = external_commits_.find(commit_token);
+    if (it != external_commits_.end()) {
+      ExternalCommitOutcome cached = it->second;
+      cached.duplicate = true;
+      return cached;
+    }
   }
   for (int64_t b : assignment) {
     if (b != -1 && (b < 0 || static_cast<size_t>(b) >= brokers_.size())) {
@@ -176,7 +188,17 @@ Result<ExternalCommitOutcome> Platform::CommitExternalBatch(
     committed_.push_back(CommittedEdge{b, u});
     out.accepted.push_back(CommittedEdge{b, u});
   }
+  if (commit_token != 0) {
+    external_commits_.emplace(commit_token, out);
+  }
   return out;
+}
+
+const ExternalCommitOutcome* Platform::FindExternalCommit(
+    uint64_t commit_token) const {
+  if (commit_token == 0) return nullptr;
+  auto it = external_commits_.find(commit_token);
+  return it == external_commits_.end() ? nullptr : &it->second;
 }
 
 Result<DayOutcome> Platform::EndDay() {

@@ -17,6 +17,8 @@
 #ifndef LACB_SIM_PLATFORM_H_
 #define LACB_SIM_PLATFORM_H_
 
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "lacb/common/result.h"
@@ -50,6 +52,9 @@ struct CommittedEdge {
 struct ExternalCommitOutcome {
   std::vector<Request> appealed;
   std::vector<CommittedEdge> accepted;
+  /// True when the commit token had already been applied: the outcome is
+  /// the cached original and nothing was re-applied (idempotent replay).
+  bool duplicate = false;
 };
 
 /// \brief End-of-day outcome delivered to the engine.
@@ -99,9 +104,23 @@ class Platform {
   /// \brief Commits an externally-formed batch against the open external
   /// day: applies appeals (returned for re-queueing), updates workloads,
   /// and records accepted edges for the day's realized utility.
+  ///
+  /// A non-zero `commit_token` makes the commit idempotent: the first
+  /// commit with a token applies and caches its outcome; any later commit
+  /// with the same token (a retry after a lost acknowledgement, or a
+  /// re-driven batch's twin) returns the cached outcome with `duplicate`
+  /// set, applies nothing, and draws no RNG — so replays can never
+  /// double-decrement broker capacity. Token 0 disables deduplication
+  /// (legacy/offline callers). The cache is per external day.
   Result<ExternalCommitOutcome> CommitExternalBatch(
       const std::vector<Request>& requests,
-      const std::vector<int64_t>& assignment);
+      const std::vector<int64_t>& assignment, uint64_t commit_token = 0);
+
+  /// \brief Looks up the cached outcome of `commit_token` in the open
+  /// external day, or nullptr when that token never committed. Query-only:
+  /// the caller uses it to reconcile a lost acknowledgement after retries
+  /// are exhausted (did my last attempt actually apply?).
+  const ExternalCommitOutcome* FindExternalCommit(uint64_t commit_token) const;
 
   /// \brief Number of batches in the currently open day.
   size_t NumBatchesToday() const { return today_batches_.size(); }
@@ -155,6 +174,8 @@ class Platform {
   std::vector<CommittedEdge> committed_;
   std::vector<Request> appeal_overflow_;  // appeals past the last batch
   size_t appeals_today_ = 0;
+  // Applied external-commit tokens -> cached outcomes (cleared per day).
+  std::unordered_map<uint64_t, ExternalCommitOutcome> external_commits_;
 };
 
 }  // namespace lacb::sim

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <set>
 #include <sstream>
 #include <string>
@@ -343,6 +344,51 @@ TEST(ExpositionServerTest, ServesMetricsHealthAndNotFound) {
   EXPECT_GE(server.value()->scrapes(), 1u);
   server.value()->Stop();
   server.value()->Stop();  // idempotent
+}
+
+TEST(ExpositionServerTest, HealthzReflectsHealthStateMachine) {
+  obs::MetricRegistry registry;
+  // The probe walks the full state machine across successive scrapes.
+  std::mutex mu;
+  obs::HealthReport report{obs::HealthState::kHealthy, "serving"};
+
+  obs::ExpositionOptions options;
+  options.health_fn = [&] {
+    std::lock_guard<std::mutex> lock(mu);
+    return report;
+  };
+  auto server = obs::ExpositionServer::Start(
+      [&registry] { return registry.Snapshot(); }, options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  int port = server.value()->port();
+
+  // Healthy: 200 with the state name in the body.
+  std::string healthy = HttpGet(port, "/healthz");
+  EXPECT_NE(healthy.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(healthy.find("healthy: serving"), std::string::npos);
+
+  // Degraded still serves traffic: 200, but the body says so (load
+  // balancers keep routing; operators see the distinction).
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    report = {obs::HealthState::kDegraded, "1/4 workers unavailable"};
+  }
+  std::string degraded = HttpGet(port, "/healthz");
+  EXPECT_NE(degraded.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(degraded.find("degraded: 1/4 workers unavailable"),
+            std::string::npos);
+
+  // Unhealthy: 503 so orchestrators stop routing to this instance.
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    report = {obs::HealthState::kUnhealthy, "all workers crashed"};
+  }
+  std::string unhealthy = HttpGet(port, "/healthz");
+  EXPECT_NE(unhealthy.find("HTTP/1.1 503"), std::string::npos);
+  EXPECT_NE(unhealthy.find("unhealthy: all workers crashed"),
+            std::string::npos);
+
+  server.value()->Stop();
 }
 
 TEST(ExpositionServerTest, AssignmentServiceStartsListenerFromOptions) {

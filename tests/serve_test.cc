@@ -5,8 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -424,6 +426,392 @@ TEST(ServiceTest, ConcurrentWorkersCompleteFreeRunDay) {
   EXPECT_GT(total_served, 0.0);
 }
 
+// --- Fault injection primitives ------------------------------------------
+
+TEST(FaultInjectorTest, FixedSeedReplaysBitIdentically) {
+  serve::FaultPlan plan;
+  plan.seed = 42;
+  plan.commit_transient_rate = 0.3;
+  plan.commit_stall_rate = 0.2;
+  plan.solve_over_budget_rate = 0.25;
+  plan.store_stall_rate = 0.2;
+  plan.worker_stall_rate = 0.2;
+  plan.worker_crash_rate = 0.1;
+  ASSERT_TRUE(plan.enabled());
+
+  // Two injectors over the same plan emit identical streams at every site.
+  serve::FaultInjector a(plan);
+  serve::FaultInjector b(plan);
+  for (int i = 0; i < 500; ++i) {
+    for (size_t s = 0; s < serve::kNumFaultSites; ++s) {
+      auto site = static_cast<serve::FaultSite>(s);
+      serve::FaultDecision da = a.Decide(site);
+      serve::FaultDecision db = b.Decide(site);
+      ASSERT_EQ(da.action, db.action) << "site " << s << " draw " << i;
+      ASSERT_EQ(da.stall.count(), db.stall.count());
+    }
+  }
+  EXPECT_EQ(a.decisions(serve::FaultSite::kCommit), 500u);
+
+  // Per-site streams are independent: draining another site's stream must
+  // not perturb the commit stream (workers hit sites in racy interleavings,
+  // so cross-site independence is what makes replay order-insensitive).
+  serve::FaultInjector c(plan);
+  std::vector<serve::FaultAction> commit_stream;
+  for (int i = 0; i < 500; ++i) {
+    commit_stream.push_back(c.Decide(serve::FaultSite::kCommit).action);
+  }
+  serve::FaultInjector d(plan);
+  for (int i = 0; i < 100; ++i) d.Decide(serve::FaultSite::kSolve);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_EQ(d.Decide(serve::FaultSite::kCommit).action, commit_stream[i]);
+  }
+
+  // A different seed diverges.
+  serve::FaultPlan other = plan;
+  other.seed = 43;
+  serve::FaultInjector e(other);
+  bool diverged = false;
+  for (int i = 0; i < 500 && !diverged; ++i) {
+    diverged = e.Decide(serve::FaultSite::kCommit).action != commit_stream[i];
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(FaultTest, GreedyCapacityAssignRespectsResidualCapacity) {
+  std::vector<sim::Request> requests = {MakeRequest(0), MakeRequest(1),
+                                        MakeRequest(2)};
+  la::Matrix utility(3, 2);
+  utility(0, 0) = 0.9;
+  utility(0, 1) = 0.5;
+  utility(1, 0) = 0.8;
+  utility(1, 1) = 0.6;
+  utility(2, 0) = 0.7;
+  utility(2, 1) = 0.1;
+  std::vector<double> workloads(2, 0.0);
+  policy::BatchInput input;
+  input.requests = &requests;
+  input.utility = &utility;
+  input.workloads = &workloads;
+
+  // Broker 0 dominates on utility but only has room for one request; the
+  // third request finds everything full and stays unmatched.
+  auto got = serve::GreedyCapacityAssign(input, {1.0, 1.0});
+  EXPECT_EQ(got, (std::vector<int64_t>{0, 1, -1}));
+
+  // +inf residual (unknown capacity) never exhausts.
+  auto open = serve::GreedyCapacityAssign(
+      input, {1.0, std::numeric_limits<double>::infinity()});
+  EXPECT_EQ(open, (std::vector<int64_t>{0, 1, 1}));
+}
+
+// --- Chaos property tests (see docs/robustness.md) -----------------------
+
+// A fault mix with every site active at >= 10% — the acceptance floor the
+// robustness CI jobs exercise under TSan and ASan/UBSan.
+serve::FaultPlan ChaosPlan(uint64_t seed) {
+  serve::FaultPlan plan;
+  plan.seed = seed;
+  plan.commit_transient_rate = 0.15;
+  plan.commit_after_apply_fraction = 0.5;
+  plan.commit_stall_rate = 0.10;
+  plan.solve_over_budget_rate = 0.20;
+  plan.store_stall_rate = 0.10;
+  plan.worker_stall_rate = 0.10;
+  plan.worker_crash_rate = 0.10;
+  plan.stall_duration = std::chrono::microseconds(2000);
+  return plan;
+}
+
+// Greedy capacity-capped test policy: assigns through the same
+// GreedyCapacityAssign primitive the degradation path uses, against a flat
+// per-broker capacity. Any double-applied commit (a retried lost ack, a
+// redriven twin) would push some broker past that capacity — which
+// MaxOverCapacity() catches.
+class CappedGreedyPolicy : public policy::AssignmentPolicy {
+ public:
+  explicit CappedGreedyPolicy(double per_broker_capacity)
+      : capacity_(per_broker_capacity) {}
+  std::string name() const override { return "CappedGreedy"; }
+  Result<std::vector<int64_t>> AssignBatch(
+      const policy::BatchInput& input) override {
+    std::vector<double> residual(input.workloads->size());
+    for (size_t b = 0; b < residual.size(); ++b) {
+      residual[b] = std::max(0.0, capacity_ - (*input.workloads)[b]);
+    }
+    return serve::GreedyCapacityAssign(input, std::move(residual));
+  }
+
+ private:
+  double capacity_;
+};
+
+policy::PolicyFactory CappedGreedyFactory(double capacity) {
+  return [capacity]() -> Result<std::unique_ptr<policy::AssignmentPolicy>> {
+    return std::unique_ptr<policy::AssignmentPolicy>(
+        new CappedGreedyPolicy(capacity));
+  };
+}
+
+// Bit-identical replay: with one worker, lockstep batches, and no
+// supervisor (redrives would add wall-clock-dependent twin decisions), a
+// fixed fault seed must reproduce the run exactly — injected faults
+// included. This is the "chaos schedules are deterministic" gate.
+TEST(ChaosTest, FixedFaultSeedReplaysBitIdentically) {
+  sim::DatasetConfig cfg = TinyConfig();
+  cfg.appeal_rate = 0.3;
+  core::PolicySuiteConfig suite;
+  suite.seed = 55;
+
+  serve::ServedRunOptions opts = LockstepOptions();
+  opts.serve.solve_budget = std::chrono::seconds(10);
+  opts.serve.fault_plan = ChaosPlan(11);
+  opts.serve.fault_plan.worker_crash_rate = 0.0;  // crashes need a supervisor
+  opts.serve.fault_plan.stall_duration = std::chrono::microseconds(200);
+
+  auto run1 = serve::RunPolicyServed(
+      cfg, core::SuitePolicyFactory(cfg, suite, 1), opts);
+  ASSERT_TRUE(run1.ok()) << run1.status().ToString();
+  auto run2 = serve::RunPolicyServed(
+      cfg, core::SuitePolicyFactory(cfg, suite, 1), opts);
+  ASSERT_TRUE(run2.ok()) << run2.status().ToString();
+
+  EXPECT_GT(run1->degraded_batches, 0u) << "no fault ever fired";
+  EXPECT_DOUBLE_EQ(run1->total_utility, run2->total_utility);
+  EXPECT_EQ(run1->daily_utility, run2->daily_utility);
+  EXPECT_EQ(run1->broker_requests, run2->broker_requests);
+  EXPECT_EQ(run1->broker_utility, run2->broker_utility);
+  EXPECT_EQ(run1->total_appeals, run2->total_appeals);
+  EXPECT_EQ(run1->degraded_batches, run2->degraded_batches);
+  EXPECT_EQ(run1->failed_requests, run2->failed_requests);
+  EXPECT_EQ(run1->shed_requests, 0u);
+  EXPECT_EQ(run2->shed_requests, 0u);
+}
+
+// Open-loop pump across all days under the full chaos mix with worker
+// supervision: every day drains cleanly and the request ledger balances
+// exactly — submitted == assigned + unmatched + failed + dropped_appeals —
+// no matter which stalls, crashes, lost acks, and redrives fired.
+TEST(ChaosTest, ConservationAndDrainUnderSupervisedFaults) {
+  obs::ScopedTelemetry telemetry;  // isolate serve.* counters per test
+  sim::DatasetConfig cfg = TinyConfig();
+  cfg.appeal_rate = 0.3;
+  core::PolicySuiteConfig suite;
+  suite.seed = 55;
+
+  serve::ServeOptions opts;
+  opts.num_workers = 3;
+  opts.max_batch_size = 8;
+  opts.max_batch_delay = std::chrono::microseconds(300);
+  opts.queue_capacity = 4096;
+  opts.solve_budget = std::chrono::seconds(10);
+  opts.stall_timeout = std::chrono::microseconds(1000);
+  opts.supervisor_poll = std::chrono::microseconds(200);
+  opts.fault_plan = ChaosPlan(7);
+
+  auto service = serve::AssignmentService::Create(
+      cfg, core::SuitePolicyFactory(cfg, suite, 1), opts);
+  ASSERT_TRUE(service.ok());
+  ASSERT_TRUE((*service)->Start().ok());
+
+  size_t pumped = 0;
+  for (size_t day = 0; day < cfg.num_days; ++day) {
+    ASSERT_TRUE((*service)->OpenDay(day).ok());
+    for (const auto& batch : (*service)->platform().all_requests()[day]) {
+      for (const sim::Request& r : batch) {
+        (*service)->Submit(r);
+        ++pumped;
+      }
+    }
+    auto outcome = (*service)->CloseDay();
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  }
+  (*service)->Shutdown();
+
+  serve::ServeStats stats = (*service)->Stats();
+  EXPECT_EQ(stats.submitted + stats.shed, pumped);
+  EXPECT_EQ(stats.assigned + stats.unmatched + stats.failed +
+                stats.dropped_appeals,
+            stats.submitted)
+      << "conservation violated: a request was lost or double-counted;"
+      << " assigned=" << stats.assigned << " unmatched=" << stats.unmatched
+      << " failed=" << stats.failed
+      << " dropped_appeals=" << stats.dropped_appeals
+      << " appeals=" << stats.appeals << " batches=" << stats.batches
+      << " redriven=" << stats.redriven_batches
+      << " stalls=" << stats.worker_stalls
+      << " crashes=" << stats.worker_crashes
+      << " retries=" << stats.commit_retries;
+  EXPECT_GT(stats.degraded_batches, 0u);
+  EXPECT_GT(stats.commit_retries, 0u);
+  EXPECT_EQ(stats.worker_restarts, stats.worker_crashes);
+}
+
+// Every commit attempt loses its acknowledgement: without idempotent
+// tokens each retry would re-apply the batch (double-decrementing broker
+// capacity); with them the platform dedups and the post-exhaustion
+// reconciliation recovers the cached outcome — exactly-once end to end.
+TEST(ChaosTest, LostAcksCommitExactlyOnce) {
+  obs::ScopedTelemetry telemetry;  // isolate serve.* counters per test
+  sim::DatasetConfig cfg = TinyConfig();
+  cfg.num_days = 1;
+  serve::ServeOptions opts;
+  opts.num_workers = 1;
+  opts.max_batch_size = 8;
+  opts.max_batch_delay = std::chrono::microseconds(300);
+  opts.commit_max_attempts = 3;
+  opts.commit_backoff_base = std::chrono::microseconds(50);
+  opts.commit_backoff_cap = std::chrono::microseconds(200);
+  opts.fault_plan.commit_transient_rate = 1.0;
+  opts.fault_plan.commit_after_apply_fraction = 1.0;  // all lost acks
+
+  const double kCapacity = 3.0;
+  auto service = serve::AssignmentService::Create(
+      cfg, CappedGreedyFactory(kCapacity), opts);
+  ASSERT_TRUE(service.ok());
+  ASSERT_TRUE((*service)->Start().ok());
+  (*service)->SetStoreCapacities(
+      std::vector<double>(cfg.num_brokers, kCapacity));
+
+  ASSERT_TRUE((*service)->OpenDay(0).ok());
+  for (const auto& batch : (*service)->platform().all_requests()[0]) {
+    for (const sim::Request& r : batch) (*service)->Submit(r);
+  }
+  ASSERT_TRUE((*service)->CloseDay().ok());
+  (*service)->Shutdown();
+
+  serve::ServeStats stats = (*service)->Stats();
+  EXPECT_EQ(stats.failed, 0u) << "lost acks must reconcile, not fail";
+  EXPECT_EQ(stats.assigned + stats.unmatched + stats.dropped_appeals,
+            stats.submitted);
+  // Every attempt "failed", so every batch burned its full retry budget.
+  EXPECT_EQ(stats.commit_retries, stats.batches * opts.commit_max_attempts);
+  // The exactly-once proof: no broker exceeds its capacity even though
+  // every batch was applied on attempt 1 and retried twice more.
+  EXPECT_LE((*service)->store().MaxOverCapacity(), 0.0);
+}
+
+// Commit faults that never apply: after the retry budget the batch is
+// declared failed with exact accounting (nothing committed, nothing lost).
+TEST(ChaosTest, CommitExhaustionFailsBatchesWithExactAccounting) {
+  obs::ScopedTelemetry telemetry;  // isolate serve.* counters per test
+  sim::DatasetConfig cfg = TinyConfig();
+  cfg.num_days = 1;
+  core::PolicySuiteConfig suite;
+  serve::ServeOptions opts;
+  opts.num_workers = 2;
+  opts.max_batch_size = 8;
+  opts.max_batch_delay = std::chrono::microseconds(300);
+  opts.commit_max_attempts = 2;
+  opts.commit_backoff_base = std::chrono::microseconds(50);
+  opts.commit_backoff_cap = std::chrono::microseconds(100);
+  opts.fault_plan.commit_transient_rate = 1.0;
+  opts.fault_plan.commit_after_apply_fraction = 0.0;  // never applies
+
+  auto service = serve::AssignmentService::Create(
+      cfg, core::SuitePolicyFactory(cfg, suite, 0), opts);
+  ASSERT_TRUE(service.ok());
+  ASSERT_TRUE((*service)->Start().ok());
+  ASSERT_TRUE((*service)->OpenDay(0).ok());
+  size_t pumped = 0;
+  for (const auto& batch : (*service)->platform().all_requests()[0]) {
+    for (const sim::Request& r : batch) {
+      (*service)->Submit(r);
+      ++pumped;
+    }
+  }
+  ASSERT_TRUE((*service)->CloseDay().ok());
+  (*service)->Shutdown();
+
+  serve::ServeStats stats = (*service)->Stats();
+  EXPECT_EQ(stats.submitted, pumped);
+  EXPECT_EQ(stats.assigned, 0u);
+  EXPECT_EQ(stats.failed, stats.submitted);
+  EXPECT_EQ(stats.commit_retries, stats.batches * opts.commit_max_attempts);
+}
+
+// Stall + crash redrives with one worker and tight capacities: the
+// supervisor re-drives parked batches and restarts crashed workers, the
+// slower twin of every redrive hits the terminal claim and evaporates, and
+// the capacity ledger proves nothing committed twice.
+TEST(ChaosTest, RedrivenBatchesCommitExactlyOnce) {
+  obs::ScopedTelemetry telemetry;  // isolate serve.* counters per test
+  sim::DatasetConfig cfg = TinyConfig();
+  cfg.num_days = 1;
+  serve::ServeOptions opts;
+  opts.num_workers = 1;
+  opts.max_batch_size = 8;
+  opts.max_batch_delay = std::chrono::microseconds(300);
+  opts.stall_timeout = std::chrono::microseconds(500);
+  opts.supervisor_poll = std::chrono::microseconds(100);
+  opts.fault_plan.worker_stall_rate = 0.3;
+  opts.fault_plan.worker_crash_rate = 0.3;
+  opts.fault_plan.stall_duration = std::chrono::microseconds(2000);
+
+  const double kCapacity = 3.0;
+  auto service = serve::AssignmentService::Create(
+      cfg, CappedGreedyFactory(kCapacity), opts);
+  ASSERT_TRUE(service.ok());
+  ASSERT_TRUE((*service)->Start().ok());
+  (*service)->SetStoreCapacities(
+      std::vector<double>(cfg.num_brokers, kCapacity));
+
+  ASSERT_TRUE((*service)->OpenDay(0).ok());
+  for (const auto& batch : (*service)->platform().all_requests()[0]) {
+    for (const sim::Request& r : batch) (*service)->Submit(r);
+  }
+  ASSERT_TRUE((*service)->CloseDay().ok());
+  (*service)->Shutdown();
+
+  serve::ServeStats stats = (*service)->Stats();
+  EXPECT_EQ(stats.assigned + stats.unmatched + stats.failed +
+                stats.dropped_appeals,
+            stats.submitted);
+  EXPECT_GT(stats.worker_crashes, 0u) << "crash path never exercised";
+  EXPECT_EQ(stats.worker_restarts, stats.worker_crashes);
+  EXPECT_GT(stats.redriven_batches, 0u);
+  EXPECT_LE((*service)->store().MaxOverCapacity(), 0.0)
+      << "a redriven twin double-committed";
+  // The service weathered the chaos without leaving the healthy/degraded
+  // band (crashed workers were restarted, so unhealthy never latched).
+  EXPECT_NE((*service)->Health().state, obs::HealthState::kUnhealthy);
+}
+
+// The shutdown-bug regression: a day left open with requests still forming
+// in the batcher must flush and commit them on Shutdown, not drop them.
+TEST(ServiceTest, ShutdownCommitsResidualFormingBatch) {
+  obs::ScopedTelemetry telemetry;  // isolate serve.* counters per test
+  sim::DatasetConfig cfg = TinyConfig();
+  core::PolicySuiteConfig suite;
+  serve::ServeOptions opts;
+  opts.num_workers = 1;
+  opts.max_batch_size = 1u << 20;                    // size never closes
+  opts.max_batch_delay = std::chrono::seconds(300);  // deadline never fires
+  auto service = serve::AssignmentService::Create(
+      cfg, core::SuitePolicyFactory(cfg, suite, 0), opts);
+  ASSERT_TRUE(service.ok());
+  ASSERT_TRUE((*service)->Start().ok());
+  ASSERT_TRUE((*service)->OpenDay(0).ok());
+
+  const auto& day0 = (*service)->platform().all_requests()[0];
+  size_t pumped = 0;
+  for (const sim::Request& r : day0[0]) {
+    ASSERT_TRUE((*service)->Submit(r));
+    ++pumped;
+  }
+  ASSERT_GT(pumped, 0u);
+  // No CloseDay: the requests are sitting in the batcher's forming batch.
+  (*service)->Shutdown();
+
+  serve::ServeStats stats = (*service)->Stats();
+  EXPECT_EQ(stats.submitted, pumped);
+  // Drained empty, nothing silently dropped: every request reached a real
+  // commit terminal through the residual flush.
+  EXPECT_EQ(stats.assigned + stats.unmatched, stats.submitted);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_GE(stats.batches, 1u);
+}
+
 TEST(ServiceTest, PoissonLoadCompletesAndPacksBatches) {
   sim::DatasetConfig cfg = TinyConfig();
   cfg.num_requests = 60;  // keep the paced run short
@@ -441,6 +829,47 @@ TEST(ServiceTest, PoissonLoadCompletesAndPacksBatches) {
   ASSERT_TRUE(run.ok()) << run.status().ToString();
   EXPECT_EQ(run->daily_utility.size(), 1u);
   EXPECT_GE(run->p99_batch_latency, 0.0);
+}
+
+TEST(ChaosTest, PoissonOpenLoopConservesUnderFaults) {
+  // Open-loop paced arrivals (no lockstep barrier) + the full chaos plan
+  // + supervision: the end-to-end serving entry point must drain every
+  // day (CloseDay would fail otherwise) and the request ledger must
+  // still balance exactly, read back from the run's own telemetry.
+  sim::DatasetConfig cfg = TinyConfig();
+  cfg.appeal_rate = 0.2;
+  core::PolicySuiteConfig suite;
+  suite.seed = 55;
+  serve::ServedRunOptions opts;
+  opts.mode = serve::LoadMode::kPoisson;
+  opts.poisson_rate = 20000.0;  // ~50µs mean gap
+  opts.serve.num_workers = 2;
+  opts.serve.max_batch_size = 8;
+  opts.serve.max_batch_delay = std::chrono::microseconds(300);
+  opts.serve.queue_capacity = 4096;
+  opts.serve.solve_budget = std::chrono::seconds(10);
+  opts.serve.stall_timeout = std::chrono::microseconds(1000);
+  opts.serve.supervisor_poll = std::chrono::microseconds(200);
+  opts.serve.fault_plan = ChaosPlan(13);
+
+  auto run = serve::RunPolicyServed(
+      cfg, core::SuitePolicyFactory(cfg, suite, 1), opts);  // Top-3
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_NE(run->telemetry, nullptr);
+  const auto& counters = run->telemetry->metrics.counters;
+  auto count = [&](const char* name) -> uint64_t {
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  };
+  uint64_t submitted = count("serve.submitted");
+  EXPECT_GT(submitted, 0u);
+  EXPECT_EQ(count("serve.assigned_requests") +
+                count("serve.unmatched_requests") +
+                count("serve.failed_requests") +
+                count("serve.dropped_appeals"),
+            submitted)
+      << "conservation violated under Poisson open-loop chaos";
+  EXPECT_GT(count("serve.batches"), 0u);
 }
 
 }  // namespace
