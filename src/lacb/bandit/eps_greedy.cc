@@ -73,4 +73,25 @@ Status EpsGreedy::Observe(const Vector& context, double value,
   return Status::OK();
 }
 
+Status EpsGreedy::SaveState(persist::ByteWriter* w) const {
+  w->Str(rng_.SaveState());
+  w->VecF64(sums_);
+  std::vector<uint64_t> counts(counts_.begin(), counts_.end());
+  w->VecU64(counts);
+  return Status::OK();
+}
+
+Status EpsGreedy::LoadState(persist::ByteReader* r) {
+  LACB_ASSIGN_OR_RETURN(std::string rng_state, r->Str());
+  LACB_RETURN_NOT_OK(rng_.LoadState(rng_state));
+  LACB_ASSIGN_OR_RETURN(sums_, r->VecF64());
+  LACB_ASSIGN_OR_RETURN(std::vector<uint64_t> counts, r->VecU64());
+  if (sums_.size() != config_.arm_values.size() ||
+      counts.size() != config_.arm_values.size()) {
+    return Status::InvalidArgument("EpsGreedy state arm-count mismatch");
+  }
+  counts_.assign(counts.begin(), counts.end());
+  return Status::OK();
+}
+
 }  // namespace lacb::bandit

@@ -13,6 +13,7 @@
 
 #include "lacb/bandit/contextual_bandit.h"
 #include "lacb/common/rng.h"
+#include "lacb/persist/bytes.h"
 
 namespace lacb::bandit {
 
@@ -39,6 +40,10 @@ class EpsGreedy : public ContextualBandit {
     return config_.arm_values;
   }
   size_t context_dim() const override { return config_.context_dim; }
+
+  /// \brief Checkpoint serialization of (rng, per-arm sums/counts).
+  Status SaveState(persist::ByteWriter* w) const;
+  Status LoadState(persist::ByteReader* r);
 
  private:
   explicit EpsGreedy(EpsGreedyConfig config);

@@ -1,5 +1,7 @@
 #include "lacb/bandit/lin_ucb.h"
 
+#include "lacb/persist/serializers.h"
+
 #include <algorithm>
 #include <cmath>
 #include <utility>
@@ -94,6 +96,25 @@ Status LinUcb::Observe(const Vector& context, double value, double reward) {
   LACB_RETURN_NOT_OK(a_inv_.RankOneUpdate(phi));
   la::Axpy(reward, phi, &b_);
   RefreshTheta();
+  return Status::OK();
+}
+
+Status LinUcb::SaveState(persist::ByteWriter* w) const {
+  persist::WriteMatrix(w, a_inv_.inverse());
+  w->VecF64(b_);
+  w->VecF64(theta_);
+  return Status::OK();
+}
+
+Status LinUcb::LoadState(persist::ByteReader* r) {
+  LACB_ASSIGN_OR_RETURN(la::Matrix inv, persist::ReadMatrix(r));
+  LACB_ASSIGN_OR_RETURN(
+      a_inv_, la::ShermanMorrisonInverse::FromInverse(std::move(inv)));
+  LACB_ASSIGN_OR_RETURN(b_, r->VecF64());
+  LACB_ASSIGN_OR_RETURN(theta_, r->VecF64());
+  if (b_.size() != a_inv_.dim() || theta_.size() != a_inv_.dim()) {
+    return Status::InvalidArgument("LinUcb state dimension mismatch");
+  }
   return Status::OK();
 }
 

@@ -12,6 +12,7 @@
 
 #include "lacb/bandit/contextual_bandit.h"
 #include "lacb/la/linalg.h"
+#include "lacb/persist/bytes.h"
 
 namespace lacb::bandit {
 
@@ -46,6 +47,10 @@ class LinUcb : public ContextualBandit {
 
   /// \brief UCB score of a single arm value (prediction + width).
   Result<double> UcbScore(const Vector& context, double value) const;
+
+  /// \brief Checkpoint serialization of (A⁻¹, b, θ).
+  Status SaveState(persist::ByteWriter* w) const;
+  Status LoadState(persist::ByteReader* r);
 
  private:
   LinUcb(LinUcbConfig config, la::ShermanMorrisonInverse a_inv);

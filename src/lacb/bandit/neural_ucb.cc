@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "lacb/obs/obs.h"
+#include "lacb/persist/serializers.h"
 
 namespace lacb::bandit {
 
@@ -238,6 +239,92 @@ Status NeuralUcb::FlushTraining() {
     LACB_RETURN_NOT_OK(optimizer_.Step(grad, &net_));
   }
   ++training_passes_;
+  return Status::OK();
+}
+
+namespace {
+
+void WriteExamples(persist::ByteWriter* w,
+                   const std::vector<nn::Example>& examples) {
+  w->U64(examples.size());
+  for (const nn::Example& ex : examples) {
+    w->VecF64(ex.x);
+    w->F64(ex.target);
+  }
+}
+
+Result<std::vector<nn::Example>> ReadExamples(persist::ByteReader* r) {
+  LACB_ASSIGN_OR_RETURN(uint64_t n, r->U64());
+  std::vector<nn::Example> out;
+  for (uint64_t i = 0; i < n; ++i) {
+    nn::Example ex;
+    LACB_ASSIGN_OR_RETURN(ex.x, r->VecF64());
+    LACB_ASSIGN_OR_RETURN(ex.target, r->F64());
+    out.push_back(std::move(ex));
+  }
+  return out;
+}
+
+}  // namespace
+
+Status NeuralUcb::SaveState(persist::ByteWriter* w) const {
+  w->VecF64(net_.params());
+  const std::vector<bool>& mask = net_.trainable_mask();
+  w->U64(mask.size());
+  for (bool t : mask) w->Bool(t);
+  if (full_cov_ != nullptr) {
+    w->U8(0);
+    persist::WriteMatrix(w, full_cov_->inverse());
+  } else {
+    w->U8(1);
+    w->VecF64(diag_cov_->diagonal());
+  }
+  w->VecF64(optimizer_.velocity());
+  WriteExamples(w, buffer_);
+  WriteExamples(w, replay_);
+  w->U64(replay_next_);
+  w->Str(train_rng_.SaveState());
+  w->U64(training_passes_);
+  return Status::OK();
+}
+
+Status NeuralUcb::LoadState(persist::ByteReader* r) {
+  LACB_ASSIGN_OR_RETURN(Vector params, r->VecF64());
+  LACB_RETURN_NOT_OK(net_.SetParams(std::move(params)));
+  LACB_ASSIGN_OR_RETURN(uint64_t mask_size, r->U64());
+  for (uint64_t l = 0; l < mask_size; ++l) {
+    LACB_ASSIGN_OR_RETURN(bool trainable, r->Bool());
+    LACB_RETURN_NOT_OK(net_.SetLayerTrainable(static_cast<size_t>(l),
+                                              trainable));
+  }
+  LACB_ASSIGN_OR_RETURN(uint8_t mode, r->U8());
+  if (mode == 0) {
+    LACB_ASSIGN_OR_RETURN(la::Matrix inv, persist::ReadMatrix(r));
+    if (full_cov_ == nullptr) {
+      return Status::InvalidArgument(
+          "NeuralUcb state has full covariance but bandit is diagonal");
+    }
+    LACB_ASSIGN_OR_RETURN(
+        *full_cov_, la::ShermanMorrisonInverse::FromInverse(std::move(inv)));
+  } else {
+    LACB_ASSIGN_OR_RETURN(Vector diag, r->VecF64());
+    if (diag_cov_ == nullptr) {
+      return Status::InvalidArgument(
+          "NeuralUcb state has diagonal covariance but bandit is full");
+    }
+    LACB_ASSIGN_OR_RETURN(*diag_cov_,
+                          la::DiagonalInverse::FromDiagonal(std::move(diag)));
+  }
+  LACB_ASSIGN_OR_RETURN(Vector velocity, r->VecF64());
+  optimizer_.set_velocity(std::move(velocity));
+  LACB_ASSIGN_OR_RETURN(buffer_, ReadExamples(r));
+  LACB_ASSIGN_OR_RETURN(replay_, ReadExamples(r));
+  LACB_ASSIGN_OR_RETURN(uint64_t replay_next, r->U64());
+  replay_next_ = static_cast<size_t>(replay_next);
+  LACB_ASSIGN_OR_RETURN(std::string rng_state, r->Str());
+  LACB_RETURN_NOT_OK(train_rng_.LoadState(rng_state));
+  LACB_ASSIGN_OR_RETURN(uint64_t passes, r->U64());
+  training_passes_ = static_cast<size_t>(passes);
   return Status::OK();
 }
 

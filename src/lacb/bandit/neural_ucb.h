@@ -21,6 +21,7 @@
 #include "lacb/la/linalg.h"
 #include "lacb/nn/mlp.h"
 #include "lacb/nn/optimizer.h"
+#include "lacb/persist/bytes.h"
 
 namespace lacb::bandit {
 
@@ -104,6 +105,13 @@ class NeuralUcb : public ContextualBandit {
 
   size_t buffered_observations() const { return buffer_.size(); }
   size_t training_passes() const { return training_passes_; }
+
+  /// \brief Serializes all mutable state (network parameters + trainable
+  /// mask, covariance, optimizer momentum, observation buffer, replay
+  /// ring, training RNG); LoadState restores it bit-exactly into a bandit
+  /// created from the same config.
+  Status SaveState(persist::ByteWriter* w) const;
+  Status LoadState(persist::ByteReader* r);
 
  private:
   NeuralUcb(NeuralUcbConfig config, nn::Mlp net);

@@ -1,5 +1,7 @@
 #include "lacb/bandit/thompson.h"
 
+#include "lacb/persist/serializers.h"
+
 #include <cmath>
 #include <limits>
 #include <utility>
@@ -87,6 +89,28 @@ Status LinearThompson::Observe(const Vector& context, double value,
   LACB_RETURN_NOT_OK(a_inv_.RankOneUpdate(phi));
   la::Axpy(reward, phi, &b_);
   LACB_ASSIGN_OR_RETURN(theta_, a_inv_.inverse().MatVec(b_));
+  return Status::OK();
+}
+
+Status LinearThompson::SaveState(persist::ByteWriter* w) const {
+  persist::WriteMatrix(w, a_inv_.inverse());
+  w->VecF64(b_);
+  w->VecF64(theta_);
+  w->Str(rng_.SaveState());
+  return Status::OK();
+}
+
+Status LinearThompson::LoadState(persist::ByteReader* r) {
+  LACB_ASSIGN_OR_RETURN(la::Matrix inv, persist::ReadMatrix(r));
+  LACB_ASSIGN_OR_RETURN(
+      a_inv_, la::ShermanMorrisonInverse::FromInverse(std::move(inv)));
+  LACB_ASSIGN_OR_RETURN(b_, r->VecF64());
+  LACB_ASSIGN_OR_RETURN(theta_, r->VecF64());
+  if (b_.size() != a_inv_.dim() || theta_.size() != a_inv_.dim()) {
+    return Status::InvalidArgument("LinearThompson state dimension mismatch");
+  }
+  LACB_ASSIGN_OR_RETURN(std::string rng_state, r->Str());
+  LACB_RETURN_NOT_OK(rng_.LoadState(rng_state));
   return Status::OK();
 }
 

@@ -14,6 +14,7 @@
 #include "lacb/bandit/contextual_bandit.h"
 #include "lacb/common/rng.h"
 #include "lacb/la/linalg.h"
+#include "lacb/persist/bytes.h"
 
 namespace lacb::bandit {
 
@@ -44,6 +45,10 @@ class LinearThompson : public ContextualBandit {
     return config_.arm_values;
   }
   size_t context_dim() const override { return config_.context_dim; }
+
+  /// \brief Checkpoint serialization of (A⁻¹, b, θ, rng).
+  Status SaveState(persist::ByteWriter* w) const;
+  Status LoadState(persist::ByteReader* r);
 
  private:
   LinearThompson(LinearThompsonConfig config,

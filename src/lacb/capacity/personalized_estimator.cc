@@ -105,6 +105,79 @@ Status PersonalizedCapacityEstimator::Update(size_t broker,
   return MaybePersonalize(broker);
 }
 
+Status PersonalizedCapacityEstimator::SaveState(
+    persist::ByteWriter* w) const {
+  LACB_RETURN_NOT_OK(base_->SaveState(w));
+  w->U64(personal_.size());
+  std::vector<uint64_t> observations(observations_.begin(),
+                                     observations_.end());
+  w->VecU64(observations);
+  for (const std::vector<HistoryEntry>& h : history_) {
+    w->U64(h.size());
+    for (const HistoryEntry& e : h) {
+      w->VecF64(e.context);
+      w->F64(e.workload);
+      w->F64(e.signup_rate);
+    }
+  }
+  for (const auto& p : personal_) {
+    w->Bool(p != nullptr);
+    if (p != nullptr) LACB_RETURN_NOT_OK(p->SaveState(w));
+  }
+  return Status::OK();
+}
+
+Status PersonalizedCapacityEstimator::LoadState(persist::ByteReader* r) {
+  LACB_RETURN_NOT_OK(base_->LoadState(r));
+  LACB_ASSIGN_OR_RETURN(uint64_t num_brokers, r->U64());
+  if (num_brokers != personal_.size()) {
+    return Status::InvalidArgument("estimator broker count mismatch");
+  }
+  LACB_ASSIGN_OR_RETURN(std::vector<uint64_t> observations, r->VecU64());
+  if (observations.size() != personal_.size()) {
+    return Status::InvalidArgument("estimator observation count mismatch");
+  }
+  observations_.assign(observations.begin(), observations.end());
+  for (std::vector<HistoryEntry>& h : history_) {
+    LACB_ASSIGN_OR_RETURN(uint64_t n, r->U64());
+    h.clear();
+    for (uint64_t i = 0; i < n; ++i) {
+      HistoryEntry e;
+      LACB_ASSIGN_OR_RETURN(e.context, r->VecF64());
+      LACB_ASSIGN_OR_RETURN(e.workload, r->F64());
+      LACB_ASSIGN_OR_RETURN(e.signup_rate, r->F64());
+      h.push_back(std::move(e));
+    }
+  }
+  personalized_count_ = 0;
+  for (size_t broker = 0; broker < personal_.size(); ++broker) {
+    LACB_ASSIGN_OR_RETURN(bool has_personal, r->Bool());
+    if (!has_personal) {
+      personal_[broker] = nullptr;
+      continue;
+    }
+    // Rebuild the shell with the exact MaybePersonalize recipe (same
+    // config derivation), then overwrite all of its mutable state.
+    nn::Mlp net = base_->network();
+    for (size_t l = 0; l + 1 < net.num_layers(); ++l) {
+      LACB_RETURN_NOT_OK(net.SetLayerTrainable(l, false));
+    }
+    bandit::NeuralUcbConfig cfg = config_.bandit;
+    cfg.seed = config_.bandit.seed + 17 * (broker + 1);
+    cfg.batch_size = std::max<size_t>(1, config_.personal_batch_size);
+    cfg.learning_rate = config_.personal_learning_rate;
+    cfg.train_epochs = config_.personal_train_epochs;
+    LACB_ASSIGN_OR_RETURN(
+        bandit::NeuralUcb personal,
+        bandit::NeuralUcb::CreateWithNetwork(cfg, std::move(net)));
+    LACB_RETURN_NOT_OK(personal.LoadState(r));
+    personal_[broker] =
+        std::make_unique<bandit::NeuralUcb>(std::move(personal));
+    ++personalized_count_;
+  }
+  return Status::OK();
+}
+
 Result<double> EstimateEmpiricalCapacity(
     const std::vector<double>& workloads,
     const std::vector<double>& signup_rates, double drop_fraction,

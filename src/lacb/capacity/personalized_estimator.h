@@ -68,6 +68,13 @@ class PersonalizedCapacityEstimator {
 
   const bandit::NeuralUcb& base() const { return *base_; }
 
+  /// \brief Serializes the full pool: base bandit, per-broker observation
+  /// counts + history, and every personal bandit. LoadState reconstructs
+  /// personal bandit shells with the exact MaybePersonalize recipe before
+  /// overwriting their state, so a restored pool is bit-identical.
+  Status SaveState(persist::ByteWriter* w) const;
+  Status LoadState(persist::ByteReader* r);
+
  private:
   PersonalizedCapacityEstimator(PersonalizedEstimatorConfig config,
                                 std::unique_ptr<bandit::NeuralUcb> base,

@@ -1,8 +1,27 @@
 #include "lacb/common/rng.h"
 
 #include <cmath>
+#include <sstream>
 
 namespace lacb {
+
+std::string Rng::SaveState() const {
+  std::ostringstream os;
+  os << seed_ << ' ' << engine_;
+  return os.str();
+}
+
+Status Rng::LoadState(const std::string& state) {
+  std::istringstream is(state);
+  uint64_t seed = 0;
+  std::mt19937_64 engine;
+  if (!(is >> seed >> engine)) {
+    return Status::InvalidArgument("malformed Rng state");
+  }
+  seed_ = seed;
+  engine_ = engine;
+  return Status::OK();
+}
 
 size_t Rng::Categorical(const std::vector<double>& weights) {
   double total = 0.0;

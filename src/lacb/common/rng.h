@@ -11,7 +11,10 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
+
+#include "lacb/common/status.h"
 
 namespace lacb {
 
@@ -87,6 +90,12 @@ class Rng {
   }
 
   std::mt19937_64& engine() { return engine_; }
+
+  /// \brief Serializes the full generator state (seed + engine position) as
+  /// text; `LoadState` restores it exactly, so a checkpointed Rng resumes
+  /// the identical stream. mt19937_64's stream operators are lossless.
+  std::string SaveState() const;
+  Status LoadState(const std::string& state);
 
  private:
   std::mt19937_64 engine_;

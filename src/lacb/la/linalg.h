@@ -34,6 +34,15 @@ class ShermanMorrisonInverse {
   /// \brief Starts from D = λ I (λ > 0 keeps D invertible).
   static Result<ShermanMorrisonInverse> Create(size_t dim, double lambda);
 
+  /// \brief Rehydrates from a previously exported inverse() matrix
+  /// (checkpoint restore); the matrix must be square and non-empty.
+  static Result<ShermanMorrisonInverse> FromInverse(Matrix inv) {
+    if (inv.rows() == 0 || inv.rows() != inv.cols()) {
+      return Status::InvalidArgument("inverse must be square and non-empty");
+    }
+    return ShermanMorrisonInverse(std::move(inv));
+  }
+
   /// \brief Applies D ← D + g gᵀ; g must have the right dimension.
   Status RankOneUpdate(const Vector& g);
 
@@ -58,6 +67,14 @@ class ShermanMorrisonInverse {
 class DiagonalInverse {
  public:
   static Result<DiagonalInverse> Create(size_t dim, double lambda);
+
+  /// \brief Rehydrates from a previously exported diagonal() vector.
+  static Result<DiagonalInverse> FromDiagonal(Vector diag) {
+    if (diag.empty()) {
+      return Status::InvalidArgument("diagonal must be non-empty");
+    }
+    return DiagonalInverse(std::move(diag));
+  }
 
   Status RankOneUpdate(const Vector& g);
 

@@ -72,6 +72,9 @@ class Mlp {
   /// frozen layers receive zero gradient from ApplyGradient.
   Status SetLayerTrainable(size_t layer, bool trainable);
 
+  /// \brief Per-layer trainable flags (checkpoint serialization).
+  const std::vector<bool>& trainable_mask() const { return layer_trainable_; }
+
   /// \brief In-place params ← params − grad ⊙ trainable_mask (the caller
   /// scales grad by the learning rate; see optimizer.h for stateful rules).
   Status ApplyGradient(const Vector& grad);

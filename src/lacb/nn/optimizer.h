@@ -8,6 +8,7 @@
 #define LACB_NN_OPTIMIZER_H_
 
 #include <memory>
+#include <utility>
 
 #include "lacb/nn/mlp.h"
 
@@ -34,6 +35,11 @@ class Sgd : public Optimizer {
 
   Status Step(const Vector& grad, Mlp* net) override;
   void Reset() override { velocity_.clear(); }
+
+  /// \brief Momentum buffer (empty until the first momentum step); exposed
+  /// for checkpoint serialization.
+  const Vector& velocity() const { return velocity_; }
+  void set_velocity(Vector v) { velocity_ = std::move(v); }
 
  private:
   double lr_;

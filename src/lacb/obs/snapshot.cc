@@ -1,6 +1,9 @@
 #include "lacb/obs/snapshot.h"
 
 #include <fstream>
+#include <sstream>
+
+#include "lacb/persist/bytes.h"
 
 namespace lacb::obs {
 
@@ -201,16 +204,13 @@ Status WriteJsonFile(const RunTelemetry& telemetry, const std::string& path) {
 }
 
 Status WriteJsonFile(const JsonValue& json, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) {
-    return Status::IoError("cannot open " + path + " for writing");
-  }
+  // Serialize first, then tmp+rename: a crash (or a concurrent reader —
+  // CI tails BENCH_*.json while benches run) never sees a half-written
+  // artifact. No fsync: these are derived outputs, not durable state.
+  std::ostringstream out;
   json.Write(out, 2);
   out << "\n";
-  if (!out) {
-    return Status::IoError("failed writing " + path);
-  }
-  return Status::OK();
+  return persist::WriteFileAtomic(path, out.str(), /*do_fsync=*/false);
 }
 
 }  // namespace lacb::obs

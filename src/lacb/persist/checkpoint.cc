@@ -1,0 +1,168 @@
+#include "lacb/persist/checkpoint.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "lacb/persist/bytes.h"
+
+namespace lacb::persist {
+
+namespace {
+
+constexpr char kCkptPrefix[] = "ckpt-";
+constexpr char kCkptSuffix[] = ".bin";
+constexpr char kWalPrefix[] = "wal-";
+constexpr char kWalSuffix[] = ".log";
+
+// Parses "<prefix><digits><suffix>" into the digits, or false.
+bool ParseSeq(const std::string& name, const char* prefix,
+              const char* suffix, uint64_t* seq) {
+  const size_t plen = std::strlen(prefix);
+  const size_t slen = std::strlen(suffix);
+  if (name.size() <= plen + slen) return false;
+  if (name.compare(0, plen, prefix) != 0) return false;
+  if (name.compare(name.size() - slen, slen, suffix) != 0) return false;
+  uint64_t value = 0;
+  for (size_t i = plen; i < name.size() - slen; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *seq = value;
+  return true;
+}
+
+}  // namespace
+
+const CheckpointSection* Checkpoint::Find(const std::string& name) const {
+  for (const CheckpointSection& s : sections) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::string EncodeCheckpoint(const Checkpoint& ckpt) {
+  ByteWriter w;
+  for (char c : kCheckpointMagic) w.U8(static_cast<uint8_t>(c));
+  w.U32(kCheckpointVersion);
+  w.U64(ckpt.seq);
+  w.U32(static_cast<uint32_t>(ckpt.sections.size()));
+  for (const CheckpointSection& s : ckpt.sections) {
+    w.Str(s.name);
+    w.Str(s.payload);
+    w.U32(Crc32(s.payload));
+  }
+  return w.Release();
+}
+
+Result<Checkpoint> DecodeCheckpoint(const std::string& data) {
+  if (data.size() < sizeof(kCheckpointMagic) ||
+      std::memcmp(data.data(), kCheckpointMagic,
+                  sizeof(kCheckpointMagic)) != 0) {
+    return Status::InvalidArgument("bad checkpoint magic");
+  }
+  ByteReader r(data.data() + sizeof(kCheckpointMagic),
+               data.size() - sizeof(kCheckpointMagic));
+  LACB_ASSIGN_OR_RETURN(uint32_t version, r.U32());
+  if (version != kCheckpointVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version " +
+                                   std::to_string(version));
+  }
+  Checkpoint ckpt;
+  LACB_ASSIGN_OR_RETURN(ckpt.seq, r.U64());
+  LACB_ASSIGN_OR_RETURN(uint32_t count, r.U32());
+  for (uint32_t i = 0; i < count; ++i) {
+    CheckpointSection s;
+    LACB_ASSIGN_OR_RETURN(s.name, r.Str());
+    LACB_ASSIGN_OR_RETURN(s.payload, r.Str());
+    LACB_ASSIGN_OR_RETURN(uint32_t crc, r.U32());
+    if (crc != Crc32(s.payload)) {
+      return Status::InvalidArgument("checkpoint section '" + s.name +
+                                     "' failed CRC validation");
+    }
+    ckpt.sections.push_back(std::move(s));
+  }
+  return ckpt;
+}
+
+Status CheckpointManager::EnsureDir() const {
+  if (::mkdir(dir_.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IoError("cannot create checkpoint dir: " + dir_ + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+std::string CheckpointManager::CheckpointPath(uint64_t seq) const {
+  return dir_ + "/" + kCkptPrefix + std::to_string(seq) + kCkptSuffix;
+}
+
+std::string CheckpointManager::WalPath(uint64_t seq) const {
+  return dir_ + "/" + kWalPrefix + std::to_string(seq) + kWalSuffix;
+}
+
+std::vector<uint64_t> CheckpointManager::ListSeqs() const {
+  std::vector<uint64_t> seqs;
+  DIR* dir = ::opendir(dir_.c_str());
+  if (dir == nullptr) return seqs;
+  while (struct dirent* entry = ::readdir(dir)) {
+    uint64_t seq = 0;
+    if (ParseSeq(entry->d_name, kCkptPrefix, kCkptSuffix, &seq)) {
+      seqs.push_back(seq);
+    }
+  }
+  ::closedir(dir);
+  std::sort(seqs.begin(), seqs.end());
+  return seqs;
+}
+
+Result<uint64_t> CheckpointManager::Write(const Checkpoint& ckpt) const {
+  LACB_RETURN_NOT_OK(EnsureDir());
+  std::string encoded = EncodeCheckpoint(ckpt);
+  const uint64_t bytes = encoded.size();
+  LACB_RETURN_NOT_OK(
+      WriteFileAtomic(CheckpointPath(ckpt.seq), encoded, fsync_));
+  LACB_RETURN_NOT_OK(Prune());
+  return bytes;
+}
+
+Result<LoadResult> CheckpointManager::LoadNewest() const {
+  std::vector<uint64_t> seqs = ListSeqs();
+  LoadResult out;
+  for (auto it = seqs.rbegin(); it != seqs.rend(); ++it) {
+    const std::string path = CheckpointPath(*it);
+    Result<std::string> raw = ReadFile(path);
+    if (raw.ok()) {
+      Result<Checkpoint> ckpt = DecodeCheckpoint(*raw);
+      if (ckpt.ok()) {
+        out.checkpoint = std::move(*ckpt);
+        out.path = path;
+        return out;
+      }
+    }
+    ++out.skipped_corrupt;
+  }
+  if (out.skipped_corrupt > 0) {
+    return Status::NotFound("no valid checkpoint in " + dir_ + " (" +
+                            std::to_string(out.skipped_corrupt) +
+                            " corrupt)");
+  }
+  return Status::NotFound("no checkpoint in " + dir_);
+}
+
+Status CheckpointManager::Prune() const {
+  std::vector<uint64_t> seqs = ListSeqs();
+  if (seqs.size() <= retain_) return Status::OK();
+  const size_t drop = seqs.size() - retain_;
+  for (size_t i = 0; i < drop; ++i) {
+    ::unlink(CheckpointPath(seqs[i]).c_str());
+    ::unlink(WalPath(seqs[i]).c_str());
+  }
+  return Status::OK();
+}
+
+}  // namespace lacb::persist

@@ -1,0 +1,64 @@
+#include "lacb/persist/serializers.h"
+
+#include <algorithm>
+
+namespace lacb::persist {
+
+void WriteRequest(ByteWriter* w, const sim::Request& q) {
+  w->I64(q.id);
+  w->U64(q.day);
+  w->U64(q.batch);
+  w->U64(q.district);
+  w->F64(q.pickiness);
+  w->VecF64(q.housing_embedding);
+}
+
+Result<sim::Request> ReadRequest(ByteReader* r) {
+  sim::Request q;
+  LACB_ASSIGN_OR_RETURN(q.id, r->I64());
+  LACB_ASSIGN_OR_RETURN(uint64_t day, r->U64());
+  q.day = static_cast<size_t>(day);
+  LACB_ASSIGN_OR_RETURN(uint64_t batch, r->U64());
+  q.batch = static_cast<size_t>(batch);
+  LACB_ASSIGN_OR_RETURN(uint64_t district, r->U64());
+  q.district = static_cast<size_t>(district);
+  LACB_ASSIGN_OR_RETURN(q.pickiness, r->F64());
+  LACB_ASSIGN_OR_RETURN(q.housing_embedding, r->VecF64());
+  return q;
+}
+
+void WriteRequests(ByteWriter* w, const std::vector<sim::Request>& qs) {
+  w->U64(qs.size());
+  for (const sim::Request& q : qs) WriteRequest(w, q);
+}
+
+Result<std::vector<sim::Request>> ReadRequests(ByteReader* r) {
+  LACB_ASSIGN_OR_RETURN(uint64_t n, r->U64());
+  std::vector<sim::Request> out;
+  out.reserve(static_cast<size_t>(std::min<uint64_t>(n, 4096)));
+  for (uint64_t i = 0; i < n; ++i) {
+    LACB_ASSIGN_OR_RETURN(sim::Request q, ReadRequest(r));
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+void WriteMatrix(ByteWriter* w, const la::Matrix& m) {
+  w->U64(m.rows());
+  w->U64(m.cols());
+  w->VecF64(m.data());
+}
+
+Result<la::Matrix> ReadMatrix(ByteReader* r) {
+  LACB_ASSIGN_OR_RETURN(uint64_t rows, r->U64());
+  LACB_ASSIGN_OR_RETURN(uint64_t cols, r->U64());
+  LACB_ASSIGN_OR_RETURN(std::vector<double> data, r->VecF64());
+  if (data.size() != rows * cols) {
+    return Status::InvalidArgument("matrix payload size mismatch");
+  }
+  la::Matrix m(static_cast<size_t>(rows), static_cast<size_t>(cols));
+  m.data() = std::move(data);
+  return m;
+}
+
+}  // namespace lacb::persist

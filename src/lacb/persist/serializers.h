@@ -1,0 +1,25 @@
+// Shared binary serializers for domain types used by more than one
+// checkpoint section (requests appear in the WAL, the platform snapshot,
+// and the batcher carryover; matrices appear in every bandit payload).
+
+#ifndef LACB_PERSIST_SERIALIZERS_H_
+#define LACB_PERSIST_SERIALIZERS_H_
+
+#include "lacb/la/matrix.h"
+#include "lacb/persist/bytes.h"
+#include "lacb/sim/request.h"
+
+namespace lacb::persist {
+
+void WriteRequest(ByteWriter* w, const sim::Request& q);
+Result<sim::Request> ReadRequest(ByteReader* r);
+
+void WriteRequests(ByteWriter* w, const std::vector<sim::Request>& qs);
+Result<std::vector<sim::Request>> ReadRequests(ByteReader* r);
+
+void WriteMatrix(ByteWriter* w, const la::Matrix& m);
+Result<la::Matrix> ReadMatrix(ByteReader* r);
+
+}  // namespace lacb::persist
+
+#endif  // LACB_PERSIST_SERIALIZERS_H_

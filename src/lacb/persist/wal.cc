@@ -1,0 +1,203 @@
+#include "lacb/persist/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "lacb/persist/serializers.h"
+
+namespace lacb::persist {
+
+namespace {
+
+Status WriteAll(int fd, const char* data, size_t size,
+                const std::string& path) {
+  size_t written = 0;
+  while (written < size) {
+    ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("WAL write failed: " + path + ": " +
+                             std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Create(const std::string& path,
+                                                     uint64_t checkpoint_seq,
+                                                     bool do_fsync) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open WAL for writing: " + path + ": " +
+                           std::strerror(errno));
+  }
+  ByteWriter header;
+  for (char c : kWalMagic) header.U8(static_cast<uint8_t>(c));
+  header.U32(kWalVersion);
+  header.U64(checkpoint_seq);
+  Status s = WriteAll(fd, header.bytes().data(), header.bytes().size(), path);
+  if (s.ok() && do_fsync && ::fsync(fd) != 0) {
+    s = Status::IoError("WAL fsync failed: " + path);
+  }
+  if (!s.ok()) {
+    ::close(fd);
+    return s;
+  }
+  auto writer =
+      std::unique_ptr<WalWriter>(new WalWriter(path, fd, do_fsync));
+  writer->bytes_written_ = header.bytes().size();
+  return writer;
+}
+
+Status WalWriter::AppendRecord(WalRecordType type,
+                               const std::string& payload) {
+  // Framed as one contiguous write so a crash tears at most this record:
+  // len | body | crc(body), where body = type byte + payload.
+  std::string body;
+  body.push_back(static_cast<char>(type));
+  body.append(payload);
+  ByteWriter out;
+  out.U32(static_cast<uint32_t>(body.size()));
+  for (char c : body) out.U8(static_cast<uint8_t>(c));
+  out.U32(Crc32(body));
+  LACB_RETURN_NOT_OK(
+      WriteAll(fd_, out.bytes().data(), out.bytes().size(), path_));
+  if (fsync_ && ::fsync(fd_) != 0) {
+    return Status::IoError("WAL fsync failed: " + path_);
+  }
+  ++records_written_;
+  bytes_written_ += out.bytes().size();
+  return Status::OK();
+}
+
+Status WalWriter::AppendDayOpen(uint64_t day) {
+  ByteWriter w;
+  w.U64(day);
+  return AppendRecord(WalRecordType::kDayOpen, w.bytes());
+}
+
+Status WalWriter::AppendDayClose(uint64_t day) {
+  ByteWriter w;
+  w.U64(day);
+  return AppendRecord(WalRecordType::kDayClose, w.bytes());
+}
+
+Status WalWriter::AppendBatch(uint64_t token, uint64_t day,
+                              uint32_t worker_index,
+                              const std::vector<sim::Request>& requests,
+                              const std::vector<int64_t>& assignment) {
+  ByteWriter w;
+  w.U64(token);
+  w.U64(day);
+  w.U32(worker_index);
+  WriteRequests(&w, requests);
+  w.VecI64(assignment);
+  return AppendRecord(WalRecordType::kBatch, w.bytes());
+}
+
+Result<WalRecovery> RecoverWal(const std::string& path) {
+  Result<std::string> raw = ReadFile(path);
+  if (!raw.ok()) {
+    if (raw.status().code() == StatusCode::kIoError) {
+      return Status::NotFound("no WAL at " + path);
+    }
+    return raw.status();
+  }
+  const std::string& data = *raw;
+  constexpr size_t kHeaderSize = sizeof(kWalMagic) + 4 + 8;
+  if (data.size() < kHeaderSize ||
+      std::memcmp(data.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+    return Status::InvalidArgument("bad WAL header: " + path);
+  }
+  ByteReader header(data.data() + sizeof(kWalMagic), kHeaderSize -
+                                                         sizeof(kWalMagic));
+  LACB_ASSIGN_OR_RETURN(uint32_t version, header.U32());
+  if (version != kWalVersion) {
+    return Status::InvalidArgument("unsupported WAL version: " + path);
+  }
+  WalRecovery out;
+  LACB_ASSIGN_OR_RETURN(out.checkpoint_seq, header.U64());
+  out.valid_bytes = kHeaderSize;
+
+  size_t pos = kHeaderSize;
+  while (pos < data.size()) {
+    ByteReader frame(data.data() + pos, data.size() - pos);
+    Result<uint32_t> len = frame.U32();
+    if (!len.ok() || *len == 0 || *len > frame.remaining()) {
+      out.truncated_torn_tail = true;
+      break;
+    }
+    const char* body = data.data() + pos + 4;
+    ByteReader crc_reader(body + *len, frame.remaining() - *len);
+    Result<uint32_t> crc = crc_reader.U32();
+    if (!crc.ok() || *crc != Crc32(body, *len)) {
+      out.truncated_torn_tail = true;
+      break;
+    }
+    ByteReader payload(body + 1, *len - 1);
+    WalRecord rec;
+    rec.type = static_cast<WalRecordType>(static_cast<uint8_t>(body[0]));
+    bool parsed = true;
+    switch (rec.type) {
+      case WalRecordType::kDayOpen:
+      case WalRecordType::kDayClose: {
+        Result<uint64_t> day = payload.U64();
+        if (!day.ok()) {
+          parsed = false;
+          break;
+        }
+        rec.day = *day;
+        break;
+      }
+      case WalRecordType::kBatch: {
+        Result<uint64_t> token = payload.U64();
+        Result<uint64_t> day = token.ok() ? payload.U64() : token;
+        Result<uint32_t> worker =
+            day.ok() ? payload.U32() : Result<uint32_t>(day.status());
+        if (!worker.ok()) {
+          parsed = false;
+          break;
+        }
+        rec.token = *token;
+        rec.day = *day;
+        rec.worker_index = *worker;
+        Result<std::vector<sim::Request>> reqs = ReadRequests(&payload);
+        Result<std::vector<int64_t>> assign =
+            reqs.ok() ? payload.VecI64()
+                      : Result<std::vector<int64_t>>(reqs.status());
+        if (!assign.ok()) {
+          parsed = false;
+          break;
+        }
+        rec.requests = std::move(*reqs);
+        rec.assignment = std::move(*assign);
+        break;
+      }
+      default:
+        parsed = false;
+        break;
+    }
+    // A record whose CRC matched but whose payload fails to parse means a
+    // writer bug or unknown future type; treat as end-of-valid-log too.
+    if (!parsed) {
+      out.truncated_torn_tail = true;
+      break;
+    }
+    out.records.push_back(std::move(rec));
+    pos += 4 + *len + 4;
+    out.valid_bytes = pos;
+  }
+  return out;
+}
+
+}  // namespace lacb::persist

@@ -42,4 +42,16 @@ Status AnPolicy::EndDay(const sim::DayOutcome& outcome) {
   return Status::OK();
 }
 
+Status AnPolicy::SaveState(persist::ByteWriter* w) const {
+  LACB_RETURN_NOT_OK(bandit_.SaveState(w));
+  w->VecF64(capacity_);
+  return Status::OK();
+}
+
+Status AnPolicy::LoadState(persist::ByteReader* r) {
+  LACB_RETURN_NOT_OK(bandit_.LoadState(r));
+  LACB_ASSIGN_OR_RETURN(capacity_, r->VecF64());
+  return Status::OK();
+}
+
 }  // namespace lacb::policy

@@ -34,6 +34,9 @@ class AnPolicy : public AssignmentPolicy {
   Result<std::vector<int64_t>> AssignBatch(const BatchInput& input) override;
   Status EndDay(const sim::DayOutcome& outcome) override;
 
+  Status SaveState(persist::ByteWriter* w) const override;
+  Status LoadState(persist::ByteReader* r) override;
+
  private:
   AnPolicy(AnPolicyConfig config, bandit::NeuralUcb bandit)
       : config_(std::move(config)), bandit_(std::move(bandit)) {}

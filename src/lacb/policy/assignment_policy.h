@@ -17,6 +17,7 @@
 
 #include "lacb/common/result.h"
 #include "lacb/la/matrix.h"
+#include "lacb/persist/bytes.h"
 #include "lacb/sim/platform.h"
 
 namespace lacb::policy {
@@ -59,6 +60,19 @@ class AssignmentPolicy {
   /// \brief Day epilogue with the platform's feedback.
   virtual Status EndDay(const sim::DayOutcome& outcome) {
     (void)outcome;
+    return Status::OK();
+  }
+
+  /// \brief Serializes all mutable policy state (bandit posteriors, value
+  /// tables, RNG streams) for checkpointing. LoadState must restore a
+  /// policy created from the same configuration bit-exactly. Stateless
+  /// policies keep the no-op default.
+  virtual Status SaveState(persist::ByteWriter* w) const {
+    (void)w;
+    return Status::OK();
+  }
+  virtual Status LoadState(persist::ByteReader* r) {
+    (void)r;
     return Status::OK();
   }
 };

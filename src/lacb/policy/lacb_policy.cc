@@ -218,4 +218,35 @@ Status LacbPolicy::EndDay(const sim::DayOutcome& outcome) {
   return Status::OK();
 }
 
+Status LacbPolicy::SaveState(persist::ByteWriter* w) const {
+  if (estimator_ == nullptr) {
+    return Status::FailedPrecondition("LacbPolicy not initialized");
+  }
+  LACB_RETURN_NOT_OK(estimator_->SaveState(w));
+  w->VecF64(value_function_.table());
+  w->Str(rng_.SaveState());
+  w->VecF64(capacity_);
+  std::vector<uint64_t> hits(capacity_hits_.begin(), capacity_hits_.end());
+  w->VecU64(hits);
+  w->U64(days_elapsed_);
+  return Status::OK();
+}
+
+Status LacbPolicy::LoadState(persist::ByteReader* r) {
+  if (estimator_ == nullptr) {
+    return Status::FailedPrecondition("LacbPolicy not initialized");
+  }
+  LACB_RETURN_NOT_OK(estimator_->LoadState(r));
+  LACB_ASSIGN_OR_RETURN(std::vector<double> table, r->VecF64());
+  LACB_RETURN_NOT_OK(value_function_.set_table(std::move(table)));
+  LACB_ASSIGN_OR_RETURN(std::string rng_state, r->Str());
+  LACB_RETURN_NOT_OK(rng_.LoadState(rng_state));
+  LACB_ASSIGN_OR_RETURN(capacity_, r->VecF64());
+  LACB_ASSIGN_OR_RETURN(std::vector<uint64_t> hits, r->VecU64());
+  capacity_hits_.assign(hits.begin(), hits.end());
+  LACB_ASSIGN_OR_RETURN(uint64_t days, r->U64());
+  days_elapsed_ = static_cast<size_t>(days);
+  return Status::OK();
+}
+
 }  // namespace lacb::policy

@@ -79,6 +79,9 @@ class LacbPolicy : public AssignmentPolicy {
     return *estimator_;
   }
 
+  Status SaveState(persist::ByteWriter* w) const override;
+  Status LoadState(persist::ByteReader* r) override;
+
  private:
   LacbPolicy(LacbPolicyConfig config, CapacityValueFunction value_function)
       : config_(std::move(config)),

@@ -30,6 +30,15 @@ class TopKPolicy : public AssignmentPolicy {
 
   Result<std::vector<int64_t>> AssignBatch(const BatchInput& input) override;
 
+  Status SaveState(persist::ByteWriter* w) const override {
+    w->Str(rng_.SaveState());
+    return Status::OK();
+  }
+  Status LoadState(persist::ByteReader* r) override {
+    LACB_ASSIGN_OR_RETURN(std::string state, r->Str());
+    return rng_.LoadState(state);
+  }
+
  private:
   size_t k_;
   Rng rng_;
@@ -47,6 +56,15 @@ class ConstrainedTopKPolicy : public AssignmentPolicy {
   }
 
   Result<std::vector<int64_t>> AssignBatch(const BatchInput& input) override;
+
+  Status SaveState(persist::ByteWriter* w) const override {
+    w->Str(rng_.SaveState());
+    return Status::OK();
+  }
+  Status LoadState(persist::ByteReader* r) override {
+    LACB_ASSIGN_OR_RETURN(std::string state, r->Str());
+    return rng_.LoadState(state);
+  }
 
  private:
   size_t k_;
@@ -66,6 +84,20 @@ class RandomizedRecommendationPolicy : public AssignmentPolicy {
   Status Initialize(const sim::Platform& platform) override;
   Result<std::vector<int64_t>> AssignBatch(const BatchInput& input) override;
   Status EndDay(const sim::DayOutcome& outcome) override;
+
+  Status SaveState(persist::ByteWriter* w) const override {
+    w->Str(rng_.SaveState());
+    w->VecF64(quality_sum_);
+    w->VecF64(quality_count_);
+    return Status::OK();
+  }
+  Status LoadState(persist::ByteReader* r) override {
+    LACB_ASSIGN_OR_RETURN(std::string state, r->Str());
+    LACB_RETURN_NOT_OK(rng_.LoadState(state));
+    LACB_ASSIGN_OR_RETURN(quality_sum_, r->VecF64());
+    LACB_ASSIGN_OR_RETURN(quality_count_, r->VecF64());
+    return Status::OK();
+  }
 
  private:
   Rng rng_;

@@ -11,6 +11,7 @@
 #define LACB_POLICY_VALUE_FUNCTION_H_
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "lacb/common/result.h"
@@ -44,6 +45,17 @@ class CapacityValueFunction {
 
   double discount() const { return discount_; }
   size_t table_size() const { return table_.size(); }
+
+  /// \brief Raw table access for checkpoint serialization. `set_table`
+  /// rejects a size change (the config owns the table shape).
+  const std::vector<double>& table() const { return table_; }
+  Status set_table(std::vector<double> table) {
+    if (table.size() != table_.size()) {
+      return Status::InvalidArgument("value table size mismatch");
+    }
+    table_ = std::move(table);
+    return Status::OK();
+  }
 
  private:
   CapacityValueFunction(size_t cr_max, double learning_rate, double discount)

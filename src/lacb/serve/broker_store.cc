@@ -102,6 +102,30 @@ double ShardedBrokerStore::MaxOverCapacity() const {
   return worst;
 }
 
+std::vector<BrokerSlot> ShardedBrokerStore::ExportSlots() const {
+  std::vector<BrokerSlot> out(slots_.size());
+  for (size_t s = 0; s < num_stripes_; ++s) {
+    std::lock_guard<std::mutex> lock(stripes_[s].mu);
+    for (size_t b = s; b < slots_.size(); b += num_stripes_) {
+      out[b] = slots_[b];
+    }
+  }
+  return out;
+}
+
+Status ShardedBrokerStore::RestoreSlots(const std::vector<BrokerSlot>& slots) {
+  if (slots.size() != slots_.size()) {
+    return Status::InvalidArgument("broker slot count mismatch on restore");
+  }
+  for (size_t s = 0; s < num_stripes_; ++s) {
+    std::lock_guard<std::mutex> lock(stripes_[s].mu);
+    for (size_t b = s; b < slots_.size(); b += num_stripes_) {
+      slots_[b] = slots[b];
+    }
+  }
+  return Status::OK();
+}
+
 double ShardedBrokerStore::TotalWorkload() const {
   double total = 0.0;
   for (size_t s = 0; s < num_stripes_; ++s) {

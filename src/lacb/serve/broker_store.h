@@ -89,6 +89,13 @@ class ShardedBrokerStore {
   /// (0) are skipped.
   double MaxOverCapacity() const;
 
+  /// \brief Stripe-consistent copy of every slot (checkpoint snapshot).
+  std::vector<BrokerSlot> ExportSlots() const;
+
+  /// \brief Overwrites all slots from a checkpoint; size must match the
+  /// roster.
+  Status RestoreSlots(const std::vector<BrokerSlot>& slots);
+
  private:
   size_t StripeOf(size_t broker) const { return broker % num_stripes_; }
 

@@ -86,11 +86,19 @@ struct FaultPlan {
   double worker_crash_rate = 0.0;
   /// Length of every injected stall.
   std::chrono::microseconds stall_duration{2000};
+  /// Process-kill trigger for crash-recovery tests: after this many live
+  /// (non-duplicate) platform commits have applied, the service poisons
+  /// itself with a fatal error at the next batch boundary — everything
+  /// after behaves as if the process died (in-flight work fails, the day
+  /// never closes) and recovery must come from the durable checkpoint +
+  /// WAL (docs/persistence.md). Zero disables the trigger.
+  uint64_t kill_after_commits = 0;
 
   bool enabled() const {
     return commit_transient_rate > 0.0 || commit_stall_rate > 0.0 ||
            solve_over_budget_rate > 0.0 || store_stall_rate > 0.0 ||
-           worker_stall_rate > 0.0 || worker_crash_rate > 0.0;
+           worker_stall_rate > 0.0 || worker_crash_rate > 0.0 ||
+           kill_after_commits > 0;
   }
 };
 

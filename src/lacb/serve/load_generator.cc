@@ -28,6 +28,9 @@ Status PumpLockstep(AssignmentService* service,
     }
     service->Flush();
     LACB_RETURN_NOT_OK(service->WaitIdle());
+    // Quiesce point: the service is idle between lockstep batches, so a
+    // mid-day interval checkpoint (when enabled) can snapshot here.
+    LACB_RETURN_NOT_OK(service->MaybeCheckpoint());
   }
   return Status::OK();
 }

@@ -28,6 +28,11 @@ size_t MicroBatcher::carryover_size() const {
   return carryover_.size();
 }
 
+std::vector<sim::Request> MicroBatcher::SnapshotCarryover() const {
+  std::lock_guard<std::mutex> lock(carryover_mu_);
+  return carryover_;
+}
+
 void MicroBatcher::DrainCarryoverInto(MicroBatch* batch) {
   std::lock_guard<std::mutex> lock(carryover_mu_);
   for (size_t i = 0; i < carryover_.size(); ++i) {

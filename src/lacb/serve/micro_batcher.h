@@ -99,6 +99,17 @@ class MicroBatcher {
   /// \brief Pending carryover count (test/diagnostic hook).
   size_t carryover_size() const;
 
+  /// \brief Copy of the pending carryover requests (checkpoint snapshot;
+  /// arrival timestamps are not persisted — restore re-stamps them).
+  std::vector<sim::Request> SnapshotCarryover() const;
+
+  /// \brief Token counter hooks for warm restart: tokens must continue
+  /// from where the pre-crash process stopped so the Platform's per-token
+  /// commit ledger stays globally unique. Call set_next_token only before
+  /// the batcher thread starts (single-consumer invariant).
+  uint64_t next_token() const { return next_token_; }
+  void set_next_token(uint64_t token) { next_token_ = token; }
+
  private:
   /// \brief Moves pending carryover to the end of `batch`.
   void DrainCarryoverInto(MicroBatch* batch);

@@ -10,6 +10,7 @@
 #include "lacb/common/rng.h"
 #include "lacb/common/stopwatch.h"
 #include "lacb/obs/context.h"
+#include "lacb/persist/serializers.h"
 #include "lacb/policy/lacb_policy.h"
 
 namespace lacb::serve {
@@ -20,6 +21,36 @@ namespace {
 // non-negative and a flow id of 0 means "no flow", so shift by one.
 uint64_t RequestFlowId(const sim::Request& request) {
   return static_cast<uint64_t>(request.id) + 1;
+}
+
+void WriteBrokerSlots(persist::ByteWriter* w,
+                      const std::vector<BrokerSlot>& slots) {
+  w->U64(slots.size());
+  for (const BrokerSlot& s : slots) {
+    w->F64(s.workload);
+    w->F64(s.capacity);
+    w->F64(s.day_utility);
+    w->U64(s.served_total);
+    w->F64(s.last_workload);
+    w->F64(s.last_signup_rate);
+  }
+}
+
+Result<std::vector<BrokerSlot>> ReadBrokerSlots(persist::ByteReader* r) {
+  LACB_ASSIGN_OR_RETURN(uint64_t n, r->U64());
+  std::vector<BrokerSlot> slots;
+  slots.reserve(std::min<uint64_t>(n, 4096));
+  for (uint64_t i = 0; i < n; ++i) {
+    BrokerSlot s;
+    LACB_ASSIGN_OR_RETURN(s.workload, r->F64());
+    LACB_ASSIGN_OR_RETURN(s.capacity, r->F64());
+    LACB_ASSIGN_OR_RETURN(s.day_utility, r->F64());
+    LACB_ASSIGN_OR_RETURN(s.served_total, r->U64());
+    LACB_ASSIGN_OR_RETURN(s.last_workload, r->F64());
+    LACB_ASSIGN_OR_RETURN(s.last_signup_rate, r->F64());
+    slots.push_back(s);
+  }
+  return slots;
 }
 
 }  // namespace
@@ -136,6 +167,35 @@ Status AssignmentService::Start() {
             [registry = registry_] { return registry->Snapshot(); }, expo));
   }
 
+  if (!options_.checkpoint_dir.empty()) {
+    persist_ckpt_counter_ = &registry_->GetCounter("persist.checkpoints");
+    persist_ckpt_bytes_counter_ =
+        &registry_->GetCounter("persist.checkpoint_bytes");
+    persist_wal_records_counter_ =
+        &registry_->GetCounter("persist.wal_records");
+    persist_wal_bytes_counter_ = &registry_->GetCounter("persist.wal_bytes");
+    persist_replayed_counter_ =
+        &registry_->GetCounter("persist.restore_replayed_batches");
+    persist_torn_counter_ =
+        &registry_->GetCounter("persist.torn_tail_truncations");
+    persist_load_fail_counter_ =
+        &registry_->GetCounter("persist.checkpoint_load_failures");
+    persist_divergence_counter_ =
+        &registry_->GetCounter("persist.replay_divergence");
+    persist_carryover_counter_ =
+        &registry_->GetCounter("persist.restore_carryover_requests");
+    persist_last_seq_gauge_ =
+        &registry_->GetGauge("persist.last_checkpoint_seq");
+    persist_ckpt_seconds_hist_ =
+        &registry_->GetHistogram("persist.checkpoint_seconds");
+    ckpt_mgr_ = std::make_unique<persist::CheckpointManager>(
+        options_.checkpoint_dir, options_.checkpoint_retain,
+        options_.wal_fsync);
+    // Warm restart happens before any thread spawns: the batcher's token
+    // counter and carryover are still single-owner here.
+    LACB_RETURN_NOT_OK(RestoreFromDurable());
+  }
+
   started_ = true;
   supervisor_->Start();
   batcher_thread_ = std::thread([this] { BatcherLoop(); });
@@ -164,9 +224,19 @@ Status AssignmentService::OpenDay(size_t day) {
     std::lock_guard<std::mutex> lock(error_mu_);
     LACB_RETURN_NOT_OK(error_);
   }
+  return DoOpenDay(day, /*log_wal=*/true);
+}
+
+Status AssignmentService::DoOpenDay(size_t day, bool log_wal) {
   {
     std::lock_guard<std::mutex> lock(env_mu_);
     LACB_RETURN_NOT_OK(platform_->StartDayExternal(day));
+    if (log_wal && wal_ != nullptr) {
+      uint64_t before = wal_->bytes_written();
+      LACB_RETURN_NOT_OK(wal_->AppendDayOpen(day));
+      persist_wal_records_counter_->Increment();
+      persist_wal_bytes_counter_->Increment(wal_->bytes_written() - before);
+    }
   }
   store_.ResetDay();
   day_boundary_seconds_ = 0.0;
@@ -183,6 +253,7 @@ Status AssignmentService::OpenDay(size_t day) {
   }
   current_day_.store(day, std::memory_order_release);
   batch_seq_.store(0, std::memory_order_release);
+  commits_today_.store(0, std::memory_order_release);
   day_open_.store(true, std::memory_order_release);
   return Status::OK();
 }
@@ -253,9 +324,30 @@ Result<sim::DayOutcome> AssignmentService::CloseDay() {
   }
   Flush();
   LACB_RETURN_NOT_OK(WaitIdle());
+  LACB_ASSIGN_OR_RETURN(sim::DayOutcome outcome,
+                        DoCloseDay(/*log_wal=*/true));
+  // Day-boundary checkpoint: the WAL between days stays one record deep
+  // (the close itself), so a crash at a day boundary restores instantly.
+  if (ckpt_mgr_ != nullptr && !killed_.load(std::memory_order_acquire)) {
+    LACB_RETURN_NOT_OK(CheckpointLocked());
+  }
+  return outcome;
+}
+
+Result<sim::DayOutcome> AssignmentService::DoCloseDay(bool log_wal) {
   sim::DayOutcome outcome;
   {
     std::lock_guard<std::mutex> lock(env_mu_);
+    if (log_wal && wal_ != nullptr) {
+      // Redo logging: the close is journaled *before* it applies, so a
+      // crash between the append and EndDay replays the close instead of
+      // losing the day's feedback broadcast.
+      uint64_t before = wal_->bytes_written();
+      LACB_RETURN_NOT_OK(
+          wal_->AppendDayClose(current_day_.load(std::memory_order_acquire)));
+      persist_wal_records_counter_->Increment();
+      persist_wal_bytes_counter_->Increment(wal_->bytes_written() - before);
+    }
     LACB_ASSIGN_OR_RETURN(outcome, platform_->EndDay());
   }
   store_.ApplyDayFeedback(outcome);
@@ -413,6 +505,13 @@ void AssignmentService::WorkerLoop(size_t worker_index) {
 Status AssignmentService::ProcessBatch(size_t worker_index, MicroBatch batch) {
   LACB_TRACE_SPAN("serve.batch");
   obs::ScopedTimelineEvent timeline("serve.batch");
+  if (killed_.load(std::memory_order_acquire)) {
+    // The injected process kill already fired: this process is "dead".
+    // Every batch that still reaches a worker fails terminally; recovery
+    // happens in a fresh service instance via checkpoint + WAL replay.
+    DropBatchTerminal(batch, failed_counter_);
+    return Status::OK();
+  }
   if (!day_open_.load(std::memory_order_acquire)) {
     // Only carryover-only batches can surface here (CloseDay drains every
     // queued item before the day closes): appeals that outlive the horizon
@@ -568,6 +667,17 @@ Status AssignmentService::ProcessBatch(size_t worker_index, MicroBatch batch) {
     RecordIncident("commit_failed");
   }
   RetireWork(static_cast<int64_t>(batch.from_queue));
+  // Injected process kill: fires at a batch boundary — this batch fully
+  // disposed (committed, WAL-logged, retired), nothing after it survives.
+  // The durable prefix is exactly the WAL through this batch, which is
+  // what the crash-recovery gate replays.
+  if (injector_ != nullptr && options_.fault_plan.kill_after_commits > 0 &&
+      commits_applied_.load(std::memory_order_acquire) >=
+          options_.fault_plan.kill_after_commits &&
+      !killed_.exchange(true, std::memory_order_acq_rel)) {
+    RecordIncident("process_kill");
+    SetError(Status::Internal("injected process kill (fault plan)"));
+  }
   return Status::OK();
 }
 
@@ -597,6 +707,25 @@ Status AssignmentService::CommitWithRetry(
         LACB_ASSIGN_OR_RETURN(*outcome,
                               platform_->CommitExternalBatch(
                                   batch.requests, assignment, batch.token));
+        if (!outcome->duplicate) {
+          // First live apply of this token: journal it atomically with
+          // the platform mutation (same env_mu_ critical section). This
+          // runs even when the injected fault is a lost *ack* — the
+          // commit applied, so it is durable state.
+          if (wal_ != nullptr) {
+            uint64_t before = wal_->bytes_written();
+            LACB_RETURN_NOT_OK(wal_->AppendBatch(
+                batch.token, current_day_.load(std::memory_order_acquire),
+                static_cast<uint32_t>(worker_index), batch.requests,
+                assignment));
+            persist_wal_records_counter_->Increment();
+            persist_wal_bytes_counter_->Increment(wal_->bytes_written() -
+                                                  before);
+          }
+          commits_applied_.fetch_add(1, std::memory_order_acq_rel);
+          commits_since_ckpt_.fetch_add(1, std::memory_order_acq_rel);
+          commits_today_.fetch_add(1, std::memory_order_acq_rel);
+        }
         if (fault.action != FaultAction::kTransientErrorAfterApply) {
           *owner = TryClaimTerminalLocked(batch.token);
           *committed = true;
@@ -757,6 +886,295 @@ void AssignmentService::SetError(const Status& status) {
     if (error_.ok()) error_ = status;
   }
   idle_cv_.notify_all();
+}
+
+Status AssignmentService::MaybeCheckpoint() {
+  if (ckpt_mgr_ == nullptr || options_.checkpoint_interval_batches == 0) {
+    return Status::OK();
+  }
+  if (killed_.load(std::memory_order_acquire)) return Status::OK();
+  if (commits_since_ckpt_.load(std::memory_order_acquire) <
+      options_.checkpoint_interval_batches) {
+    return Status::OK();
+  }
+  return Checkpoint();
+}
+
+Status AssignmentService::Checkpoint() {
+  if (ckpt_mgr_ == nullptr) {
+    return Status::FailedPrecondition(
+        "persistence disabled (set ServeOptions::checkpoint_dir)");
+  }
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    if (in_system_ > 0) {
+      return Status::FailedPrecondition(
+          "checkpoint requires an idle service (call after WaitIdle)");
+    }
+  }
+  return CheckpointLocked();
+}
+
+Status AssignmentService::CheckpointLocked() {
+  Stopwatch sw;
+  persist::Checkpoint ckpt;
+  ckpt.seq = next_ckpt_seq_;
+  uint64_t bytes = 0;
+  {
+    // env_mu_ makes the snapshot quiesced: no commit can interleave with
+    // the section build or the WAL rotation.
+    std::lock_guard<std::mutex> lock(env_mu_);
+    LACB_RETURN_NOT_OK(BuildCheckpointSections(&ckpt));
+    LACB_ASSIGN_OR_RETURN(bytes, ckpt_mgr_->Write(ckpt));
+    LACB_ASSIGN_OR_RETURN(
+        wal_, persist::WalWriter::Create(ckpt_mgr_->WalPath(ckpt.seq),
+                                         ckpt.seq, options_.wal_fsync));
+  }
+  commits_since_ckpt_.store(0, std::memory_order_release);
+  ++next_ckpt_seq_;
+  persist_ckpt_counter_->Increment();
+  persist_ckpt_bytes_counter_->Increment(bytes);
+  persist_last_seq_gauge_->Set(static_cast<double>(ckpt.seq));
+  persist_ckpt_seconds_hist_->Record(sw.ElapsedSeconds());
+  return Status::OK();
+}
+
+Status AssignmentService::BuildCheckpointSections(persist::Checkpoint* out) {
+  persist::ByteWriter meta;
+  meta.Str(policy_name_);
+  meta.U64(current_day_.load(std::memory_order_acquire));
+  meta.Bool(day_open_.load(std::memory_order_acquire));
+  meta.U64(batch_seq_.load(std::memory_order_acquire));
+  meta.U64(batcher_->next_token());
+  meta.U64(commits_today_.load(std::memory_order_acquire));
+  meta.U64(replicas_.size());
+  out->sections.push_back({"meta", meta.Release()});
+
+  persist::ByteWriter platform_w;
+  LACB_RETURN_NOT_OK(platform_->SaveState(&platform_w));
+  out->sections.push_back({"platform", platform_w.Release()});
+
+  persist::ByteWriter store_w;
+  WriteBrokerSlots(&store_w, store_.ExportSlots());
+  out->sections.push_back({"store", store_w.Release()});
+
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    persist::ByteWriter replica_w;
+    LACB_RETURN_NOT_OK(replicas_[i]->SaveState(&replica_w));
+    out->sections.push_back(
+        {"replica." + std::to_string(i), replica_w.Release()});
+  }
+
+  persist::ByteWriter batcher_w;
+  persist::WriteRequests(&batcher_w, batcher_->SnapshotCarryover());
+  out->sections.push_back({"batcher", batcher_w.Release()});
+  return Status::OK();
+}
+
+Status AssignmentService::ApplyCheckpoint(const persist::Checkpoint& ckpt,
+                                          std::vector<sim::Request>* carryover) {
+  const persist::CheckpointSection* meta = ckpt.Find("meta");
+  if (meta == nullptr) {
+    return Status::InvalidArgument("checkpoint missing meta section");
+  }
+  persist::ByteReader meta_r(meta->payload);
+  LACB_ASSIGN_OR_RETURN(std::string policy, meta_r.Str());
+  if (policy != policy_name_) {
+    return Status::FailedPrecondition("checkpoint was cut by policy '" +
+                                      policy + "', serving '" + policy_name_ +
+                                      "'");
+  }
+  LACB_ASSIGN_OR_RETURN(uint64_t day, meta_r.U64());
+  LACB_ASSIGN_OR_RETURN(bool day_open, meta_r.Bool());
+  LACB_ASSIGN_OR_RETURN(uint64_t batch_seq, meta_r.U64());
+  LACB_ASSIGN_OR_RETURN(uint64_t next_token, meta_r.U64());
+  LACB_ASSIGN_OR_RETURN(uint64_t commits_today, meta_r.U64());
+  LACB_ASSIGN_OR_RETURN(uint64_t num_replicas, meta_r.U64());
+  if (num_replicas != replicas_.size()) {
+    return Status::FailedPrecondition(
+        "worker count changed across restore: checkpoint has " +
+        std::to_string(num_replicas) + " replicas, service has " +
+        std::to_string(replicas_.size()));
+  }
+
+  const persist::CheckpointSection* platform_s = ckpt.Find("platform");
+  if (platform_s == nullptr) {
+    return Status::InvalidArgument("checkpoint missing platform section");
+  }
+  persist::ByteReader platform_r(platform_s->payload);
+  LACB_RETURN_NOT_OK(platform_->LoadState(&platform_r));
+
+  const persist::CheckpointSection* store_s = ckpt.Find("store");
+  if (store_s == nullptr) {
+    return Status::InvalidArgument("checkpoint missing store section");
+  }
+  persist::ByteReader store_r(store_s->payload);
+  LACB_ASSIGN_OR_RETURN(std::vector<BrokerSlot> slots,
+                        ReadBrokerSlots(&store_r));
+  LACB_RETURN_NOT_OK(store_.RestoreSlots(slots));
+
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    const persist::CheckpointSection* replica_s =
+        ckpt.Find("replica." + std::to_string(i));
+    if (replica_s == nullptr) {
+      return Status::InvalidArgument("checkpoint missing replica section " +
+                                     std::to_string(i));
+    }
+    persist::ByteReader replica_r(replica_s->payload);
+    LACB_RETURN_NOT_OK(replicas_[i]->LoadState(&replica_r));
+  }
+
+  const persist::CheckpointSection* batcher_s = ckpt.Find("batcher");
+  if (batcher_s == nullptr) {
+    return Status::InvalidArgument("checkpoint missing batcher section");
+  }
+  persist::ByteReader batcher_r(batcher_s->payload);
+  LACB_ASSIGN_OR_RETURN(*carryover, persist::ReadRequests(&batcher_r));
+
+  current_day_.store(day, std::memory_order_release);
+  day_open_.store(day_open, std::memory_order_release);
+  batch_seq_.store(batch_seq, std::memory_order_release);
+  commits_today_.store(commits_today, std::memory_order_release);
+  batcher_->set_next_token(next_token);
+  return Status::OK();
+}
+
+Status AssignmentService::RestoreFromDurable() {
+  LACB_RETURN_NOT_OK(ckpt_mgr_->EnsureDir());
+  Result<persist::LoadResult> loaded = ckpt_mgr_->LoadNewest();
+  if (!loaded.ok()) {
+    if (loaded.status().code() != StatusCode::kNotFound) {
+      return loaded.status();
+    }
+    // Cold start: cut the anchor checkpoint immediately so the WAL always
+    // has a base image to replay against.
+    return CheckpointLocked();
+  }
+  if (loaded->skipped_corrupt > 0) {
+    persist_load_fail_counter_->Increment(loaded->skipped_corrupt);
+  }
+  std::vector<sim::Request> carryover;
+  LACB_RETURN_NOT_OK(ApplyCheckpoint(loaded->checkpoint, &carryover));
+  next_ckpt_seq_ = loaded->checkpoint.seq + 1;
+
+  // WALs chain: wal-k holds exactly the commits between checkpoint k and
+  // checkpoint k+1, so replaying forward from the loaded sequence re-covers
+  // everything acknowledged after it — including the WALs of *newer but
+  // corrupt* checkpoints the loader fell back past. The chain ends at the
+  // first missing file, unreadable header, or torn tail (the crash
+  // frontier: nothing durable can exist beyond it).
+  uint64_t replayed = 0;
+  for (uint64_t seq = loaded->checkpoint.seq;; ++seq) {
+    Result<persist::WalRecovery> recovery =
+        persist::RecoverWal(ckpt_mgr_->WalPath(seq));
+    if (!recovery.ok()) {
+      if (recovery.status().code() != StatusCode::kNotFound) {
+        // Unreadable WAL (bad header/version): count it and stop — the
+        // checkpoint image plus the chain so far is all that is durable.
+        persist_torn_counter_->Increment();
+      }
+      break;
+    }
+    LACB_RETURN_NOT_OK(
+        ReplayWalRecords(recovery->records, &carryover, &replayed));
+    if (recovery->truncated_torn_tail) {
+      persist_torn_counter_->Increment();
+      break;
+    }
+  }
+
+  if (!carryover.empty()) {
+    persist_carryover_counter_->Increment(carryover.size());
+    batcher_->AddCarryover(std::move(carryover));
+  }
+  restore_info_.restored = true;
+  restore_info_.day = current_day_.load(std::memory_order_acquire);
+  restore_info_.day_open = day_open_.load(std::memory_order_acquire);
+  restore_info_.batches_committed_today =
+      commits_today_.load(std::memory_order_acquire);
+  restore_info_.replayed_batches = replayed;
+  persist_replayed_counter_->Increment(replayed);
+  // Fresh anchor at seq+1: the next crash restores from here; the stale
+  // WAL can never be replayed twice.
+  return CheckpointLocked();
+}
+
+Status AssignmentService::ReplayWalRecords(
+    const std::vector<persist::WalRecord>& records,
+    std::vector<sim::Request>* carryover, uint64_t* replayed) {
+  uint64_t max_token = 0;
+  for (const persist::WalRecord& record : records) {
+    switch (record.type) {
+      case persist::WalRecordType::kDayOpen:
+        LACB_RETURN_NOT_OK(
+            DoOpenDay(static_cast<size_t>(record.day), /*log_wal=*/false));
+        break;
+      case persist::WalRecordType::kBatch: {
+        // Recompute the assignment through the replica so its learned
+        // state (value-function backups, exploration RNG) advances in
+        // lockstep with the pre-crash process — then commit the
+        // *recorded* assignment, which is what was acknowledged.
+        std::vector<double> workloads;
+        store_.SnapshotWorkloads(&workloads);
+        la::Matrix utility = platform_->utility_model().UtilityMatrix(
+            record.requests, platform_->brokers());
+        policy::BatchInput input;
+        input.requests = &record.requests;
+        input.utility = &utility;
+        input.workloads = &workloads;
+        input.day = current_day_.load(std::memory_order_acquire);
+        input.batch = batch_seq_.fetch_add(1, std::memory_order_acq_rel);
+        size_t worker = record.worker_index % replicas_.size();
+        Result<std::vector<int64_t>> recomputed =
+            replicas_[worker]->AssignBatch(input);
+        if (!recomputed.ok() || *recomputed != record.assignment) {
+          // Divergence means the replica's restored state does not
+          // reproduce the journaled decision. The recorded assignment
+          // still commits (it is the acknowledged truth), but the
+          // counter flags the replica drift for the recovery gate.
+          persist_divergence_counter_->Increment();
+        }
+        LACB_ASSIGN_OR_RETURN(
+            sim::ExternalCommitOutcome outcome,
+            platform_->CommitExternalBatch(record.requests, record.assignment,
+                                           record.token));
+        if (!outcome.duplicate) {
+          store_.CommitAccepted(outcome.accepted);
+          commits_today_.fetch_add(1, std::memory_order_acq_rel);
+        }
+        *carryover = std::move(outcome.appealed);
+        max_token = std::max(max_token, record.token);
+        ++*replayed;
+        break;
+      }
+      case persist::WalRecordType::kDayClose: {
+        LACB_ASSIGN_OR_RETURN(sim::DayOutcome outcome,
+                              DoCloseDay(/*log_wal=*/false));
+        (void)outcome;
+        break;
+      }
+    }
+  }
+  if (max_token + 1 > batcher_->next_token()) {
+    batcher_->set_next_token(max_token + 1);
+  }
+  return Status::OK();
+}
+
+Result<std::string> AssignmentService::SerializeReplicaState(size_t index) {
+  if (index >= replicas_.size()) {
+    return Status::OutOfRange("replica index out of range");
+  }
+  persist::ByteWriter w;
+  LACB_RETURN_NOT_OK(replicas_[index]->SaveState(&w));
+  return w.Release();
+}
+
+Result<std::string> AssignmentService::SerializePlatformState() {
+  persist::ByteWriter w;
+  std::lock_guard<std::mutex> lock(env_mu_);
+  LACB_RETURN_NOT_OK(platform_->SaveState(&w));
+  return w.Release();
 }
 
 ServeStats AssignmentService::Stats() const {

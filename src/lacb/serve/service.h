@@ -59,6 +59,8 @@
 
 #include "lacb/common/result.h"
 #include "lacb/obs/event_trace.h"
+#include "lacb/persist/checkpoint.h"
+#include "lacb/persist/wal.h"
 #include "lacb/obs/exposition.h"
 #include "lacb/obs/metrics.h"
 #include "lacb/obs/trace.h"
@@ -125,6 +127,38 @@ struct ServeOptions {
   /// no injector: every injection point reduces to a null check and the
   /// serve path is byte-identical to the fault-free build.
   FaultPlan fault_plan;
+
+  // --- Durable state (docs/persistence.md) ---
+
+  /// Checkpoint directory. Empty (the default) disables persistence
+  /// entirely: no checkpoints, no WAL, no restore — the serve path is
+  /// byte-identical to the pre-persistence build. Non-empty: Start()
+  /// warm-restarts from the newest valid checkpoint in the directory
+  /// (replaying the WAL tail), every committed batch is appended to the
+  /// live WAL, and CloseDay cuts a checkpoint at the day boundary.
+  std::string checkpoint_dir;
+  /// Also cut a checkpoint mid-day every this many committed batches
+  /// (evaluated at quiesce points — MaybeCheckpoint() after WaitIdle).
+  /// Zero: day-boundary checkpoints only.
+  uint64_t checkpoint_interval_batches = 0;
+  /// fsync the WAL after every record (and checkpoint files after every
+  /// write). Tests on tmpfs may disable it for speed; real serving keeps
+  /// it on — a torn tail is recoverable, a lost sync is not.
+  bool wal_fsync = true;
+  /// Checkpoints (and their WALs) retained before pruning.
+  size_t checkpoint_retain = 3;
+};
+
+/// \brief What Start() recovered from durable state (all-default when
+/// persistence is disabled or the directory held no valid checkpoint).
+struct RestoreInfo {
+  bool restored = false;       ///< A checkpoint was loaded.
+  size_t day = 0;              ///< Day the restored state is positioned at.
+  bool day_open = false;       ///< The restored day is mid-flight.
+  uint64_t batches_committed_today = 0;  ///< Live commits already applied
+                                         ///< to the restored open day.
+  uint64_t replayed_batches = 0;  ///< WAL records re-applied past the
+                                  ///< checkpoint.
 };
 
 /// \brief Aggregate service counters (a convenience copy of the obs
@@ -210,6 +244,29 @@ class AssignmentService {
   /// replica is a LacbPolicy with its own estimates.
   void SetStoreCapacities(const std::vector<double>& capacities);
 
+  /// \brief Cuts a checkpoint now if persistence is enabled and at least
+  /// checkpoint_interval_batches live commits have applied since the last
+  /// one. Call from a quiesce point (after WaitIdle — the checkpoint
+  /// requires an idle service). No-op (OK) when persistence is disabled
+  /// or the interval has not elapsed.
+  Status MaybeCheckpoint();
+
+  /// \brief Unconditionally cuts a checkpoint (requires an idle service
+  /// and enabled persistence). The snapshot covers platform, store,
+  /// every policy replica, the batcher carryover, and the day cursor; a
+  /// fresh WAL is opened against the new sequence number.
+  Status Checkpoint();
+
+  /// \brief What Start() recovered from durable state.
+  const RestoreInfo& restore_info() const { return restore_info_; }
+
+  /// \brief Serialized state of replica `index` / of the platform
+  /// (diagnostic hooks: the recovery gate compares these byte-for-byte
+  /// between a crashed-and-restored run and an uninterrupted one). Call
+  /// only while the service is idle.
+  Result<std::string> SerializeReplicaState(size_t index);
+  Result<std::string> SerializePlatformState();
+
   const sim::Platform& platform() const { return *platform_; }
   const ShardedBrokerStore& store() const { return store_; }
   /// \brief Name of the served policy (replica 0).
@@ -235,6 +292,34 @@ class AssignmentService {
   void BatcherLoop();
   void WorkerLoop(size_t worker_index);
   Status ProcessBatch(size_t worker_index, MicroBatch batch);
+
+  /// Day-boundary bodies shared by the public API and WAL replay. The
+  /// public OpenDay/CloseDay log a WAL record (when persistence is on);
+  /// replay re-applies the same transition without re-logging it.
+  Status DoOpenDay(size_t day, bool log_wal);
+  Result<sim::DayOutcome> DoCloseDay(bool log_wal);
+
+  /// Start()-time warm restart: loads the newest valid checkpoint from
+  /// checkpoint_dir (skipping corrupt ones), replays the WAL tail through
+  /// the idempotent commit path, then cuts a fresh checkpoint so the next
+  /// crash never replays a stale WAL. No-op when the directory holds no
+  /// valid checkpoint (cold start).
+  Status RestoreFromDurable();
+  /// Applies a decoded checkpoint's sections to the environment;
+  /// `*carryover` receives the snapshot's pending appeal carryover.
+  Status ApplyCheckpoint(const persist::Checkpoint& ckpt,
+                         std::vector<sim::Request>* carryover);
+  /// Re-applies recovered WAL records (day transitions + batch commits).
+  /// `*carryover` is replaced by the appeals of the last replayed batch
+  /// (the live path drains carryover into every closing batch, so only
+  /// the final batch's appeals are still pending at the crash).
+  Status ReplayWalRecords(const std::vector<persist::WalRecord>& records,
+                          std::vector<sim::Request>* carryover,
+                          uint64_t* replayed);
+  /// Serializes the full service state into checkpoint sections.
+  Status BuildCheckpointSections(persist::Checkpoint* out);
+  /// Checkpoint body; requires persistence enabled and an idle service.
+  Status CheckpointLocked();
 
   /// Commit of one batch with bounded retries. On return `*owner` says
   /// whether this caller claimed the batch's terminal (exactly one twin
@@ -280,6 +365,22 @@ class AssignmentService {
   // --- Fault tolerance ---
   std::unique_ptr<FaultInjector> injector_;    // null: no plan installed
   std::unique_ptr<WorkerSupervisor> supervisor_;  // null until Start()
+
+  // --- Durable state (null/zero when checkpoint_dir is empty) ---
+  std::unique_ptr<persist::CheckpointManager> ckpt_mgr_;
+  // Live WAL. Appends happen under env_mu_, atomically with the platform
+  // commit they record; rotation (Checkpoint) requires an idle service.
+  std::unique_ptr<persist::WalWriter> wal_;
+  uint64_t next_ckpt_seq_ = 1;
+  // Live (non-duplicate) platform commits applied this process lifetime;
+  // feeds the checkpoint interval and the kill_after_commits trigger.
+  std::atomic<uint64_t> commits_applied_{0};
+  std::atomic<uint64_t> commits_since_ckpt_{0};
+  std::atomic<uint64_t> commits_today_{0};  // resets at DoOpenDay
+  // Set once by the injected process-kill trigger; afterwards every batch
+  // is failed terminally, modeling a dead process.
+  std::atomic<bool> killed_{false};
+  RestoreInfo restore_info_;
 
   // --- Concurrent state ---
   ShardedBrokerStore store_;
@@ -358,6 +459,18 @@ class AssignmentService {
   obs::Histogram* batch_size_hist_ = nullptr;
   obs::Histogram* assign_latency_hist_ = nullptr;
   obs::Histogram* e2e_latency_hist_ = nullptr;
+  // persist.* instruments (registered only when persistence is enabled).
+  obs::Counter* persist_ckpt_counter_ = nullptr;
+  obs::Counter* persist_ckpt_bytes_counter_ = nullptr;
+  obs::Counter* persist_wal_records_counter_ = nullptr;
+  obs::Counter* persist_wal_bytes_counter_ = nullptr;
+  obs::Counter* persist_replayed_counter_ = nullptr;
+  obs::Counter* persist_torn_counter_ = nullptr;
+  obs::Counter* persist_load_fail_counter_ = nullptr;
+  obs::Counter* persist_divergence_counter_ = nullptr;
+  obs::Counter* persist_carryover_counter_ = nullptr;
+  obs::Gauge* persist_last_seq_gauge_ = nullptr;
+  obs::Histogram* persist_ckpt_seconds_hist_ = nullptr;
 
   // Aggregate assign-time (ServeStats mirror; obs histograms carry the
   // distribution).

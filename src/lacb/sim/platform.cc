@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "lacb/persist/serializers.h"
+
 namespace lacb::sim {
 
 Platform::Platform(DatasetConfig config, std::vector<Broker> brokers,
@@ -262,6 +264,125 @@ Result<DayOutcome> Platform::EndDay() {
   day_open_ = false;
   external_day_ = false;
   return out;
+}
+
+namespace {
+
+void WriteWindowsState(persist::ByteWriter* w, const Windows& win) {
+  for (double v : win) w->F64(v);
+}
+
+Status ReadWindowsState(persist::ByteReader* r, Windows* win) {
+  for (size_t k = 0; k < win->size(); ++k) {
+    LACB_ASSIGN_OR_RETURN((*win)[k], r->F64());
+  }
+  return Status::OK();
+}
+
+void WriteEdges(persist::ByteWriter* w,
+                const std::vector<CommittedEdge>& edges) {
+  w->U64(edges.size());
+  for (const CommittedEdge& e : edges) {
+    w->U64(e.broker);
+    w->F64(e.utility);
+  }
+}
+
+Result<std::vector<CommittedEdge>> ReadEdges(persist::ByteReader* r) {
+  LACB_ASSIGN_OR_RETURN(uint64_t n, r->U64());
+  std::vector<CommittedEdge> out;
+  for (uint64_t i = 0; i < n; ++i) {
+    CommittedEdge e;
+    LACB_ASSIGN_OR_RETURN(uint64_t broker, r->U64());
+    e.broker = static_cast<size_t>(broker);
+    LACB_ASSIGN_OR_RETURN(e.utility, r->F64());
+    out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace
+
+Status Platform::SaveState(persist::ByteWriter* w) const {
+  if (day_open_ && !external_day_) {
+    return Status::FailedPrecondition(
+        "cannot checkpoint an open internal day");
+  }
+  w->Str(rng_.SaveState());
+  w->Bool(day_open_);
+  w->Bool(external_day_);
+  w->U64(current_day_);
+  w->VecF64(workloads_today_);
+  WriteEdges(w, committed_);
+  persist::WriteRequests(w, appeal_overflow_);
+  w->U64(appeals_today_);
+  // The external-commit cache, sorted by token so the encoded bytes are
+  // deterministic (unordered_map iteration order is not).
+  std::vector<uint64_t> tokens;
+  tokens.reserve(external_commits_.size());
+  for (const auto& [token, outcome] : external_commits_) {
+    tokens.push_back(token);
+  }
+  std::sort(tokens.begin(), tokens.end());
+  w->U64(tokens.size());
+  for (uint64_t token : tokens) {
+    const ExternalCommitOutcome& outcome = external_commits_.at(token);
+    w->U64(token);
+    persist::WriteRequests(w, outcome.appealed);
+    WriteEdges(w, outcome.accepted);
+    w->Bool(outcome.duplicate);
+  }
+  w->U64(brokers_.size());
+  for (const Broker& b : brokers_) {
+    w->F64(b.workload_today);
+    w->F64(b.recent_workload);
+    WriteWindowsState(w, b.profile.served_clients);
+    WriteWindowsState(w, b.profile.transactions);
+    WriteWindowsState(w, b.profile.dialogue_rounds);
+    WriteWindowsState(w, b.profile.app_consultations);
+  }
+  return Status::OK();
+}
+
+Status Platform::LoadState(persist::ByteReader* r) {
+  LACB_ASSIGN_OR_RETURN(std::string rng_state, r->Str());
+  LACB_RETURN_NOT_OK(rng_.LoadState(rng_state));
+  LACB_ASSIGN_OR_RETURN(day_open_, r->Bool());
+  LACB_ASSIGN_OR_RETURN(external_day_, r->Bool());
+  LACB_ASSIGN_OR_RETURN(uint64_t day, r->U64());
+  current_day_ = static_cast<size_t>(day);
+  LACB_ASSIGN_OR_RETURN(workloads_today_, r->VecF64());
+  LACB_ASSIGN_OR_RETURN(committed_, ReadEdges(r));
+  LACB_ASSIGN_OR_RETURN(appeal_overflow_, persist::ReadRequests(r));
+  LACB_ASSIGN_OR_RETURN(uint64_t appeals, r->U64());
+  appeals_today_ = static_cast<size_t>(appeals);
+  external_commits_.clear();
+  LACB_ASSIGN_OR_RETURN(uint64_t num_commits, r->U64());
+  for (uint64_t i = 0; i < num_commits; ++i) {
+    LACB_ASSIGN_OR_RETURN(uint64_t token, r->U64());
+    ExternalCommitOutcome outcome;
+    LACB_ASSIGN_OR_RETURN(outcome.appealed, persist::ReadRequests(r));
+    LACB_ASSIGN_OR_RETURN(outcome.accepted, ReadEdges(r));
+    LACB_ASSIGN_OR_RETURN(outcome.duplicate, r->Bool());
+    external_commits_.emplace(token, std::move(outcome));
+  }
+  LACB_ASSIGN_OR_RETURN(uint64_t num_brokers, r->U64());
+  if (num_brokers != brokers_.size()) {
+    return Status::InvalidArgument("platform broker count mismatch");
+  }
+  for (Broker& b : brokers_) {
+    LACB_ASSIGN_OR_RETURN(b.workload_today, r->F64());
+    LACB_ASSIGN_OR_RETURN(b.recent_workload, r->F64());
+    LACB_RETURN_NOT_OK(ReadWindowsState(r, &b.profile.served_clients));
+    LACB_RETURN_NOT_OK(ReadWindowsState(r, &b.profile.transactions));
+    LACB_RETURN_NOT_OK(ReadWindowsState(r, &b.profile.dialogue_rounds));
+    LACB_RETURN_NOT_OK(ReadWindowsState(r, &b.profile.app_consultations));
+  }
+  // External days carry no internal batch schedule; clear it so a restored
+  // mid-day platform matches the pre-crash one exactly.
+  today_batches_.clear();
+  batch_committed_.clear();
+  return Status::OK();
 }
 
 }  // namespace lacb::sim

@@ -24,6 +24,7 @@
 #include "lacb/common/result.h"
 #include "lacb/common/rng.h"
 #include "lacb/la/matrix.h"
+#include "lacb/persist/bytes.h"
 #include "lacb/sim/broker.h"
 #include "lacb/sim/dataset.h"
 #include "lacb/sim/request.h"
@@ -151,6 +152,19 @@ class Platform {
   double GroundTruthQuality(size_t b, double w) const {
     return signup_model_.QualityFactor(brokers_[b], w);
   }
+
+  /// \brief Serializes all mutable environment state: the RNG stream,
+  /// open-day ledger (workloads, committed edges, appeal overflow, the
+  /// per-token external-commit cache) and per-broker rolled-forward
+  /// profile fields. Static state (roster, request schedule, models) is
+  /// regenerated from the config on restore, so only mutations are
+  /// stored. Checkpointing an open *internal* day is unsupported (the
+  /// serve path only opens external days).
+  Status SaveState(persist::ByteWriter* w) const;
+
+  /// \brief Restores state saved by SaveState into a Platform created
+  /// from the same DatasetConfig.
+  Status LoadState(persist::ByteReader* r);
 
  private:
   Platform(DatasetConfig config, std::vector<Broker> brokers,

@@ -1,11 +1,55 @@
 #include "lacb/sim/trace_io.h"
 
-#include <fstream>
+#include <cstdio>
 #include <sstream>
+
+#include "lacb/persist/bytes.h"
 
 namespace lacb::sim {
 
 namespace {
+
+// Exported traces end with a "#crc32,<hex>" trailer line covering every
+// byte before it. Importers verify the trailer when present (a corrupt or
+// truncated trace fails loudly instead of silently feeding experiments
+// garbage) and still accept trailer-less files written by older exports
+// or by hand.
+constexpr char kCrcTrailerPrefix[] = "#crc32,";
+
+Status WriteCsvChecksummed(const std::string& path, const std::string& body) {
+  char trailer[20];
+  std::snprintf(trailer, sizeof(trailer), "%s%08x\n", kCrcTrailerPrefix,
+                persist::Crc32(body));
+  // tmp+rename: a crash mid-export never leaves a half-written trace.
+  return persist::WriteFileAtomic(path, body + trailer, /*do_fsync=*/false);
+}
+
+// Returns the trace body with the trailer verified and stripped.
+Result<std::string> ReadCsvChecksummed(const std::string& path) {
+  LACB_ASSIGN_OR_RETURN(std::string content, persist::ReadFile(path));
+  size_t pos = content.rfind(kCrcTrailerPrefix);
+  if (pos == std::string::npos) {
+    return content;  // no trailer: legacy/hand-written file
+  }
+  if (pos != 0 && content[pos - 1] != '\n') {
+    // The trailer rides the tail of a data row: the file was truncated
+    // mid-row and re-joined (torn download). Rejecting here matters — the
+    // torn row can keep full CSV arity by accident and load as garbage.
+    return Status::InvalidArgument(
+        "trace truncated mid-row before its checksum trailer: " + path);
+  }
+  std::string body = content.substr(0, pos);
+  uint32_t expected = 0;
+  const char* hex = content.c_str() + pos + sizeof(kCrcTrailerPrefix) - 1;
+  if (std::sscanf(hex, "%8x", &expected) != 1) {
+    return Status::InvalidArgument("malformed checksum trailer: " + path);
+  }
+  if (persist::Crc32(body) != expected) {
+    return Status::InvalidArgument(
+        "trace checksum mismatch (corrupt or truncated file): " + path);
+  }
+  return body;
+}
 
 std::string JoinSemicolon(const std::vector<double>& values) {
   std::ostringstream os;
@@ -79,10 +123,7 @@ constexpr size_t kBrokerFields = 55;
 
 Status ExportBrokersCsv(const std::vector<Broker>& brokers,
                         const std::string& path) {
-  std::ofstream file(path);
-  if (!file.is_open()) {
-    return Status::IoError("cannot open for writing: " + path);
-  }
+  std::ostringstream file;
   file << kBrokerHeader << "\n";
   for (const Broker& b : brokers) {
     std::ostringstream os;
@@ -108,22 +149,19 @@ Status ExportBrokersCsv(const std::vector<Broker>& brokers,
        << JoinSemicolon(b.preference.housing_embedding);
     file << os.str() << "\n";
   }
-  if (!file.good()) return Status::IoError("write failed: " + path);
-  return Status::OK();
+  return WriteCsvChecksummed(path, file.str());
 }
 
 Result<std::vector<Broker>> ImportBrokersCsv(const std::string& path) {
-  std::ifstream file(path);
-  if (!file.is_open()) {
-    return Status::IoError("cannot open for reading: " + path);
-  }
+  LACB_ASSIGN_OR_RETURN(std::string body, ReadCsvChecksummed(path));
+  std::istringstream file(body);
   std::string line;
   if (!std::getline(file, line) || line != kBrokerHeader) {
     return Status::InvalidArgument("unrecognized broker CSV header");
   }
   std::vector<Broker> brokers;
   while (std::getline(file, line)) {
-    if (line.empty()) continue;
+    if (line.empty() || line[0] == '#') continue;
     LACB_ASSIGN_OR_RETURN(std::vector<std::string> f, SplitCsvLine(line));
     if (f.size() != kBrokerFields) {
       return Status::InvalidArgument("broker CSV row has wrong arity");
@@ -169,10 +207,7 @@ Result<std::vector<Broker>> ImportBrokersCsv(const std::string& path) {
 Status ExportRequestsCsv(
     const std::vector<std::vector<std::vector<Request>>>& requests,
     const std::string& path) {
-  std::ofstream file(path);
-  if (!file.is_open()) {
-    return Status::IoError("cannot open for writing: " + path);
-  }
+  std::ostringstream file;
   file << "id,day,batch,district,pickiness,housing_embedding\n";
   for (const auto& day : requests) {
     for (const auto& batch : day) {
@@ -186,16 +221,13 @@ Status ExportRequestsCsv(
       }
     }
   }
-  if (!file.good()) return Status::IoError("write failed: " + path);
-  return Status::OK();
+  return WriteCsvChecksummed(path, file.str());
 }
 
 Result<std::vector<std::vector<std::vector<Request>>>> ImportRequestsCsv(
     const std::string& path) {
-  std::ifstream file(path);
-  if (!file.is_open()) {
-    return Status::IoError("cannot open for reading: " + path);
-  }
+  LACB_ASSIGN_OR_RETURN(std::string body, ReadCsvChecksummed(path));
+  std::istringstream file(body);
   std::string line;
   if (!std::getline(file, line) ||
       line != "id,day,batch,district,pickiness,housing_embedding") {
@@ -203,7 +235,7 @@ Result<std::vector<std::vector<std::vector<Request>>>> ImportRequestsCsv(
   }
   std::vector<std::vector<std::vector<Request>>> out;
   while (std::getline(file, line)) {
-    if (line.empty()) continue;
+    if (line.empty() || line[0] == '#') continue;
     LACB_ASSIGN_OR_RETURN(std::vector<std::string> f, SplitCsvLine(line));
     if (f.size() != 6) {
       return Status::InvalidArgument("request CSV row has wrong arity");
