@@ -20,6 +20,7 @@
 // into BENCH_fault.json — the graceful-degradation curve under load.
 
 #include <cstdio>
+#include <fstream>
 #include <thread>
 
 #include "bench_util.h"
@@ -39,7 +40,9 @@ struct SweepPoint {
 Result<SweepPoint> RunSweepPoint(const sim::DatasetConfig& data,
                                  const core::PolicySuiteConfig& suite,
                                  size_t workers,
-                                 obs::EventRecorder* recorder = nullptr) {
+                                 obs::EventRecorder* recorder = nullptr,
+                                 bool attribution = true,
+                                 const std::string& profile_path = "") {
   serve::ServedRunOptions opts;
   opts.mode = serve::LoadMode::kFreeRunReplay;
   opts.serve.num_workers = workers;
@@ -54,6 +57,17 @@ Result<SweepPoint> RunSweepPoint(const sim::DatasetConfig& data,
                              "serve.shed_requests", "serve.submitted",
                              "serve.inflight_batches"};
   opts.recorder = recorder;
+  // The performance-attribution plane rides every sweep point so the
+  // serve.stage.* and serve.solver.* instruments land in BENCH_serve.json;
+  // the sampling profiler runs alongside (folded output only where asked).
+  if (attribution) {
+    opts.serve.stage_attribution = true;
+    opts.serve.solver_introspection = true;
+    // 5ms keeps hundreds of sweeps per point without the sampler
+    // contending the tracer mutex against every span transition.
+    opts.profile_interval = std::chrono::milliseconds(5);
+    opts.profile_path = profile_path;
+  }
 
   SweepPoint point;
   point.workers = workers;
@@ -83,6 +97,13 @@ uint64_t Counter(const core::PolicyRunResult& run, const std::string& name) {
   const auto& counters = run.telemetry->metrics.counters;
   auto it = counters.find(name);
   return it == counters.end() ? 0 : it->second;
+}
+
+double Gauge(const core::PolicyRunResult& run, const std::string& name) {
+  if (run.telemetry == nullptr) return 0.0;
+  const auto& gauges = run.telemetry->metrics.gauges;
+  auto it = gauges.find(name);
+  return it == gauges.end() ? 0.0 : it->second;
 }
 
 /// \brief One point of the fault sweep: every injection rate scaled by
@@ -194,7 +215,9 @@ Status Run() {
     LACB_ASSIGN_OR_RETURN(
         SweepPoint point,
         RunSweepPoint(data, suite, workers,
-                      workers == 4 ? &recorder : nullptr));
+                      workers == 4 ? &recorder : nullptr,
+                      /*attribution=*/true,
+                      workers == 4 ? "PROF_serve.folded" : ""));
     LACB_RETURN_NOT_OK(table.AddRow(
         {std::to_string(point.workers),
          TablePrinter::Num(point.wall_seconds, 3),
@@ -229,7 +252,83 @@ Status Run() {
               << "x)\n";
   }
 
+  // Attribution evidence: every committed batch carries stage timings and
+  // a SolveStats record.
+  {
+    uint64_t batches = Counter(points[0].run, "serve.batches");
+    uint64_t solves = Counter(points[0].run, "serve.solver.solves");
+    all_ok &= bench::ShapeCheck(
+        "solver introspection covers every committed batch",
+        batches > 0 && solves >= batches,
+        std::to_string(solves) + " solves / " + std::to_string(batches) +
+            " batches");
+    const auto& hists = points[0].run.telemetry->metrics.histograms;
+    auto solve_stage = hists.find("serve.stage.solve_seconds");
+    all_ok &= bench::ShapeCheck(
+        "stage-latency histograms populated (one sample per batch stage)",
+        solve_stage != hists.end() && solve_stage->second.count >= batches,
+        solve_stage == hists.end()
+            ? "serve.stage.solve_seconds missing"
+            : std::to_string(solve_stage->second.count) + " samples");
+  }
+
+  // Critical-path breakdown of the widest point: where a batch's wall
+  // time actually goes.
+  {
+    const core::PolicyRunResult& run = points.back().run;
+    const char* stages[] = {"queue_wait", "channel_wait", "solve", "commit",
+                            "disposition"};
+    double totals[5];
+    double sum = 0.0;
+    for (int i = 0; i < 5; ++i) {
+      totals[i] = Gauge(run, std::string("serve.stage.") + stages[i] +
+                                 "_total_seconds");
+      sum += totals[i];
+    }
+    std::cout << "\nbatch critical-path breakdown (4 workers):\n";
+    TablePrinter stage_table;
+    stage_table.SetHeader({"stage", "total_s", "share"});
+    for (int i = 0; i < 5; ++i) {
+      LACB_RETURN_NOT_OK(stage_table.AddRow(
+          {stages[i], TablePrinter::Num(totals[i], 4),
+           TablePrinter::Num(sum <= 0.0 ? 0.0 : totals[i] / sum, 3)}));
+    }
+    bench::PrintBoth(stage_table);
+  }
+
+  // Overhead of the whole attribution plane (stage timers + SolveStats +
+  // sampling profiler): paired single-worker re-runs, dark vs
+  // instrumented, interleaved and best-of-2 per side so scheduler noise
+  // and warm-up drift land on both configurations equally.
+  double plain_best = 0.0;
+  double instrumented_best = 0.0;
+  for (int rep = 0; rep < 2; ++rep) {
+    LACB_ASSIGN_OR_RETURN(
+        SweepPoint plain,
+        RunSweepPoint(data, suite, 1, nullptr, /*attribution=*/false));
+    plain_best = std::max(plain_best, plain.throughput);
+    LACB_ASSIGN_OR_RETURN(
+        SweepPoint instrumented,
+        RunSweepPoint(data, suite, 1, nullptr, /*attribution=*/true));
+    instrumented_best = std::max(instrumented_best, instrumented.throughput);
+  }
+  double slowdown = 1.0 - instrumented_best / std::max(1e-9, plain_best);
+  all_ok &= bench::ShapeCheck(
+      "attribution + profiler cost < 5% single-worker throughput",
+      slowdown < 0.05,
+      TablePrinter::Num(slowdown * 100.0, 2) + "% slower with attribution");
+
   LACB_RETURN_NOT_OK(telemetry_log.Write());
+  {
+    std::ifstream prof("PROF_serve.folded");
+    size_t stacks = 0;
+    std::string line;
+    while (std::getline(prof, line)) {
+      if (!line.empty()) ++stacks;
+    }
+    std::cout << "wrote PROF_serve.folded (" << stacks
+              << " folded stacks; feed to flamegraph.pl or speedscope)\n";
+  }
 
   // Fault sweep: scale every injection rate together and watch the
   // pipeline degrade gracefully instead of leaking requests.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "lacb/common/stopwatch.h"
 #include "lacb/obs/obs.h"
 
 namespace lacb::matching {
@@ -16,11 +17,16 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 // cost; rows are 1..n, columns 1..m, n <= m. Every row gets a column.
 // Classic formulation (e.g. e-maxx); O(n²m). `scan_steps` (when non-null)
 // accumulates the Dijkstra-like column scans — the quantity that actually
-// grows cubically and that perf PRs need to watch.
-Assignment SolveMinCost(const la::Matrix& cost, uint64_t* scan_steps) {
+// grows cubically and that perf PRs need to watch. `stats` (when non-null)
+// additionally collects phase timings and dual-update counts; both outputs
+// are gated so the null path adds no clock reads to the inner loops.
+Assignment SolveMinCost(const la::Matrix& cost, uint64_t* scan_steps,
+                        SolveStats* stats) {
   size_t n = cost.rows();
   size_t m = cost.cols();
+  const bool collect = stats != nullptr;
   uint64_t steps = 0;
+  Stopwatch phase_sw;
   std::vector<double> u(n + 1, 0.0), v(m + 1, 0.0);
   std::vector<size_t> p(m + 1, 0), way(m + 1, 0);
   for (size_t i = 1; i <= n; ++i) {
@@ -28,6 +34,8 @@ Assignment SolveMinCost(const la::Matrix& cost, uint64_t* scan_steps) {
     size_t j0 = 0;
     std::vector<double> minv(m + 1, kInf);
     std::vector<bool> used(m + 1, false);
+    uint64_t steps_before = steps;
+    if (collect) phase_sw.Restart();
     do {
       ++steps;
       used[j0] = true;
@@ -56,12 +64,26 @@ Assignment SolveMinCost(const la::Matrix& cost, uint64_t* scan_steps) {
       }
       j0 = j1;
     } while (p[j0] != 0);
+    if (collect) {
+      stats->phase_search_seconds += phase_sw.ElapsedSeconds();
+      // Scan step s of this row applies a (u, v) dual adjustment to every
+      // column marked used so far — exactly s of them — so a row that took
+      // S steps performed S(S+1)/2 adjustments in total.
+      uint64_t s = steps - steps_before;
+      stats->dual_updates += s * (s + 1) / 2;
+      phase_sw.Restart();
+    }
     do {
       size_t j1 = way[j0];
       p[j0] = p[j1];
       j0 = j1;
     } while (j0 != 0);
+    if (collect) {
+      stats->phase_update_seconds += phase_sw.ElapsedSeconds();
+      ++stats->augmenting_paths;
+    }
   }
+  if (collect) stats->iterations += steps;
   Assignment out;
   out.col_of_row.assign(n, kUnmatched);
   for (size_t j = 1; j <= m; ++j) {
@@ -76,22 +98,39 @@ Assignment SolveMinCost(const la::Matrix& cost, uint64_t* scan_steps) {
 
 }  // namespace
 
-Result<Assignment> MaxWeightAssignment(const la::Matrix& weights) {
+Result<Assignment> MaxWeightAssignment(const la::Matrix& weights,
+                                       SolveStats* stats) {
   if (weights.rows() == 0) return Assignment{};
   if (weights.rows() > weights.cols()) {
     return Status::InvalidArgument(
         "MaxWeightAssignment requires rows <= cols");
   }
   LACB_TRACE_SPAN("km_solve");
+  Stopwatch total_sw;
+  Stopwatch build_sw;
   la::Matrix cost(weights.rows(), weights.cols());
   for (size_t i = 0; i < weights.rows(); ++i) {
     for (size_t j = 0; j < weights.cols(); ++j) {
       cost(i, j) = -weights(i, j);
     }
   }
+  double build_seconds = build_sw.ElapsedSeconds();
   uint64_t scan_steps = 0;
-  Assignment a = SolveMinCost(cost, &scan_steps);
+  Assignment a = SolveMinCost(cost, &scan_steps, stats);
   a.total_weight = -a.total_weight;
+  if (stats != nullptr) {
+    SolveStats one;
+    one.solver = "km";
+    one.rows = weights.rows();
+    one.cols = weights.cols();
+    one.solves = 1;
+    one.objective = a.total_weight;
+    one.phase_build_seconds = build_seconds;
+    one.total_seconds = total_sw.ElapsedSeconds();
+    // SolveMinCost already accumulated iterations / paths / duals / phase
+    // timings directly into `stats`; fold in the per-call envelope.
+    stats->MergeFrom(one);
+  }
   obs::MetricRegistry& registry = obs::ActiveRegistry();
   registry.GetCounter("matching.km.solves").Increment();
   registry.GetCounter("matching.km.rows").Increment(weights.rows());
@@ -99,7 +138,8 @@ Result<Assignment> MaxWeightAssignment(const la::Matrix& weights) {
   return a;
 }
 
-Result<Assignment> MaxWeightAssignmentAllowSkip(const la::Matrix& weights) {
+Result<Assignment> MaxWeightAssignmentAllowSkip(const la::Matrix& weights,
+                                                SolveStats* stats) {
   if (weights.rows() == 0) return Assignment{};
   size_t n = weights.rows();
   size_t m = weights.cols();
@@ -109,7 +149,7 @@ Result<Assignment> MaxWeightAssignmentAllowSkip(const la::Matrix& weights) {
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = 0; j < m; ++j) augmented(i, j) = weights(i, j);
   }
-  LACB_ASSIGN_OR_RETURN(Assignment a, MaxWeightAssignment(augmented));
+  LACB_ASSIGN_OR_RETURN(Assignment a, MaxWeightAssignment(augmented, stats));
   Assignment out;
   out.col_of_row.assign(n, kUnmatched);
   for (size_t i = 0; i < n; ++i) {
@@ -119,6 +159,10 @@ Result<Assignment> MaxWeightAssignmentAllowSkip(const la::Matrix& weights) {
       out.total_weight += weights(i, static_cast<size_t>(j));
     }
   }
+  // The inner solve reported the augmented objective (which counts skip
+  // columns as zero, so it already equals the clamped total); keep the
+  // returned objective consistent with the assignment we hand back.
+  if (stats != nullptr) stats->objective += out.total_weight - a.total_weight;
   return out;
 }
 

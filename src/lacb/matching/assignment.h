@@ -17,6 +17,7 @@
 
 #include "lacb/common/result.h"
 #include "lacb/la/matrix.h"
+#include "lacb/matching/solve_stats.h"
 
 namespace lacb::matching {
 
@@ -35,13 +36,17 @@ struct Assignment {
 ///
 /// `weights` is rows×cols with rows <= cols; every row is matched (the
 /// paper's complete-bipartite setting — edges may carry negative refined
-/// utilities and are still usable). O(rows²·cols) time.
-Result<Assignment> MaxWeightAssignment(const la::Matrix& weights);
+/// utilities and are still usable). O(rows²·cols) time. When `stats` is
+/// non-null, per-solve introspection (scan steps, dual updates, phase
+/// timings) is merged into it; the null default skips all bookkeeping.
+Result<Assignment> MaxWeightAssignment(const la::Matrix& weights,
+                                       SolveStats* stats = nullptr);
 
 /// \brief Same, but rows may be left unmatched when every remaining edge
 /// would decrease the total (achieved by clamping gains at zero via a
 /// virtual skip column per row).
-Result<Assignment> MaxWeightAssignmentAllowSkip(const la::Matrix& weights);
+Result<Assignment> MaxWeightAssignmentAllowSkip(const la::Matrix& weights,
+                                                SolveStats* stats = nullptr);
 
 /// \brief Pads a rows×cols weight matrix (rows <= cols) with zero-weight
 /// dummy rows to a square cols×cols matrix — the paper's construction.

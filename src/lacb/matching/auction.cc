@@ -4,12 +4,14 @@
 #include <deque>
 #include <limits>
 
+#include "lacb/common/stopwatch.h"
 #include "lacb/obs/obs.h"
 
 namespace lacb::matching {
 
 Result<Assignment> AuctionAssignment(const la::Matrix& weights,
-                                     const AuctionOptions& options) {
+                                     const AuctionOptions& options,
+                                     SolveStats* stats) {
   size_t rows = weights.rows();
   size_t cols = weights.cols();
   if (rows == 0) return Assignment{};
@@ -28,7 +30,7 @@ Result<Assignment> AuctionAssignment(const la::Matrix& weights,
     // zero-weight dummy rows; the optimum over the real rows is unchanged.
     LACB_ASSIGN_OR_RETURN(la::Matrix square, PadToSquare(weights));
     LACB_ASSIGN_OR_RETURN(Assignment padded,
-                          AuctionAssignment(square, options));
+                          AuctionAssignment(square, options, stats));
     Assignment out;
     out.col_of_row.assign(rows, kUnmatched);
     for (size_t r = 0; r < rows; ++r) {
@@ -38,8 +40,15 @@ Result<Assignment> AuctionAssignment(const la::Matrix& weights,
             weights(r, static_cast<size_t>(out.col_of_row[r]));
       }
     }
+    // The recursive call recorded the padded square's objective; dummy rows
+    // carry zero weight, so align the record with the value we return.
+    if (stats != nullptr) {
+      stats->objective += out.total_weight - padded.total_weight;
+    }
     return out;
   }
+  Stopwatch total_sw;
+  Stopwatch build_sw;
 
   double w_min = weights(0, 0);
   double w_max = weights(0, 0);
@@ -50,6 +59,7 @@ Result<Assignment> AuctionAssignment(const la::Matrix& weights,
     }
   }
   double range = std::max(1e-12, w_max - w_min);
+  double build_seconds = build_sw.ElapsedSeconds();
 
   std::vector<double> price(cols, 0.0);
   std::vector<int64_t> row_of_col(cols, kUnmatched);
@@ -57,6 +67,7 @@ Result<Assignment> AuctionAssignment(const la::Matrix& weights,
 
   double eps = std::max(options.epsilon,
                         range * options.initial_epsilon_fraction);
+  Stopwatch search_sw;
   size_t iterations = 0;
   while (true) {
     // Each phase restarts the assignment but keeps prices (ε-scaling).
@@ -108,6 +119,22 @@ Result<Assignment> AuctionAssignment(const la::Matrix& weights,
   out.col_of_row = col_of_row;
   for (size_t r = 0; r < rows; ++r) {
     out.total_weight += weights(r, static_cast<size_t>(col_of_row[r]));
+  }
+  if (stats != nullptr) {
+    SolveStats one;
+    one.solver = "auction";
+    one.rows = rows;
+    one.cols = cols;
+    one.solves = 1;
+    // Every bid raises exactly one price, so bids double as dual updates.
+    one.iterations = iterations;
+    one.dual_updates = iterations;
+    one.augmenting_paths = rows;
+    one.objective = out.total_weight;
+    one.phase_build_seconds = build_seconds;
+    one.phase_search_seconds = search_sw.ElapsedSeconds();
+    one.total_seconds = total_sw.ElapsedSeconds();
+    stats->MergeFrom(one);
   }
   obs::MetricRegistry& registry = obs::ActiveRegistry();
   registry.GetCounter("matching.auction.solves").Increment();

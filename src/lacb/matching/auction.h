@@ -30,8 +30,11 @@ struct AuctionOptions {
 
 /// \brief Maximum-weight assignment of every row to a distinct column via
 /// ε-scaled auction. Requires rows <= cols. Within rows·ε of optimal.
+/// When `stats` is non-null, per-solve introspection (bids, price raises,
+/// phase timings) is merged into it.
 Result<Assignment> AuctionAssignment(const la::Matrix& weights,
-                                     const AuctionOptions& options = {});
+                                     const AuctionOptions& options = {},
+                                     SolveStats* stats = nullptr);
 
 }  // namespace lacb::matching
 

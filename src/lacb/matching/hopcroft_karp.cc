@@ -3,6 +3,8 @@
 #include <limits>
 #include <queue>
 
+#include "lacb/common/stopwatch.h"
+
 namespace lacb::matching {
 
 namespace {
@@ -67,12 +69,46 @@ bool HopcroftKarp::Dfs(size_t u) {
   return false;
 }
 
-size_t HopcroftKarp::Solve() {
+size_t HopcroftKarp::Solve(SolveStats* stats) {
+  const bool collect = stats != nullptr;
+  Stopwatch total_sw;
+  Stopwatch phase_sw;
+  uint64_t bfs_phases = 0;
+  uint64_t augmenting = 0;
+  double bfs_seconds = 0.0;
+  double dfs_seconds = 0.0;
   size_t matching = 0;
-  while (Bfs()) {
+  while (true) {
+    if (collect) phase_sw.Restart();
+    bool layered = Bfs();
+    if (collect) bfs_seconds += phase_sw.ElapsedSeconds();
+    if (!layered) break;
+    ++bfs_phases;
+    if (collect) phase_sw.Restart();
     for (size_t u = 0; u < left_; ++u) {
-      if (match_left_[u] == -1 && Dfs(u)) ++matching;
+      if (match_left_[u] == -1 && Dfs(u)) {
+        ++matching;
+        ++augmenting;
+      }
     }
+    if (collect) dfs_seconds += phase_sw.ElapsedSeconds();
+  }
+  if (collect) {
+    SolveStats one;
+    one.solver = "hk";
+    one.rows = left_;
+    one.cols = right_;
+    one.solves = 1;
+    one.iterations = bfs_phases;
+    one.augmenting_paths = augmenting;
+    one.dual_updates = 0;
+    one.objective = static_cast<double>(matching);
+    // BFS layers the residual graph (the build work); DFS extracts the
+    // augmenting-path set (the search work).
+    one.phase_build_seconds = bfs_seconds;
+    one.phase_search_seconds = dfs_seconds;
+    one.total_seconds = total_sw.ElapsedSeconds();
+    stats->MergeFrom(one);
   }
   return matching;
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "lacb/common/result.h"
+#include "lacb/matching/solve_stats.h"
 
 namespace lacb::matching {
 
@@ -23,8 +24,10 @@ class HopcroftKarp {
   /// \brief Adds an edge between left vertex u and right vertex v.
   Status AddEdge(size_t u, size_t v);
 
-  /// \brief Computes the maximum matching; returns its cardinality.
-  size_t Solve();
+  /// \brief Computes the maximum matching; returns its cardinality. When
+  /// `stats` is non-null, per-solve introspection (BFS phases, augmenting
+  /// paths, phase timings) is merged into it.
+  size_t Solve(SolveStats* stats = nullptr);
 
   /// \brief After Solve: matched right vertex per left vertex (-1 if none).
   const std::vector<int64_t>& right_of_left() const { return match_left_; }

@@ -4,6 +4,7 @@
 #include <limits>
 #include <queue>
 
+#include "lacb/common/stopwatch.h"
 #include "lacb/obs/obs.h"
 
 namespace lacb::matching {
@@ -31,13 +32,16 @@ Result<size_t> MinCostFlow::AddEdge(size_t from, size_t to, int64_t capacity,
 }
 
 Result<MinCostFlow::FlowResult> MinCostFlow::Solve(size_t source, size_t sink,
-                                                   int64_t max_flow) {
+                                                   int64_t max_flow,
+                                                   SolveStats* stats) {
   if (source >= graph_.size() || sink >= graph_.size()) {
     return Status::OutOfRange("MinCostFlow::Solve node out of range");
   }
   if (source == sink) {
     return Status::InvalidArgument("source and sink must differ");
   }
+  Stopwatch total_sw;
+  Stopwatch build_sw;
   size_t n = graph_.size();
   std::vector<double> potential(n, 0.0);
 
@@ -66,8 +70,12 @@ Result<MinCostFlow::FlowResult> MinCostFlow::Solve(size_t source, size_t sink,
   }
 
   LACB_TRACE_SPAN("flow_solve");
+  double build_seconds = build_sw.ElapsedSeconds();
+  Stopwatch search_sw;
   FlowResult result;
   uint64_t augmentations = 0;
+  uint64_t queue_pops = 0;
+  uint64_t potential_updates = 0;
   std::vector<double> dist(n);
   std::vector<size_t> prev_node(n), prev_edge(n);
   std::vector<bool> reachable(n);
@@ -82,6 +90,7 @@ Result<MinCostFlow::FlowResult> MinCostFlow::Solve(size_t source, size_t sink,
     while (!pq.empty()) {
       auto [d, u] = pq.top();
       pq.pop();
+      ++queue_pops;
       if (d > dist[u] + 1e-12) continue;
       reachable[u] = true;
       for (size_t ei = 0; ei < graph_[u].size(); ++ei) {
@@ -99,7 +108,10 @@ Result<MinCostFlow::FlowResult> MinCostFlow::Solve(size_t source, size_t sink,
     }
     if (dist[sink] == kInf) break;
     for (size_t u = 0; u < n; ++u) {
-      if (dist[u] < kInf) potential[u] += dist[u];
+      if (dist[u] < kInf) {
+        potential[u] += dist[u];
+        ++potential_updates;
+      }
     }
     // Bottleneck along the augmenting path.
     int64_t push = max_flow - result.flow;
@@ -114,6 +126,21 @@ Result<MinCostFlow::FlowResult> MinCostFlow::Solve(size_t source, size_t sink,
     }
     result.flow += push;
     ++augmentations;
+  }
+  if (stats != nullptr) {
+    SolveStats one;
+    one.solver = "mcf";
+    one.rows = n;
+    one.cols = edge_locator_.size();
+    one.solves = 1;
+    one.iterations = queue_pops;
+    one.augmenting_paths = augmentations;
+    one.dual_updates = potential_updates;
+    one.objective = result.cost;
+    one.phase_build_seconds = build_seconds;
+    one.phase_search_seconds = search_sw.ElapsedSeconds();
+    one.total_seconds = total_sw.ElapsedSeconds();
+    stats->MergeFrom(one);
   }
   obs::MetricRegistry& registry = obs::ActiveRegistry();
   registry.GetCounter("matching.mcf.solves").Increment();

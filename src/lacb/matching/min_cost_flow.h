@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "lacb/common/result.h"
+#include "lacb/matching/solve_stats.h"
 
 namespace lacb::matching {
 
@@ -31,13 +32,16 @@ class MinCostFlow {
 
   /// \brief Sends up to `max_flow` units from `source` to `sink` at minimum
   /// total cost. Lower `max_flow` bounds allow partial-flow use; pass
-  /// INT64_MAX for a full max-flow.
+  /// INT64_MAX for a full max-flow. When `stats` is non-null, per-solve
+  /// introspection (queue pops, augmentations, potential updates, phase
+  /// timings) is merged into it; rows/cols report nodes/edges.
   struct FlowResult {
     int64_t flow = 0;
     double cost = 0.0;
   };
   Result<FlowResult> Solve(size_t source, size_t sink,
-                           int64_t max_flow = INT64_MAX);
+                           int64_t max_flow = INT64_MAX,
+                           SolveStats* stats = nullptr);
 
   /// \brief Flow currently on edge `edge_id` (after Solve).
   Result<int64_t> FlowOn(size_t edge_id) const;

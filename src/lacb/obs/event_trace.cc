@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "lacb/common/logging.h"
 #include "lacb/obs/context.h"
 #include "lacb/obs/snapshot.h"
 
@@ -195,8 +196,14 @@ JsonValue ChromeTraceJson(const TraceSnapshot& snapshot,
 
 Status WriteChromeTrace(const EventRecorder& recorder, const std::string& path,
                         const std::string& process_name) {
-  return WriteJsonFile(ChromeTraceJson(recorder.Snapshot(), process_name),
-                       path);
+  TraceSnapshot snapshot = recorder.Snapshot();
+  if (snapshot.dropped > 0) {
+    LACB_LOG(Warning) << "chrome trace " << path << " is truncated: "
+                      << snapshot.dropped
+                      << " events were dropped (raise the recorder's "
+                         "per-thread capacity for a complete timeline)";
+  }
+  return WriteJsonFile(ChromeTraceJson(snapshot, process_name), path);
 }
 
 }  // namespace lacb::obs

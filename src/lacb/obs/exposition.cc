@@ -1,5 +1,6 @@
 #include "lacb/obs/exposition.h"
 
+#include "lacb/obs/build_info.h"
 #include "lacb/obs/prometheus.h"
 
 #if !defined(_WIN32)
@@ -201,10 +202,13 @@ void ExpositionServer::HandleConnection(int client_fd) {
 
   if (path == "/metrics") {
     scrapes_.fetch_add(1, std::memory_order_relaxed);
+    // Build identity and uptime lead every response, so they are present
+    // from the first scrape regardless of what the registry holds yet.
     SendAll(client_fd,
             HttpResponse(200, "OK",
                          "text/plain; version=0.0.4; charset=utf-8",
-                         RenderPrometheus(snapshot_fn_())));
+                         RenderBuildInfoMetrics() +
+                             RenderPrometheus(snapshot_fn_())));
   } else if (path == "/healthz") {
     if (!health_fn_) {
       // No health source wired: stay a liveness-only 200.

@@ -1,0 +1,91 @@
+#include "lacb/obs/profiler.h"
+
+#include <sstream>
+#include <utility>
+
+#include "lacb/persist/bytes.h"
+
+namespace lacb::obs {
+
+SpanProfiler::~SpanProfiler() { Stop(); }
+
+Status SpanProfiler::Start(Tracer* tracer,
+                           std::chrono::milliseconds interval) {
+  if (tracer == nullptr) {
+    return Status::InvalidArgument("SpanProfiler needs a tracer");
+  }
+  if (interval.count() <= 0) {
+    return Status::InvalidArgument("profiler interval must be positive");
+  }
+  if (thread_.joinable()) {
+    return Status::FailedPrecondition("profiler already running");
+  }
+  tracer_ = tracer;
+  tracer_->SetSamplingEnabled(true);
+  {
+    std::lock_guard<std::mutex> lock(thread_mu_);
+    stop_ = false;
+  }
+  thread_ = std::thread([this, interval] { Loop(interval); });
+  return Status::OK();
+}
+
+void SpanProfiler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(thread_mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  if (tracer_ != nullptr) {
+    tracer_->SetSamplingEnabled(false);
+    tracer_ = nullptr;
+  }
+}
+
+void SpanProfiler::SampleOnce() {
+  if (tracer_ == nullptr) return;
+  std::vector<std::string> stacks = tracer_->SampleOpenStacks();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++sweeps_;
+  for (std::string& stack : stacks) {
+    if (stack.empty()) continue;
+    ++counts_[std::move(stack)];
+  }
+}
+
+void SpanProfiler::Loop(std::chrono::milliseconds interval) {
+  std::unique_lock<std::mutex> lock(thread_mu_);
+  for (;;) {
+    if (cv_.wait_for(lock, interval, [this] { return stop_; })) break;
+    lock.unlock();
+    SampleOnce();
+    lock.lock();
+  }
+  // Final sweep so very short profiles still observe something.
+  lock.unlock();
+  SampleOnce();
+}
+
+std::map<std::string, uint64_t> SpanProfiler::FoldedCounts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_;
+}
+
+uint64_t SpanProfiler::sweeps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sweeps_;
+}
+
+Status SpanProfiler::WriteFolded(const std::string& path) const {
+  std::ostringstream out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [stack, count] : counts_) {
+      out << stack << ' ' << count << '\n';
+    }
+  }
+  return persist::WriteFileAtomic(path, out.str(), /*do_fsync=*/false);
+}
+
+}  // namespace lacb::obs

@@ -1,0 +1,80 @@
+// Sampling span profiler: periodic snapshots of the open LACB_TRACE_SPAN
+// stacks, folded into flamegraph input.
+//
+// The aggregated span tree (obs/trace.h) answers "how long did each span
+// take in total"; a *sampling* profile answers "where was the time when we
+// looked" — the classic flamegraph view, robust to spans that never close
+// during the observation window. A SpanProfiler thread wakes every
+// `interval`, asks the tracer for each thread's currently-open span stack,
+// and counts identical stacks. WriteFolded() emits the standard
+// collapsed-stack format — one "outer;inner;leaf <count>" line per
+// distinct stack — consumable by flamegraph.pl or speedscope as-is.
+//
+// Sampling requires Tracer::SetSamplingEnabled (Start/Stop manage it), and
+// that costs tracing threads one relaxed atomic load per span transition
+// while enabled; stopped profilers leave the default path untouched.
+
+#ifndef LACB_OBS_PROFILER_H_
+#define LACB_OBS_PROFILER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "lacb/common/result.h"
+#include "lacb/obs/trace.h"
+
+namespace lacb::obs {
+
+/// \brief Samples a tracer's open span stacks on a background thread.
+class SpanProfiler {
+ public:
+  SpanProfiler() = default;
+  ~SpanProfiler();
+  SpanProfiler(const SpanProfiler&) = delete;
+  SpanProfiler& operator=(const SpanProfiler&) = delete;
+
+  /// \brief Enables sampling on `tracer` (which must outlive the profiler
+  /// or Stop()) and spawns the sampler thread. Fails when already running
+  /// or `interval` is not positive.
+  Status Start(Tracer* tracer, std::chrono::milliseconds interval);
+
+  /// \brief Takes one final sample, joins the thread, and disables
+  /// sampling on the tracer. Idempotent; the destructor calls it.
+  void Stop();
+
+  /// \brief Takes one sample immediately (also called by the thread).
+  void SampleOnce();
+
+  /// \brief Folded-stack counts accumulated so far (thread-safe copy).
+  std::map<std::string, uint64_t> FoldedCounts() const;
+
+  /// \brief Total number of sampling sweeps taken.
+  uint64_t sweeps() const;
+
+  /// \brief Writes "stack count" lines (sorted by stack) atomically, e.g.
+  /// to PROF_serve.folded. Threads idle at every sweep produce no lines.
+  Status WriteFolded(const std::string& path) const;
+
+ private:
+  void Loop(std::chrono::milliseconds interval);
+
+  Tracer* tracer_ = nullptr;
+
+  mutable std::mutex mu_;  // guards counts_ and sweeps_
+  std::map<std::string, uint64_t> counts_;
+  uint64_t sweeps_ = 0;
+
+  std::mutex thread_mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace lacb::obs
+
+#endif  // LACB_OBS_PROFILER_H_

@@ -1,0 +1,141 @@
+#include "lacb/obs/slo.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace lacb::obs {
+
+namespace {
+
+// Bucket granularity: fine enough that the short window spans ~60 buckets,
+// but never below one second (steady_clock resolution games aside, coarser
+// buckets keep the ring small: a 5m/1h pair costs 720 slots).
+std::chrono::seconds BucketWidthFor(const SloSpec& spec) {
+  auto width = spec.short_window / 60;
+  if (width < std::chrono::seconds(1)) width = std::chrono::seconds(1);
+  return std::chrono::duration_cast<std::chrono::seconds>(width);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SloTracker>> SloTracker::Create(SloSpec spec) {
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("SloSpec needs a name");
+  }
+  if (spec.objective <= 0.0 || spec.objective >= 1.0) {
+    return Status::InvalidArgument("SloSpec objective must be in (0, 1)");
+  }
+  if (spec.short_window <= std::chrono::seconds(0) ||
+      spec.long_window <= spec.short_window) {
+    return Status::InvalidArgument(
+        "SloSpec windows must satisfy 0 < short < long");
+  }
+  if (spec.slow_burn_threshold <= 0.0 ||
+      spec.fast_burn_threshold <= spec.slow_burn_threshold) {
+    return Status::InvalidArgument(
+        "SloSpec burn thresholds must satisfy 0 < slow < fast");
+  }
+  if (spec.recovery_hold < std::chrono::seconds(0)) {
+    return Status::InvalidArgument("SloSpec recovery_hold must be >= 0");
+  }
+  return std::unique_ptr<SloTracker>(new SloTracker(std::move(spec)));
+}
+
+SloTracker::SloTracker(SloSpec spec) : spec_(std::move(spec)) {
+  bucket_width_ = BucketWidthFor(spec_);
+  size_t slots =
+      static_cast<size_t>(spec_.long_window / bucket_width_) + 1;
+  ring_.assign(slots, Bucket{});
+}
+
+int64_t SloTracker::BucketIndex(Clock::time_point t) const {
+  if (!epoch_set_ || t <= epoch_) return 0;
+  return (t - epoch_) / bucket_width_;
+}
+
+void SloTracker::RecordAt(bool good, Clock::time_point t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!epoch_set_) {
+    epoch_ = t;
+    epoch_set_ = true;
+  }
+  // Time never runs backwards for the ring: a late event lands in the
+  // newest bucket rather than resurrecting an expired slot.
+  int64_t idx = std::max(BucketIndex(t), last_index_);
+  last_index_ = std::max(last_index_, idx);
+  Bucket& slot = ring_[static_cast<size_t>(idx) % ring_.size()];
+  if (slot.index != idx) {
+    slot = Bucket{};
+    slot.index = idx;
+  }
+  if (good) {
+    ++slot.good;
+  } else {
+    ++slot.bad;
+  }
+}
+
+void SloTracker::SumWindow(int64_t now_index, std::chrono::seconds window,
+                           uint64_t* good, uint64_t* bad) const {
+  *good = 0;
+  *bad = 0;
+  int64_t span = window / bucket_width_;
+  int64_t first = now_index - span + 1;
+  if (first < 0) first = 0;
+  for (int64_t idx = first; idx <= now_index; ++idx) {
+    const Bucket& slot = ring_[static_cast<size_t>(idx) % ring_.size()];
+    if (slot.index != idx) continue;
+    *good += slot.good;
+    *bad += slot.bad;
+  }
+}
+
+SloEvaluation SloTracker::EvaluateAt(Clock::time_point t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SloEvaluation eval;
+  if (!epoch_set_) return eval;
+  int64_t now_index = std::max(BucketIndex(t), last_index_);
+
+  uint64_t good_s = 0, bad_s = 0, good_l = 0, bad_l = 0;
+  SumWindow(now_index, spec_.short_window, &good_s, &bad_s);
+  SumWindow(now_index, spec_.long_window, &good_l, &bad_l);
+  eval.good_long = good_l;
+  eval.bad_long = bad_l;
+
+  double budget = 1.0 - spec_.objective;  // bad fraction allowed
+  auto burn = [budget](uint64_t good, uint64_t bad) {
+    uint64_t total = good + bad;
+    if (total == 0) return 0.0;
+    double bad_fraction =
+        static_cast<double>(bad) / static_cast<double>(total);
+    return bad_fraction / budget;
+  };
+  eval.burn_rate_short = burn(good_s, bad_s);
+  eval.burn_rate_long = burn(good_l, bad_l);
+  // Budget spend over the long window: burn 1.0 sustained for the whole
+  // window consumes exactly the budget.
+  eval.budget_remaining = 1.0 - eval.burn_rate_long;
+
+  // Multi-window condition: both windows must burn hot, so a spike that
+  // already aged out of the short window (or hasn't reached the long one
+  // materially) does not trip.
+  bool fast = eval.burn_rate_short >= spec_.fast_burn_threshold &&
+              eval.burn_rate_long >= spec_.fast_burn_threshold;
+  bool slow = eval.burn_rate_short >= spec_.slow_burn_threshold &&
+              eval.burn_rate_long >= spec_.slow_burn_threshold;
+  BurnState target =
+      fast ? BurnState::kFastBurn
+           : (slow ? BurnState::kSlowBurn : BurnState::kOk);
+  if (target >= state_) {
+    state_ = target;
+    if (target != BurnState::kOk) last_breach_ = t;
+  } else if (t - last_breach_ >= spec_.recovery_hold) {
+    // Hysteresis satisfied: drop to whatever the conditions support now.
+    state_ = target;
+    if (target != BurnState::kOk) last_breach_ = t;
+  }
+  eval.state = state_;
+  return eval;
+}
+
+}  // namespace lacb::obs

@@ -1,0 +1,122 @@
+// Declarative SLOs with multi-window burn-rate evaluation.
+//
+// An SloSpec states an objective ("99% of requests commit within 50ms",
+// "99.9% of arrivals are admitted"); an SloTracker ingests good/bad events
+// and evaluates the error-budget burn rate over a short and a long window
+// (the classical 5m/1h pair). A burn rate of 1.0 means the budget is being
+// consumed exactly at the rate that exhausts it at the end of the long
+// window; multi-window alerting fires only when BOTH windows burn hot, so
+// a brief spike (short hot, long cool) and an old incident (long hot,
+// short cool) both stay quiet. Recovery applies hysteresis: a tracker
+// leaves a burn state only after the condition has been clear for
+// `recovery_hold`, preventing health flapping at the threshold.
+//
+// All evaluation methods have *At variants taking an explicit timestamp so
+// burn-rate math is unit-testable without wall-clock sleeps.
+
+#ifndef LACB_OBS_SLO_H_
+#define LACB_OBS_SLO_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "lacb/common/result.h"
+
+namespace lacb::obs {
+
+/// \brief One service-level objective over a stream of good/bad events.
+struct SloSpec {
+  /// Dotted snake_case identifier; becomes the slo.<name>.* gauge prefix.
+  std::string name;
+  /// Target good fraction in (0, 1), e.g. 0.99 for a 1% error budget.
+  double objective = 0.99;
+  /// For latency SLOs: the threshold the caller compares against when
+  /// classifying an event as good or bad. Informational to the tracker
+  /// (classification happens at the recording site).
+  double latency_threshold_seconds = 0.0;
+  /// Multi-window pair; short confirms "still happening", long confirms
+  /// "material budget spend".
+  std::chrono::seconds short_window{300};
+  std::chrono::seconds long_window{3600};
+  /// Burn-rate thresholds (Google SRE workbook defaults for a 1h window).
+  double fast_burn_threshold = 14.4;
+  double slow_burn_threshold = 3.0;
+  /// A burn state is left only after this long below threshold.
+  std::chrono::seconds recovery_hold{60};
+  /// Critical SLOs escalate fast burn to unhealthy (else degraded).
+  bool critical = false;
+};
+
+/// \brief Burn severity, ordered by badness.
+enum class BurnState { kOk = 0, kSlowBurn = 1, kFastBurn = 2 };
+
+/// \brief One evaluation of a tracker at a point in time.
+struct SloEvaluation {
+  BurnState state = BurnState::kOk;
+  /// Bad-fraction / error-budget over each window (0 when no events).
+  double burn_rate_short = 0.0;
+  double burn_rate_long = 0.0;
+  /// Fraction of the long-window error budget still unspent; negative
+  /// once the budget is exhausted.
+  double budget_remaining = 1.0;
+  uint64_t good_long = 0;
+  uint64_t bad_long = 0;
+};
+
+/// \brief Ingests good/bad events and evaluates burn rates. Thread-safe.
+class SloTracker {
+ public:
+  /// \brief Validates the spec (windows positive, short < long, objective
+  /// in (0,1), name non-empty). Heap-allocated because the tracker owns a
+  /// mutex and must stay address-stable.
+  static Result<std::unique_ptr<SloTracker>> Create(SloSpec spec);
+
+  using Clock = std::chrono::steady_clock;
+
+  /// \brief Records one event against the wall clock.
+  void Record(bool good) { RecordAt(good, Clock::now()); }
+  /// \brief Records one event at an explicit time (monotone per tracker;
+  /// out-of-order timestamps land in the bucket of the latest time seen).
+  void RecordAt(bool good, Clock::time_point t);
+
+  /// \brief Evaluates burn rates and the hysteresis state machine.
+  SloEvaluation Evaluate() { return EvaluateAt(Clock::now()); }
+  SloEvaluation EvaluateAt(Clock::time_point t);
+
+  const SloSpec& spec() const { return spec_; }
+
+ private:
+  explicit SloTracker(SloSpec spec);
+
+  struct Bucket {
+    int64_t index = -1;  // absolute bucket number; -1 = empty
+    uint64_t good = 0;
+    uint64_t bad = 0;
+  };
+
+  int64_t BucketIndex(Clock::time_point t) const;
+  // Sums events over the trailing `window` ending at bucket `now_index`,
+  // inclusive. Caller holds mu_.
+  void SumWindow(int64_t now_index, std::chrono::seconds window,
+                 uint64_t* good, uint64_t* bad) const;
+
+  SloSpec spec_;
+  std::chrono::seconds bucket_width_{1};
+  mutable std::mutex mu_;
+  std::vector<Bucket> ring_;
+  Clock::time_point epoch_;
+  bool epoch_set_ = false;
+  int64_t last_index_ = -1;
+  BurnState state_ = BurnState::kOk;
+  // Last time the current (or a higher) severity's condition held; the
+  // state decays one level only after recovery_hold past this point.
+  Clock::time_point last_breach_{};
+};
+
+}  // namespace lacb::obs
+
+#endif  // LACB_OBS_SLO_H_

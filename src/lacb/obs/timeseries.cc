@@ -1,9 +1,10 @@
 #include "lacb/obs/timeseries.h"
 
-#include <fstream>
+#include <sstream>
 #include <utility>
 
 #include "lacb/obs/context.h"
+#include "lacb/persist/bytes.h"
 
 namespace lacb::obs {
 
@@ -57,10 +58,9 @@ Result<TimeSeries> TimeSeries::FromJson(const JsonValue& json) {
 }
 
 Status TimeSeries::WriteJsonl(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) {
-    return Status::IoError("cannot open " + path + " for writing");
-  }
+  // Rendered in memory and written atomically so a concurrent reader (or
+  // an interrupted run) never sees a half-written series.
+  std::ostringstream out;
   for (const SamplePoint& p : points) {
     JsonValue line = JsonValue::Object();
     line.Set("t", p.t);
@@ -69,10 +69,7 @@ Status TimeSeries::WriteJsonl(const std::string& path) const {
     line.Set("values", std::move(values));
     out << line.ToString(0) << "\n";
   }
-  if (!out) {
-    return Status::IoError("failed writing " + path);
-  }
-  return Status::OK();
+  return persist::WriteFileAtomic(path, out.str(), /*do_fsync=*/false);
 }
 
 TimeSeriesSampler::TimeSeriesSampler(Options options)

@@ -24,6 +24,17 @@ namespace {
 // falls back to the root, so stale pointers are never followed.
 thread_local Tracer::Node* tl_open_span = nullptr;
 
+// Process-unique tracer ids let each thread cache its publication slot
+// without ever dereferencing a slot that belongs to a dead tracer (a new
+// tracer has a new id, so the cache simply misses).
+std::atomic<uint64_t> g_next_tracer_id{1};
+
+struct TlSlotCache {
+  uint64_t tracer_id = 0;
+  void* slot = nullptr;
+};
+thread_local TlSlotCache tl_slot_cache;
+
 SpanSnapshot SnapshotNode(const Tracer::Node& node) {
   SpanSnapshot snap;
   snap.label = node.label;
@@ -52,7 +63,9 @@ void AggregateNode(const Tracer::Node& node,
 
 }  // namespace
 
-Tracer::Tracer() : root_(std::make_unique<Node>()) {
+Tracer::Tracer()
+    : root_(std::make_unique<Node>()),
+      tracer_id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)) {
   root_->owner = this;
 }
 
@@ -63,6 +76,16 @@ Tracer::~Tracer() {
   if (tl_open_span != nullptr && tl_open_span->owner == this) {
     tl_open_span = nullptr;
   }
+}
+
+Tracer::OpenSlot* Tracer::ThreadSlotLocked() {
+  if (tl_slot_cache.tracer_id == tracer_id_) {
+    return static_cast<OpenSlot*>(tl_slot_cache.slot);
+  }
+  open_slots_.push_back(std::make_unique<OpenSlot>());
+  tl_slot_cache.tracer_id = tracer_id_;
+  tl_slot_cache.slot = open_slots_.back().get();
+  return open_slots_.back().get();
 }
 
 Tracer::Node* Tracer::Enter(const char* label) {
@@ -78,6 +101,9 @@ Tracer::Node* Tracer::Enter(const char* label) {
     slot->owner = this;
   }
   tl_open_span = slot.get();
+  if (sampling_enabled_.load(std::memory_order_relaxed)) {
+    ThreadSlotLocked()->top = slot.get();
+  }
   return slot.get();
 }
 
@@ -93,10 +119,46 @@ void Tracer::Exit(Node* node, double elapsed_seconds) {
     }
     ++node->count;
     node->total_seconds += elapsed_seconds;
+    if (sampling_enabled_.load(std::memory_order_relaxed)) {
+      OpenSlot* open = ThreadSlotLocked();
+      // Only retract the publication if this thread still has `node` on
+      // top (a span opened before sampling was enabled never published).
+      if (open->top == node) {
+        open->top = node->parent == root_.get() ? nullptr : node->parent;
+      }
+    }
   }
   if (tl_open_span == node) {
     tl_open_span = node->parent == root_.get() ? nullptr : node->parent;
   }
+}
+
+void Tracer::SetSamplingEnabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sampling_enabled_.store(enabled, std::memory_order_relaxed);
+  if (!enabled) {
+    for (auto& slot : open_slots_) slot->top = nullptr;
+  }
+}
+
+std::vector<std::string> Tracer::SampleOpenStacks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& slot : open_slots_) {
+    const Node* n = slot->top;
+    if (n == nullptr) continue;
+    std::vector<const std::string*> labels;
+    for (; n != nullptr && n != root_.get(); n = n->parent) {
+      labels.push_back(&n->label);
+    }
+    std::string folded;
+    for (auto it = labels.rbegin(); it != labels.rend(); ++it) {
+      if (!folded.empty()) folded += ';';
+      folded += **it;
+    }
+    out.push_back(std::move(folded));
+  }
+  return out;
 }
 
 std::vector<SpanSnapshot> Tracer::Snapshot() const {

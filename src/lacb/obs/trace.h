@@ -14,6 +14,7 @@
 #ifndef LACB_OBS_TRACE_H_
 #define LACB_OBS_TRACE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -62,16 +63,38 @@ class Tracer {
   /// \brief Per-label totals regardless of nesting position.
   std::map<std::string, SpanAggregate> AggregateByLabel() const;
 
+  /// \brief Turns open-span publication on or off (see SampleOpenStacks).
+  /// Off by default: the only cost on the default path is one relaxed
+  /// atomic load per span enter/exit.
+  void SetSamplingEnabled(bool enabled);
+
+  /// \brief One folded call stack ("outer;inner;leaf") per thread that
+  /// currently has a span open. Requires SetSamplingEnabled(true); spans
+  /// opened before enabling publish from their next transition onward.
+  /// Safe to call concurrently with tracing threads (everything is
+  /// synchronized on the tracer mutex).
+  std::vector<std::string> SampleOpenStacks() const;
+
  private:
   friend class ScopedSpan;
+
+  /// Per-thread published top-of-stack; lives until the tracer dies.
+  struct OpenSlot {
+    Node* top = nullptr;  // guarded by mu_
+  };
 
   /// Opens a child of this thread's innermost open span (or the root).
   Node* Enter(const char* label);
   /// Closes `node`, folding `elapsed_seconds` into its stats.
   void Exit(Node* node, double elapsed_seconds);
+  /// This thread's slot, created on first use. Caller holds mu_.
+  OpenSlot* ThreadSlotLocked();
 
   std::unique_ptr<Node> root_;
   mutable std::mutex mu_;
+  const uint64_t tracer_id_;
+  std::atomic<bool> sampling_enabled_{false};
+  std::vector<std::unique_ptr<OpenSlot>> open_slots_;  // guarded by mu_
 };
 
 /// \brief RAII span handle; use via LACB_TRACE_SPAN.

@@ -31,7 +31,8 @@ Result<std::vector<int64_t>> AnPolicy::AssignBatch(const BatchInput& input) {
   for (size_t c = 0; c < u.cols(); ++c) {
     if (w[c] < capacity_[c]) eligible.push_back(c);
   }
-  return SolveBatchAssignment(u, eligible, config_.pad_to_square);
+  return SolveBatchAssignment(u, eligible, config_.pad_to_square,
+                              StatsSink(input));
 }
 
 Status AnPolicy::EndDay(const sim::DayOutcome& outcome) {

@@ -6,7 +6,7 @@ namespace lacb::policy {
 
 Result<std::vector<int64_t>> SolveBatchAssignment(
     const la::Matrix& utility, const std::vector<size_t>& eligible,
-    bool pad_to_square) {
+    bool pad_to_square, matching::SolveStats* stats) {
   size_t num_requests = utility.rows();
   std::vector<int64_t> out(num_requests, matching::kUnmatched);
   if (eligible.empty() || num_requests == 0) return out;
@@ -26,9 +26,9 @@ Result<std::vector<int64_t>> SolveBatchAssignment(
     matching::Assignment a;
     if (pad_to_square) {
       LACB_ASSIGN_OR_RETURN(la::Matrix square, matching::PadToSquare(w));
-      LACB_ASSIGN_OR_RETURN(a, matching::MaxWeightAssignment(square));
+      LACB_ASSIGN_OR_RETURN(a, matching::MaxWeightAssignment(square, stats));
     } else {
-      LACB_ASSIGN_OR_RETURN(a, matching::MaxWeightAssignment(w));
+      LACB_ASSIGN_OR_RETURN(a, matching::MaxWeightAssignment(w, stats));
     }
     for (size_t r = 0; r < num_requests; ++r) {
       int64_t col = a.col_of_row[r];
@@ -48,7 +48,7 @@ Result<std::vector<int64_t>> SolveBatchAssignment(
     }
   }
   LACB_ASSIGN_OR_RETURN(matching::Assignment a,
-                        matching::MaxWeightAssignment(w));
+                        matching::MaxWeightAssignment(w, stats));
   for (size_t c = 0; c < eligible.size(); ++c) {
     int64_t r = a.col_of_row[c];
     if (r != matching::kUnmatched) {

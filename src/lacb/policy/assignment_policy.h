@@ -17,6 +17,7 @@
 
 #include "lacb/common/result.h"
 #include "lacb/la/matrix.h"
+#include "lacb/matching/solve_stats.h"
 #include "lacb/persist/bytes.h"
 #include "lacb/sim/platform.h"
 
@@ -32,6 +33,10 @@ struct BatchInput {
   const std::vector<double>* workloads = nullptr;
   size_t day = 0;
   size_t batch = 0;
+  /// When set, the policy records solver introspection for this batch,
+  /// readable via AssignmentPolicy::last_solve_stats() until the next
+  /// AssignBatch call. Off by default (no extra clock reads in solvers).
+  bool collect_solve_stats = false;
 };
 
 /// \brief Base class of all assignment/recommendation algorithms.
@@ -75,6 +80,26 @@ class AssignmentPolicy {
     (void)r;
     return Status::OK();
   }
+
+  /// \brief Solver introspection for the most recent AssignBatch, or null
+  /// when the batch did not request stats (or the policy runs no solver).
+  const matching::SolveStats* last_solve_stats() const {
+    return solve_stats_valid_ ? &solve_stats_ : nullptr;
+  }
+
+ protected:
+  /// \brief Policies call this at the top of AssignBatch: resets the
+  /// per-batch record and returns the stats sink to thread into solver
+  /// calls (null when the batch did not opt in).
+  matching::SolveStats* StatsSink(const BatchInput& input) {
+    solve_stats_valid_ = input.collect_solve_stats;
+    solve_stats_ = matching::SolveStats{};
+    return solve_stats_valid_ ? &solve_stats_ : nullptr;
+  }
+
+ private:
+  matching::SolveStats solve_stats_;
+  bool solve_stats_valid_ = false;
 };
 
 /// \brief Builds fresh, identically-configured policy instances on demand.
@@ -96,7 +121,7 @@ using PolicyFactory =
 /// surplus requests stay unassigned (prefix order).
 Result<std::vector<int64_t>> SolveBatchAssignment(
     const la::Matrix& utility, const std::vector<size_t>& eligible,
-    bool pad_to_square);
+    bool pad_to_square, matching::SolveStats* stats = nullptr);
 
 }  // namespace lacb::policy
 

@@ -41,6 +41,7 @@ Result<std::vector<int64_t>> FlowPolicy::AssignBatch(const BatchInput& input) {
   if (capacity_.size() != u.cols()) {
     return Status::FailedPrecondition("Flow policy day was not begun");
   }
+  matching::SolveStats* stats = StatsSink(input);
   size_t num_requests = u.rows();
   std::vector<int64_t> out(num_requests, -1);
   if (num_requests == 0) return out;
@@ -79,7 +80,7 @@ Result<std::vector<int64_t>> FlowPolicy::AssignBatch(const BatchInput& input) {
     LACB_RETURN_NOT_OK(
         g.AddEdge(1 + num_requests + e, sink, residual[e], 0.0).status());
   }
-  LACB_RETURN_NOT_OK(g.Solve(source, sink).status());
+  LACB_RETURN_NOT_OK(g.Solve(source, sink, INT64_MAX, stats).status());
   for (size_t r = 0; r < num_requests; ++r) {
     for (size_t e = 0; e < eligible.size(); ++e) {
       LACB_ASSIGN_OR_RETURN(int64_t flow, g.FlowOn(edge_ids[r][e]));

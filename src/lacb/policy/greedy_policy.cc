@@ -8,8 +8,11 @@ Result<std::vector<int64_t>> GreedyPolicy::AssignBatch(
     const BatchInput& input) {
   const la::Matrix& u = *input.utility;
   const std::vector<double>& w = *input.workloads;
+  matching::SolveStats* stats = StatsSink(input);
   std::vector<int64_t> out(u.rows(), matching::kUnmatched);
   std::vector<bool> taken(u.cols(), false);
+  double total = 0.0;
+  uint64_t matched = 0;
   for (size_t r = 0; r < u.rows(); ++r) {
     int64_t best = matching::kUnmatched;
     double best_u = -1.0;
@@ -24,7 +27,18 @@ Result<std::vector<int64_t>> GreedyPolicy::AssignBatch(
     if (best != matching::kUnmatched) {
       taken[static_cast<size_t>(best)] = true;
       out[r] = best;
+      total += best_u;
+      ++matched;
     }
+  }
+  if (stats != nullptr) {
+    stats->solver = "greedy";
+    stats->rows = u.rows();
+    stats->cols = u.cols();
+    stats->solves = 1;
+    stats->iterations = static_cast<uint64_t>(u.rows());
+    stats->augmenting_paths = matched;
+    stats->objective = total;
   }
   return out;
 }

@@ -68,6 +68,7 @@ Result<std::vector<int64_t>> LacbPolicy::AssignBatch(const BatchInput& input) {
   if (capacity_.size() != u.cols()) {
     return Status::FailedPrecondition("LACB policy day was not begun");
   }
+  matching::SolveStats* stats = StatsSink(input);
   size_t num_requests = u.rows();
   std::vector<int64_t> out(num_requests, matching::kUnmatched);
 
@@ -126,13 +127,13 @@ Result<std::vector<int64_t>> LacbPolicy::AssignBatch(const BatchInput& input) {
   matching::Assignment assignment;
   if (solve_matrix->rows() <= solve_matrix->cols()) {
     if (config_.use_cbs || !config_.pad_to_square) {
-      LACB_ASSIGN_OR_RETURN(assignment,
-                            matching::MaxWeightAssignment(*solve_matrix));
+      LACB_ASSIGN_OR_RETURN(
+          assignment, matching::MaxWeightAssignment(*solve_matrix, stats));
     } else {
       LACB_ASSIGN_OR_RETURN(la::Matrix square,
                             matching::PadToSquare(*solve_matrix));
       LACB_ASSIGN_OR_RETURN(assignment,
-                            matching::MaxWeightAssignment(square));
+                            matching::MaxWeightAssignment(square, stats));
       assignment.col_of_row.resize(num_requests);
     }
     for (size_t r = 0; r < num_requests; ++r) {
@@ -145,7 +146,7 @@ Result<std::vector<int64_t>> LacbPolicy::AssignBatch(const BatchInput& input) {
     // More requests than available brokers: transpose so each broker
     // serves one request.
     la::Matrix t = solve_matrix->Transposed();
-    LACB_ASSIGN_OR_RETURN(assignment, matching::MaxWeightAssignment(t));
+    LACB_ASSIGN_OR_RETURN(assignment, matching::MaxWeightAssignment(t, stats));
     for (size_t c = 0; c < t.rows(); ++c) {
       int64_t r = assignment.col_of_row[c];
       if (r == matching::kUnmatched) continue;

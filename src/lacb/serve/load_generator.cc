@@ -111,6 +111,14 @@ Result<core::PolicyRunResult> RunPolicyServed(
     LACB_RETURN_NOT_OK(sampler->StartPeriodic(options.sample_interval));
   }
 
+  // Sampling span profiler over the run-scoped tracer: every serve thread
+  // adopts this tracer, so worker/batcher spans show up in the profile.
+  obs::SpanProfiler profiler;
+  if (options.profile_interval.count() > 0) {
+    LACB_RETURN_NOT_OK(
+        profiler.Start(&telemetry.tracer(), options.profile_interval));
+  }
+
   const sim::Platform& platform = service->platform();
   core::PolicyRunResult result;
   result.policy = service->policy_name();
@@ -163,6 +171,12 @@ Result<core::PolicyRunResult> RunPolicyServed(
   result.failed_requests = stats.failed;
   service->Shutdown();
   if (sampler != nullptr) sampler->StopPeriodic();
+  if (options.profile_interval.count() > 0) {
+    profiler.Stop();
+    if (!options.profile_path.empty()) {
+      LACB_RETURN_NOT_OK(profiler.WriteFolded(options.profile_path));
+    }
+  }
 
   obs::MetricsSnapshot metrics = telemetry.registry().Snapshot();
   auto latency = metrics.histograms.find("serve.batch_assign_seconds");

@@ -60,6 +60,7 @@ std::optional<MicroBatch> MicroBatcher::NextBatch() {
         if (batch.requests.empty()) return std::nullopt;
         batch.close_cause = BatchCloseCause::kShutdown;
         batch.token = next_token_++;
+        batch.closed_at = std::chrono::steady_clock::now();
         return batch;
       }
       case PopResult::kTimeout: {
@@ -68,6 +69,7 @@ std::optional<MicroBatch> MicroBatcher::NextBatch() {
         batch.close_cause = BatchCloseCause::kDeadline;
         DrainCarryoverInto(&batch);
         batch.token = next_token_++;
+        batch.closed_at = std::chrono::steady_clock::now();
         return batch;
       }
       case PopResult::kItem:
@@ -86,6 +88,7 @@ std::optional<MicroBatch> MicroBatcher::NextBatch() {
       DrainCarryoverInto(&batch);
       batch.close_cause = BatchCloseCause::kFlush;
       batch.token = next_token_++;
+      batch.closed_at = std::chrono::steady_clock::now();
       return batch;
     }
     if (!deadline_armed) {
@@ -99,6 +102,7 @@ std::optional<MicroBatch> MicroBatcher::NextBatch() {
       batch.close_cause = BatchCloseCause::kSize;
       DrainCarryoverInto(&batch);
       batch.token = next_token_++;
+      batch.closed_at = std::chrono::steady_clock::now();
       return batch;
     }
   }

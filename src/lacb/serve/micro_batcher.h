@@ -46,6 +46,10 @@ struct MicroBatch {
   /// Per-request ingestion timestamps (parallel to `requests`) for
   /// end-to-end latency accounting.
   std::vector<std::chrono::steady_clock::time_point> arrival_times;
+  /// When the batch closed (stamped by NextBatch). Stage attribution
+  /// splits a request's life into queue wait (arrival → close) and
+  /// channel wait (close → worker pickup) at this boundary.
+  std::chrono::steady_clock::time_point closed_at{};
   /// How many of `requests` were drained from the ingestion queue (the
   /// rest are carryover); the service retires exactly this many units of
   /// in-system work when the batch commits.

@@ -133,6 +133,60 @@ Status AssignmentService::Start() {
       &registry_->GetHistogram("serve.batch_assign_seconds");
   e2e_latency_hist_ = &registry_->GetHistogram("serve.e2e_seconds");
 
+  if (options_.stage_attribution) {
+    stage_queue_wait_hist_ =
+        &registry_->GetHistogram("serve.stage.queue_wait_seconds");
+    stage_channel_wait_hist_ =
+        &registry_->GetHistogram("serve.stage.channel_wait_seconds");
+    stage_solve_hist_ = &registry_->GetHistogram("serve.stage.solve_seconds");
+    stage_commit_hist_ =
+        &registry_->GetHistogram("serve.stage.commit_seconds");
+    stage_disposition_hist_ =
+        &registry_->GetHistogram("serve.stage.disposition_seconds");
+    stage_queue_wait_total_ =
+        &registry_->GetGauge("serve.stage.queue_wait_total_seconds");
+    stage_channel_wait_total_ =
+        &registry_->GetGauge("serve.stage.channel_wait_total_seconds");
+    stage_solve_total_ =
+        &registry_->GetGauge("serve.stage.solve_total_seconds");
+    stage_commit_total_ =
+        &registry_->GetGauge("serve.stage.commit_total_seconds");
+    stage_disposition_total_ =
+        &registry_->GetGauge("serve.stage.disposition_total_seconds");
+  }
+  if (options_.solver_introspection) {
+    solver_solves_counter_ = &registry_->GetCounter("serve.solver.solves");
+    solver_iterations_counter_ =
+        &registry_->GetCounter("serve.solver.iterations");
+    solver_paths_counter_ =
+        &registry_->GetCounter("serve.solver.augmenting_paths");
+    solver_duals_counter_ =
+        &registry_->GetCounter("serve.solver.dual_updates");
+    solver_rows_hist_ = &registry_->GetHistogram(
+        "serve.solver.problem_rows",
+        std::vector<double>{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
+    solver_seconds_hist_ =
+        &registry_->GetHistogram("serve.solver.solve_seconds");
+    solver_objective_total_ =
+        &registry_->GetGauge("serve.solver.objective_total");
+  }
+  if (recorder_ != nullptr) {
+    timeline_dropped_counter_ =
+        &registry_->GetCounter("obs.timeline_dropped_events");
+  }
+  for (const ServedSlo& slo : options_.slos) {
+    SloRuntime rt;
+    rt.target = slo.target;
+    LACB_ASSIGN_OR_RETURN(rt.tracker, obs::SloTracker::Create(slo.spec));
+    const std::string prefix = "slo." + slo.spec.name;
+    rt.burn_short = &registry_->GetGauge(prefix + ".burn_rate_short");
+    rt.burn_long = &registry_->GetGauge(prefix + ".burn_rate_long");
+    rt.state = &registry_->GetGauge(prefix + ".state");
+    rt.budget = &registry_->GetGauge(prefix + ".budget_remaining");
+    rt.budget->Set(1.0);  // untouched budget until the first event
+    slos_.push_back(std::move(rt));
+  }
+
   queue_ = std::make_unique<BoundedRequestQueue>(
       options_.queue_capacity, &registry_->GetGauge("serve.queue_depth"));
   MicroBatcherOptions batch_opts;
@@ -164,7 +218,14 @@ Status AssignmentService::Start() {
     LACB_ASSIGN_OR_RETURN(
         exposition_,
         obs::ExpositionServer::Start(
-            [registry = registry_] { return registry->Snapshot(); }, expo));
+            [this] {
+              // Refresh scrape-time-only derived state: the timeline-drop
+              // mirror and the SLO burn gauges (via the health probe).
+              SyncTimelineDrops();
+              Health();
+              return registry_->Snapshot();
+            },
+            expo));
   }
 
   if (!options_.checkpoint_dir.empty()) {
@@ -262,6 +323,7 @@ bool AssignmentService::Submit(const sim::Request& request) {
   if (!started_) return false;
   if (!day_open_.load(std::memory_order_acquire)) {
     shed_counter_->Increment();
+    RecordAdmissionSlo(false);
     return false;
   }
   {
@@ -271,10 +333,12 @@ bool AssignmentService::Submit(const sim::Request& request) {
   if (!queue_->TryPush(QueueItem::Of(request))) {
     RetireWork(1);
     shed_counter_->Increment();
+    RecordAdmissionSlo(false);
     if (recorder_ != nullptr) recorder_->Instant("serve.shed");
     return false;
   }
   submitted_counter_->Increment();
+  RecordAdmissionSlo(true);
   if (recorder_ != nullptr) {
     // The flow arrow starts at the producer's enqueue slice and is picked
     // up by the batcher and worker threads downstream.
@@ -403,6 +467,9 @@ void AssignmentService::Shutdown() {
     size_t stranded = batcher_->carryover_size();
     if (stranded > 0) dropped_counter_->Increment(stranded);
   }
+  // Final drop-count sync: runs without an exposition server too, so the
+  // captured RunTelemetry carries the truthful total.
+  SyncTimelineDrops();
   if (exposition_ != nullptr) exposition_->Stop();
 }
 
@@ -505,6 +572,9 @@ void AssignmentService::WorkerLoop(size_t worker_index) {
 Status AssignmentService::ProcessBatch(size_t worker_index, MicroBatch batch) {
   LACB_TRACE_SPAN("serve.batch");
   obs::ScopedTimelineEvent timeline("serve.batch");
+  const bool attribute = stage_queue_wait_hist_ != nullptr;
+  std::chrono::steady_clock::time_point picked_up{};
+  if (attribute) picked_up = std::chrono::steady_clock::now();
   if (killed_.load(std::memory_order_acquire)) {
     // The injected process kill already fired: this process is "dead".
     // Every batch that still reaches a worker fails terminally; recovery
@@ -548,6 +618,7 @@ Status AssignmentService::ProcessBatch(size_t worker_index, MicroBatch batch) {
   input.workloads = &workloads;
   input.day = current_day_.load(std::memory_order_acquire);
   input.batch = batch_seq_.fetch_add(1, std::memory_order_acq_rel);
+  input.collect_solve_stats = options_.solver_introspection;
 
   // Solve under budget. An injected overrun models a deadline abort: the
   // real solve is skipped outright (replica state untouched, no RNG
@@ -573,6 +644,17 @@ Status AssignmentService::ProcessBatch(size_t worker_index, MicroBatch batch) {
       std::lock_guard<std::mutex> lock(stats_mu_);
       assign_seconds_ += elapsed;
     }
+    if (attribute) {
+      stage_solve_hist_->Record(elapsed);
+      stage_solve_total_->Add(elapsed);
+    }
+    if (options_.solver_introspection) {
+      if (const matching::SolveStats* ss =
+              replicas_[worker_index]->last_solve_stats();
+          ss != nullptr) {
+        RecordSolveStats(*ss);
+      }
+    }
     if (budgeted &&
         elapsed > std::chrono::duration<double>(options_.solve_budget).count()) {
       degraded = true;
@@ -586,11 +668,13 @@ Status AssignmentService::ProcessBatch(size_t worker_index, MicroBatch batch) {
   }
   if (supervisor_ != nullptr) supervisor_->Beat(worker_index);
 
+  Stopwatch stage_sw;  // the commit stage starts here
   bool owner = false;
   bool committed = false;
   sim::ExternalCommitOutcome commit;
   LACB_RETURN_NOT_OK(CommitWithRetry(worker_index, batch, assignment, &owner,
                                      &committed, &commit));
+  const double commit_seconds = attribute ? stage_sw.ElapsedSeconds() : 0.0;
   if (!owner) {
     // A twin claimed the terminal first: it did (or will do) the
     // disposition and the retire; this copy evaporates.
@@ -613,6 +697,28 @@ Status AssignmentService::ProcessBatch(size_t worker_index, MicroBatch batch) {
       break;
   }
   batch_size_hist_->Record(static_cast<double>(batch.requests.size()));
+  if (attribute) {
+    // Queue wait is per request (arrival → batch close); the batch's
+    // critical-path contribution is the longest waiter. Channel wait and
+    // everything downstream are batch-scoped.
+    double max_queue_wait = 0.0;
+    for (const auto& arrival : batch.arrival_times) {
+      double wait =
+          std::chrono::duration<double>(batch.closed_at - arrival).count();
+      if (wait < 0.0) wait = 0.0;
+      stage_queue_wait_hist_->Record(wait);
+      if (wait > max_queue_wait) max_queue_wait = wait;
+    }
+    stage_queue_wait_total_->Add(max_queue_wait);
+    double channel_wait =
+        std::chrono::duration<double>(picked_up - batch.closed_at).count();
+    if (channel_wait < 0.0) channel_wait = 0.0;
+    stage_channel_wait_hist_->Record(channel_wait);
+    stage_channel_wait_total_->Add(channel_wait);
+    stage_commit_hist_->Record(commit_seconds);
+    stage_commit_total_->Add(commit_seconds);
+    stage_sw.Restart();  // the disposition stage starts here
+  }
   if (degraded) {
     degraded_counter_->Increment();
     RecordIncident("degraded_batch");
@@ -657,14 +763,20 @@ Status AssignmentService::ProcessBatch(size_t worker_index, MicroBatch batch) {
 
     auto now = std::chrono::steady_clock::now();
     for (const auto& arrival : batch.arrival_times) {
-      e2e_latency_hist_->Record(
-          std::chrono::duration<double>(now - arrival).count());
+      double e2e = std::chrono::duration<double>(now - arrival).count();
+      e2e_latency_hist_->Record(e2e);
+      RecordLatencySlo(e2e);
     }
   } else {
     // Retry budget exhausted and the platform confirmed nothing applied:
     // the whole batch is shed with explicit accounting.
     failed_counter_->Increment(batch.requests.size());
     RecordIncident("commit_failed");
+  }
+  if (attribute) {
+    double disposition_seconds = stage_sw.ElapsedSeconds();
+    stage_disposition_hist_->Record(disposition_seconds);
+    stage_disposition_total_->Add(disposition_seconds);
   }
   RetireWork(static_cast<int64_t>(batch.from_queue));
   // Injected process kill: fires at a batch boundary — this batch fully
@@ -815,6 +927,44 @@ void AssignmentService::RestartWorker(size_t worker_index) {
   slot = std::thread([this, worker_index] { WorkerLoop(worker_index); });
 }
 
+void AssignmentService::RecordAdmissionSlo(bool admitted) {
+  for (const SloRuntime& slo : slos_) {
+    if (slo.target == SloTarget::kAdmission) slo.tracker->Record(admitted);
+  }
+}
+
+void AssignmentService::RecordLatencySlo(double seconds) {
+  for (const SloRuntime& slo : slos_) {
+    if (slo.target == SloTarget::kLatency) {
+      slo.tracker->Record(seconds <=
+                          slo.tracker->spec().latency_threshold_seconds);
+    }
+  }
+}
+
+void AssignmentService::RecordSolveStats(const matching::SolveStats& stats) {
+  if (solver_solves_counter_ == nullptr || stats.solves == 0) return;
+  solver_solves_counter_->Increment(stats.solves);
+  solver_iterations_counter_->Increment(stats.iterations);
+  solver_paths_counter_->Increment(stats.augmenting_paths);
+  solver_duals_counter_->Increment(stats.dual_updates);
+  solver_rows_hist_->Record(static_cast<double>(stats.rows));
+  solver_seconds_hist_->Record(stats.total_seconds);
+  solver_objective_total_->Add(stats.objective);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  solver_stats_.MergeFrom(stats);
+}
+
+void AssignmentService::SyncTimelineDrops() {
+  if (recorder_ == nullptr || timeline_dropped_counter_ == nullptr) return;
+  uint64_t total = recorder_->dropped();
+  // exchange() makes concurrent scrapes race-safe: each drop increment is
+  // attributed exactly once, a stale read yields a non-positive delta.
+  uint64_t prev =
+      timeline_drops_synced_.exchange(total, std::memory_order_acq_rel);
+  if (total > prev) timeline_dropped_counter_->Increment(total - prev);
+}
+
 void AssignmentService::RecordIncident(const char* /*kind*/) {
   {
     std::lock_guard<std::mutex> lock(health_mu_);
@@ -846,6 +996,28 @@ obs::HealthReport AssignmentService::Health() const {
       report.state = obs::HealthState::kDegraded;
       report.detail = std::to_string(unavailable) + "/" +
                       std::to_string(total) + " workers unavailable";
+    }
+  }
+  // SLO burn states fold in after worker availability: a critical SLO in
+  // fast burn is an outage (unhealthy); any other burn degrades. The
+  // exported slo.<name>.* gauges refresh on every probe.
+  if (report.state != obs::HealthState::kUnhealthy) {
+    for (const SloRuntime& slo : slos_) {
+      obs::SloEvaluation eval = slo.tracker->Evaluate();
+      slo.burn_short->Set(eval.burn_rate_short);
+      slo.burn_long->Set(eval.burn_rate_long);
+      slo.state->Set(static_cast<double>(static_cast<int>(eval.state)));
+      slo.budget->Set(eval.budget_remaining);
+      if (eval.state == obs::BurnState::kFastBurn &&
+          slo.tracker->spec().critical) {
+        report.state = obs::HealthState::kUnhealthy;
+        report.detail =
+            "slo " + slo.tracker->spec().name + " burning fast";
+      } else if (eval.state != obs::BurnState::kOk &&
+                 report.state == obs::HealthState::kHealthy) {
+        report.state = obs::HealthState::kDegraded;
+        report.detail = "slo " + slo.tracker->spec().name + " burning";
+      }
     }
   }
   if (report.state == obs::HealthState::kHealthy) {
@@ -1200,6 +1372,7 @@ ServeStats AssignmentService::Stats() const {
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats.assign_seconds = assign_seconds_;
+    stats.solver = solver_stats_;
   }
   return stats;
 }

@@ -58,11 +58,13 @@
 #include <vector>
 
 #include "lacb/common/result.h"
+#include "lacb/matching/solve_stats.h"
 #include "lacb/obs/event_trace.h"
 #include "lacb/persist/checkpoint.h"
 #include "lacb/persist/wal.h"
 #include "lacb/obs/exposition.h"
 #include "lacb/obs/metrics.h"
+#include "lacb/obs/slo.h"
 #include "lacb/obs/trace.h"
 #include "lacb/policy/assignment_policy.h"
 #include "lacb/serve/broker_store.h"
@@ -73,6 +75,22 @@
 #include "lacb/sim/platform.h"
 
 namespace lacb::serve {
+
+/// \brief Which event stream of the service an SLO classifies.
+enum class SloTarget {
+  /// Good = the request committed with end-to-end latency (enqueue →
+  /// commit) within SloSpec::latency_threshold_seconds.
+  kLatency,
+  /// Good = the request was admitted at Submit (bad = shed).
+  kAdmission,
+};
+
+/// \brief One SLO the service evaluates: the generic burn-rate spec plus
+/// the serve-side event stream it classifies.
+struct ServedSlo {
+  SloTarget target = SloTarget::kLatency;
+  obs::SloSpec spec;
+};
 
 /// \brief Serving-layer configuration.
 struct ServeOptions {
@@ -147,6 +165,23 @@ struct ServeOptions {
   bool wal_fsync = true;
   /// Checkpoints (and their WALs) retained before pruning.
   size_t checkpoint_retain = 3;
+
+  // --- Performance attribution (docs/observability.md) ---
+
+  /// Per-request stage-latency attribution: queue-wait, channel-wait,
+  /// solve, commit, and disposition histograms plus cumulative per-stage
+  /// totals (the batch critical-path breakdown). Off by default — the
+  /// serve path takes no per-request clock reads and registers no
+  /// stage instruments.
+  bool stage_attribution = false;
+  /// Solver introspection: workers ask the policy solve for SolveStats
+  /// (problem size, iterations, augmenting paths, dual updates, phase
+  /// timings, objective) and fold them into serve.solver_* instruments.
+  bool solver_introspection = false;
+  /// Declarative SLOs the service evaluates: each gets slo.<name>.*
+  /// burn-rate gauges and feeds the health state machine (fast burn on a
+  /// critical SLO → unhealthy; any burn → degraded). Empty = none.
+  std::vector<ServedSlo> slos;
 };
 
 /// \brief What Start() recovered from durable state (all-default when
@@ -184,6 +219,10 @@ struct ServeStats {
   uint64_t worker_stalls = 0;     ///< Stall detections.
   uint64_t worker_crashes = 0;    ///< Crash detections.
   uint64_t worker_restarts = 0;   ///< Workers restarted after a crash.
+
+  /// Aggregate solver introspection across all committed batches (zeroed
+  /// unless ServeOptions::solver_introspection is on).
+  matching::SolveStats solver;
 };
 
 /// \brief The concurrent online assignment service.
@@ -346,6 +385,19 @@ class AssignmentService {
   void RetireWork(int64_t units);
   void SetError(const Status& status);
 
+  /// Records one admission event (admitted/shed) against every admission
+  /// SLO; no-op when none are configured.
+  void RecordAdmissionSlo(bool admitted);
+  /// Records one committed request's end-to-end latency against every
+  /// latency SLO (good = within the SLO's threshold).
+  void RecordLatencySlo(double seconds);
+  /// Folds the replica's last SolveStats into the serve.solver_*
+  /// instruments and the ServeStats aggregate.
+  void RecordSolveStats(const matching::SolveStats& stats);
+  /// Mirrors the event recorder's cumulative drop count into the
+  /// obs.timeline_dropped_events counter (called on scrape and shutdown).
+  void SyncTimelineDrops();
+
   // --- Immutable after construction ---
   ServeOptions options_;
   std::unique_ptr<sim::Platform> platform_;
@@ -472,10 +524,51 @@ class AssignmentService {
   obs::Gauge* persist_last_seq_gauge_ = nullptr;
   obs::Histogram* persist_ckpt_seconds_hist_ = nullptr;
 
-  // Aggregate assign-time (ServeStats mirror; obs histograms carry the
-  // distribution).
+  // Stage-latency attribution (registered only when stage_attribution is
+  // on; the histograms carry distributions, the gauges accumulate each
+  // stage's critical-path seconds so breakdown fractions fall out of a
+  // snapshot).
+  obs::Histogram* stage_queue_wait_hist_ = nullptr;
+  obs::Histogram* stage_channel_wait_hist_ = nullptr;
+  obs::Histogram* stage_solve_hist_ = nullptr;
+  obs::Histogram* stage_commit_hist_ = nullptr;
+  obs::Histogram* stage_disposition_hist_ = nullptr;
+  obs::Gauge* stage_queue_wait_total_ = nullptr;
+  obs::Gauge* stage_channel_wait_total_ = nullptr;
+  obs::Gauge* stage_solve_total_ = nullptr;
+  obs::Gauge* stage_commit_total_ = nullptr;
+  obs::Gauge* stage_disposition_total_ = nullptr;
+
+  // Solver introspection (registered only when solver_introspection is on).
+  obs::Counter* solver_solves_counter_ = nullptr;
+  obs::Counter* solver_iterations_counter_ = nullptr;
+  obs::Counter* solver_paths_counter_ = nullptr;
+  obs::Counter* solver_duals_counter_ = nullptr;
+  obs::Histogram* solver_rows_hist_ = nullptr;
+  obs::Histogram* solver_seconds_hist_ = nullptr;
+  obs::Gauge* solver_objective_total_ = nullptr;
+
+  // Timeline-drop mirror (registered when a recorder is active).
+  obs::Counter* timeline_dropped_counter_ = nullptr;
+  std::atomic<uint64_t> timeline_drops_synced_{0};
+
+  // SLO trackers and their exported gauges. The trackers are internally
+  // synchronized; Health() (const) evaluates them through the pointers.
+  struct SloRuntime {
+    SloTarget target = SloTarget::kLatency;
+    std::unique_ptr<obs::SloTracker> tracker;
+    obs::Gauge* burn_short = nullptr;
+    obs::Gauge* burn_long = nullptr;
+    obs::Gauge* state = nullptr;
+    obs::Gauge* budget = nullptr;
+  };
+  std::vector<SloRuntime> slos_;
+
+  // Aggregate assign-time and solver introspection (ServeStats mirror;
+  // obs instruments carry the distributions).
   mutable std::mutex stats_mu_;
   double assign_seconds_ = 0.0;
+  matching::SolveStats solver_stats_;
 };
 
 }  // namespace lacb::serve

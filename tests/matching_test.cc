@@ -6,7 +6,10 @@
 
 #include "lacb/common/rng.h"
 #include "lacb/matching/assignment.h"
+#include "lacb/matching/auction.h"
+#include "lacb/matching/hopcroft_karp.h"
 #include "lacb/matching/min_cost_flow.h"
+#include "lacb/matching/solve_stats.h"
 
 namespace lacb::matching {
 namespace {
@@ -237,6 +240,158 @@ TEST(MinCostFlowTest, MultiCapacityAssignment) {
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->flow, 3);
   EXPECT_NEAR(-r->cost, 2.4, 1e-12);  // 1.0 + 1.0 + 0.4
+}
+
+// --- SolveStats introspection invariants across all four backends ---
+
+void ExpectPhasesWithinTotal(const SolveStats& stats) {
+  EXPECT_GE(stats.phase_build_seconds, 0.0);
+  EXPECT_GE(stats.phase_search_seconds, 0.0);
+  EXPECT_GE(stats.phase_update_seconds, 0.0);
+  // Phases are disjoint slices of the solve, so their sum never exceeds
+  // the total (up to clock quantization).
+  EXPECT_LE(stats.phase_build_seconds + stats.phase_search_seconds +
+                stats.phase_update_seconds,
+            stats.total_seconds + 1e-6);
+}
+
+TEST(SolveStatsTest, KuhnMunkresInvariants) {
+  Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    size_t n = 3 + static_cast<size_t>(rng.UniformInt(0, 5));
+    la::Matrix w = RandomWeights(n, n, &rng);
+    SolveStats stats;
+    auto a = MaxWeightAssignment(w, &stats);
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(stats.solver, "km");
+    EXPECT_EQ(stats.rows, n);
+    EXPECT_EQ(stats.cols, n);
+    EXPECT_EQ(stats.solves, 1u);
+    // One augmenting path completes per row; every row takes at least one
+    // column-scan step.
+    EXPECT_EQ(stats.augmenting_paths, n);
+    EXPECT_GE(stats.iterations, n);
+    // The reported objective is the objective of the assignment actually
+    // returned — not a bound, not a stale value.
+    EXPECT_DOUBLE_EQ(stats.objective, a->total_weight);
+    ExpectPhasesWithinTotal(stats);
+  }
+}
+
+TEST(SolveStatsTest, CollectionDoesNotChangeTheSolution) {
+  Rng rng(12);
+  la::Matrix w = RandomWeights(7, 9, &rng);
+  SolveStats stats;
+  auto with = MaxWeightAssignment(w, &stats);
+  auto without = MaxWeightAssignment(w);
+  ASSERT_TRUE(with.ok());
+  ASSERT_TRUE(without.ok());
+  EXPECT_EQ(with->col_of_row, without->col_of_row);
+  EXPECT_DOUBLE_EQ(with->total_weight, without->total_weight);
+}
+
+TEST(SolveStatsTest, AuctionInvariants) {
+  Rng rng(13);
+  for (size_t cols : {5u, 8u}) {
+    la::Matrix w = RandomWeights(5, cols, &rng);
+    SolveStats stats;
+    auto a = AuctionAssignment(w, {}, &stats);
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(stats.solver, "auction");
+    EXPECT_GE(stats.solves, 1u);
+    EXPECT_GT(stats.iterations, 0u);  // at least one bid
+    // The rectangular path solves a padded square internally but must
+    // still report the objective of the assignment it returns.
+    EXPECT_NEAR(stats.objective, a->total_weight, 1e-9);
+    ExpectPhasesWithinTotal(stats);
+  }
+}
+
+TEST(SolveStatsTest, MinCostFlowInvariants) {
+  Rng rng(14);
+  const size_t n = 5;
+  la::Matrix w = RandomWeights(n, n, &rng);
+  size_t source = 0;
+  size_t sink = 1 + 2 * n;
+  MinCostFlow g(sink + 1);
+  for (size_t r = 0; r < n; ++r) {
+    ASSERT_TRUE(g.AddEdge(source, 1 + r, 1, 0.0).ok());
+    for (size_t c = 0; c < n; ++c) {
+      ASSERT_TRUE(g.AddEdge(1 + r, 1 + n + c, 1, -w(r, c)).ok());
+    }
+  }
+  for (size_t c = 0; c < n; ++c) {
+    ASSERT_TRUE(g.AddEdge(1 + n + c, sink, 1, 0.0).ok());
+  }
+  SolveStats stats;
+  auto r = g.Solve(source, sink, INT64_MAX, &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(stats.solver, "mcf");
+  EXPECT_EQ(stats.solves, 1u);
+  EXPECT_EQ(stats.rows, sink + 1);          // nodes
+  EXPECT_GT(stats.cols, 0u);                // edges
+  EXPECT_GT(stats.iterations, 0u);          // Dijkstra queue pops
+  EXPECT_GE(stats.augmenting_paths, 1u);
+  EXPECT_LE(stats.augmenting_paths, static_cast<uint64_t>(r->flow));
+  EXPECT_DOUBLE_EQ(stats.objective, r->cost);
+  ExpectPhasesWithinTotal(stats);
+}
+
+TEST(SolveStatsTest, HopcroftKarpInvariants) {
+  HopcroftKarp hk(4, 4);
+  for (size_t u = 0; u < 4; ++u) {
+    ASSERT_TRUE(hk.AddEdge(u, u).ok());
+    ASSERT_TRUE(hk.AddEdge(u, (u + 1) % 4).ok());
+  }
+  SolveStats stats;
+  size_t matched = hk.Solve(&stats);
+  EXPECT_EQ(matched, 4u);
+  EXPECT_EQ(stats.solver, "hk");
+  EXPECT_EQ(stats.solves, 1u);
+  EXPECT_EQ(stats.rows, 4u);
+  EXPECT_EQ(stats.cols, 4u);
+  EXPECT_GE(stats.iterations, 1u);  // BFS phases
+  EXPECT_EQ(stats.augmenting_paths, matched);
+  EXPECT_DOUBLE_EQ(stats.objective, static_cast<double>(matched));
+  ExpectPhasesWithinTotal(stats);
+}
+
+TEST(SolveStatsTest, MergeFoldsAcrossBackends) {
+  SolveStats km;
+  km.solver = "km";
+  km.rows = 8;
+  km.cols = 8;
+  km.solves = 1;
+  km.iterations = 20;
+  km.augmenting_paths = 8;
+  km.objective = 3.5;
+  km.total_seconds = 0.5;
+  SolveStats hk;
+  hk.solver = "hk";
+  hk.rows = 4;
+  hk.cols = 16;
+  hk.solves = 2;
+  hk.iterations = 5;
+  hk.augmenting_paths = 4;
+  hk.objective = 4.0;
+  hk.total_seconds = 0.25;
+
+  SolveStats merged;
+  merged.MergeFrom(km);
+  EXPECT_EQ(merged.solver, "km");
+  merged.MergeFrom(hk);
+  EXPECT_EQ(merged.solver, "mixed");
+  EXPECT_EQ(merged.rows, 8u);   // componentwise max
+  EXPECT_EQ(merged.cols, 16u);
+  EXPECT_EQ(merged.solves, 3u);
+  EXPECT_EQ(merged.iterations, 25u);
+  EXPECT_EQ(merged.augmenting_paths, 12u);
+  EXPECT_DOUBLE_EQ(merged.objective, 7.5);
+  EXPECT_DOUBLE_EQ(merged.total_seconds, 0.75);
+  // Merging an empty record is a no-op.
+  merged.MergeFrom(SolveStats{});
+  EXPECT_EQ(merged.solves, 3u);
+  EXPECT_EQ(merged.solver, "mixed");
 }
 
 }  // namespace

@@ -831,6 +831,146 @@ TEST(ServiceTest, PoissonLoadCompletesAndPacksBatches) {
   EXPECT_GE(run->p99_batch_latency, 0.0);
 }
 
+// --- Performance attribution plane ---------------------------------------
+
+// Stage attribution and solver introspection are observers: with the knobs
+// on, the lockstep single-worker gate must still be bit-identical to the
+// offline engine, and the stage/solver instruments must be populated.
+TEST(ServedDeterminismTest, AttributionKnobsDoNotPerturbResults) {
+  sim::DatasetConfig cfg = TinyConfig();
+  core::PolicySuiteConfig suite;
+  suite.seed = 55;
+  const size_t index = 5;  // KM: exercises the introspected cubic solver
+
+  auto offline_policy = core::MakeSuitePolicy(cfg, suite, index);
+  ASSERT_TRUE(offline_policy.ok());
+  auto offline = core::RunPolicy(cfg, offline_policy->get());
+  ASSERT_TRUE(offline.ok());
+
+  serve::ServedRunOptions opts = LockstepOptions();
+  opts.serve.stage_attribution = true;
+  opts.serve.solver_introspection = true;
+  auto served = serve::RunPolicyServed(
+      cfg, core::SuitePolicyFactory(cfg, suite, index), opts);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  ExpectBitIdentical(*offline, *served);
+
+  ASSERT_NE(served->telemetry, nullptr);
+  const auto& m = served->telemetry->metrics;
+  auto counter = [&](const char* name) -> uint64_t {
+    auto it = m.counters.find(name);
+    return it == m.counters.end() ? 0 : it->second;
+  };
+  const uint64_t batches = counter("serve.batches");
+  ASSERT_GT(batches, 0u);
+
+  // Every committed batch contributes one sample to the batch-scoped
+  // stage histograms and at least one introspected solve.
+  auto solve = m.histograms.find("serve.stage.solve_seconds");
+  ASSERT_NE(solve, m.histograms.end());
+  EXPECT_EQ(solve->second.count, batches);
+  auto channel = m.histograms.find("serve.stage.channel_wait_seconds");
+  ASSERT_NE(channel, m.histograms.end());
+  EXPECT_EQ(channel->second.count, batches);
+  auto queue_wait = m.histograms.find("serve.stage.queue_wait_seconds");
+  ASSERT_NE(queue_wait, m.histograms.end());
+  EXPECT_GT(queue_wait->second.count, 0u);
+  EXPECT_GE(counter("serve.solver.solves"), batches);
+  EXPECT_GT(counter("serve.solver.iterations"), 0u);
+  // The critical-path gauges add up to a positive attributed total.
+  double attributed = 0.0;
+  for (const char* g :
+       {"serve.stage.queue_wait_total_seconds",
+        "serve.stage.channel_wait_total_seconds",
+        "serve.stage.solve_total_seconds",
+        "serve.stage.commit_total_seconds",
+        "serve.stage.disposition_total_seconds"}) {
+    auto it = m.gauges.find(g);
+    ASSERT_NE(it, m.gauges.end()) << g;
+    attributed += it->second;
+  }
+  EXPECT_GT(attributed, 0.0);
+
+  // Default knobs register none of it: the plain path stays instrument-free.
+  auto plain = serve::RunPolicyServed(
+      cfg, core::SuitePolicyFactory(cfg, suite, index), LockstepOptions());
+  ASSERT_TRUE(plain.ok());
+  ASSERT_NE(plain->telemetry, nullptr);
+  const auto& pm = plain->telemetry->metrics;
+  EXPECT_EQ(pm.histograms.find("serve.stage.solve_seconds"),
+            pm.histograms.end());
+  EXPECT_EQ(pm.counters.find("serve.solver.solves"), pm.counters.end());
+}
+
+// Declarative SLOs through the service: a shed storm drives the critical
+// admission SLO into fast burn (both windows hot) and Health() escalates
+// to unhealthy, while a generous latency SLO stays quiet. Runs under TSan
+// in CI: SLO recording happens on producer + worker threads concurrently
+// with Health() probes.
+TEST(ServiceTest, SloBurnTransitionsSurfaceInHealth) {
+  obs::ScopedTelemetry telemetry;  // isolate serve.* counters per test
+  sim::DatasetConfig cfg = TinyConfig();
+  serve::ServeOptions opts;
+  opts.queue_capacity = 4;
+  opts.max_batch_size = 2;
+  opts.max_batch_delay = std::chrono::microseconds(200);
+  opts.num_workers = 1;
+  opts.batch_channel_capacity = 1;
+  serve::ServedSlo admission;
+  admission.target = serve::SloTarget::kAdmission;
+  admission.spec.name = "admission";
+  admission.spec.objective = 0.99;
+  admission.spec.critical = true;
+  opts.slos.push_back(admission);
+  serve::ServedSlo latency;
+  latency.target = serve::SloTarget::kLatency;
+  latency.spec.name = "commit_latency";
+  latency.spec.objective = 0.99;
+  latency.spec.latency_threshold_seconds = 10.0;  // nothing is this slow
+  opts.slos.push_back(latency);
+
+  policy::PolicyFactory factory =
+      []() -> Result<std::unique_ptr<policy::AssignmentPolicy>> {
+    return std::unique_ptr<policy::AssignmentPolicy>(
+        new SlowUnmatchedPolicy());
+  };
+  auto service = serve::AssignmentService::Create(cfg, factory, opts);
+  ASSERT_TRUE(service.ok());
+  ASSERT_TRUE((*service)->Start().ok());
+
+  // No events yet: trackers sit at kOk and the budget is untouched.
+  EXPECT_EQ((*service)->Health().state, obs::HealthState::kHealthy);
+
+  ASSERT_TRUE((*service)->OpenDay(0).ok());
+  for (const auto& batch : (*service)->platform().all_requests()[0]) {
+    for (const sim::Request& r : batch) {
+      (*service)->Submit(r);
+      (*service)->Health();  // concurrent probes while recording
+    }
+  }
+  auto outcome = (*service)->CloseDay();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  ASSERT_GT((*service)->Stats().shed, 0u) << "no shed, SLO never burned";
+
+  obs::HealthReport report = (*service)->Health();
+  EXPECT_EQ(report.state, obs::HealthState::kUnhealthy);
+  EXPECT_NE(report.detail.find("admission"), std::string::npos)
+      << report.detail;
+
+  obs::MetricsSnapshot snap = telemetry.registry().Snapshot();
+  // Shed fraction is way past the 1% budget in both windows; fast burn is
+  // state 2 and the budget is overspent.
+  EXPECT_GE(snap.gauges.at("slo.admission.burn_rate_short"), 14.4);
+  EXPECT_GE(snap.gauges.at("slo.admission.burn_rate_long"), 14.4);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("slo.admission.state"), 2.0);
+  EXPECT_LT(snap.gauges.at("slo.admission.budget_remaining"), 0.0);
+  // The latency SLO saw only good events: kOk, full budget.
+  EXPECT_DOUBLE_EQ(snap.gauges.at("slo.commit_latency.state"), 0.0);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("slo.commit_latency.budget_remaining"),
+                   1.0);
+  (*service)->Shutdown();
+}
+
 TEST(ChaosTest, PoissonOpenLoopConservesUnderFaults) {
   // Open-loop paced arrivals (no lockstep barrier) + the full chaos plan
   // + supervision: the end-to-end serving entry point must drain every
