@@ -1,0 +1,180 @@
+#include "lacb/matching/approx/solver_select.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "lacb/common/rng.h"
+
+namespace lacb::matching::approx {
+
+namespace {
+
+double KmOps(size_t rows, size_t cols) {
+  return static_cast<double>(rows) * static_cast<double>(rows) *
+         static_cast<double>(cols);
+}
+
+double ApproxOps(size_t rows, size_t cols) {
+  return static_cast<double>(rows) * static_cast<double>(cols);
+}
+
+// Least-squares slope through the origin: t ≈ c · ops.
+double FitCoefficient(const std::vector<SolveStats>& probes,
+                      double (*ops)(size_t, size_t)) {
+  double num = 0.0;
+  double den = 0.0;
+  for (const SolveStats& p : probes) {
+    const double u = ops(p.rows, p.cols);
+    if (u <= 0.0 || p.total_seconds <= 0.0) continue;
+    num += p.total_seconds * u;
+    den += u * u;
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+}  // namespace
+
+double CostModel::PredictKmSeconds(size_t rows, size_t cols) const {
+  return km_seconds_per_op * KmOps(rows, cols);
+}
+
+double CostModel::PredictApproxSeconds(size_t rows, size_t cols,
+                                       size_t threads) const {
+  const double t = static_cast<double>(std::max<size_t>(1, threads));
+  return approx_seconds_per_op * ApproxOps(rows, cols) / t;
+}
+
+CostModel FitCostModel(const std::vector<SolveStats>& km_probes,
+                       const std::vector<SolveStats>& approx_probes) {
+  CostModel model;
+  model.km_seconds_per_op = FitCoefficient(km_probes, KmOps);
+  model.approx_seconds_per_op = FitCoefficient(approx_probes, ApproxOps);
+  model.fitted =
+      model.km_seconds_per_op > 0.0 && model.approx_seconds_per_op > 0.0;
+  return model;
+}
+
+const CostModel& CalibratedCostModel() {
+  static CostModel model;
+  static std::once_flag once;
+  std::call_once(once, [] {
+    // Probe ladder: small square-ish instances solved through both
+    // backends with stats collection on; the fit extrapolates each
+    // backend's asymptotic term. Sizes stay small enough that startup
+    // calibration costs a few milliseconds.
+    Rng rng(20260809);
+    std::vector<SolveStats> km_probes;
+    std::vector<SolveStats> approx_probes;
+    for (size_t n : {32u, 64u, 96u, 128u}) {
+      la::Matrix w(n, n + n / 4);
+      for (size_t r = 0; r < w.rows(); ++r) {
+        for (size_t c = 0; c < w.cols(); ++c) {
+          w(r, c) = rng.Uniform();
+        }
+      }
+      SolveStats km_stats;
+      if (MaxWeightAssignment(w, &km_stats).ok()) {
+        km_probes.push_back(km_stats);
+      }
+      SolveStats bx_stats;
+      std::vector<int64_t> caps(w.cols(), 1);
+      BMatchOptions opts;
+      opts.num_threads = 1;
+      if (ParallelBMatch(w, caps, opts, &bx_stats).ok()) {
+        approx_probes.push_back(bx_stats);
+      }
+    }
+    model = FitCostModel(km_probes, approx_probes);
+  });
+  return model;
+}
+
+SolverChoice ChooseBackend(const SolverConfig& config, const CostModel& model,
+                           size_t rows, size_t cols) {
+  switch (config.choice) {
+    case SolverChoice::kExactKm:
+      return SolverChoice::kExactKm;
+    case SolverChoice::kApprox:
+      return SolverChoice::kApprox;
+    case SolverChoice::kAuto:
+      break;
+  }
+  if (rows < config.auto_min_rows) return SolverChoice::kExactKm;
+  if (!model.fitted) {
+    // No calibration available: fall back to the size floor alone.
+    return SolverChoice::kApprox;
+  }
+  const double km_predicted = model.PredictKmSeconds(rows, cols);
+  return km_predicted > config.auto_km_budget_seconds
+             ? SolverChoice::kApprox
+             : SolverChoice::kExactKm;
+}
+
+SolverChoice ResolveChoice(const SolverConfig& config, size_t rows,
+                           size_t cols, SolveStats* stats) {
+  if (config.choice != SolverChoice::kAuto) {
+    return ChooseBackend(config, CostModel{}, rows, cols);
+  }
+  const SolverChoice choice =
+      ChooseBackend(config, CalibratedCostModel(), rows, cols);
+  if (stats != nullptr) {
+    SolveStats decision;
+    if (choice == SolverChoice::kApprox) {
+      decision.auto_approx_selected = 1;
+    } else {
+      decision.auto_km_selected = 1;
+    }
+    stats->MergeFrom(decision);
+  }
+  return choice;
+}
+
+Result<Assignment> SolveDenseAssignment(const la::Matrix& weights,
+                                        bool pad_to_square,
+                                        const SolverConfig& config,
+                                        SolveStats* stats) {
+  const size_t rows = weights.rows();
+  const size_t cols = weights.cols();
+  const SolverChoice choice =
+      ResolveChoice(config, std::min(rows, cols), std::max(rows, cols),
+                    stats);
+  if (choice == SolverChoice::kApprox) {
+    std::vector<int64_t> caps(cols, 1);
+    BMatchOptions opts;
+    opts.num_threads = config.approx_threads;
+    LACB_ASSIGN_OR_RETURN(BMatchResult bm,
+                          ParallelBMatch(weights, caps, opts, stats));
+    Assignment out;
+    out.col_of_row = std::move(bm.col_of_row);
+    // Objective re-accumulated from the double weights in row order so
+    // the assignment's reported weight matches the exact path's domain.
+    for (size_t r = 0; r < rows; ++r) {
+      if (out.col_of_row[r] != kUnmatched) {
+        out.total_weight +=
+            weights(r, static_cast<size_t>(out.col_of_row[r]));
+      }
+    }
+    return out;
+  }
+  if (rows > cols) {
+    return Status::InvalidArgument(
+        "SolveDenseAssignment exact route requires rows <= cols");
+  }
+  if (pad_to_square) {
+    LACB_ASSIGN_OR_RETURN(la::Matrix square, PadToSquare(weights));
+    LACB_ASSIGN_OR_RETURN(Assignment a, MaxWeightAssignment(square, stats));
+    a.col_of_row.resize(rows);
+    return a;
+  }
+  return MaxWeightAssignment(weights, stats);
+}
+
+int BackendGaugeCode(const std::string& solver_name) {
+  if (solver_name == "km") return 0;
+  if (solver_name == "bmatch") return 1;
+  if (solver_name == "greedy") return 2;
+  if (solver_name == "mixed") return 3;
+  return 4;
+}
+
+}  // namespace lacb::matching::approx

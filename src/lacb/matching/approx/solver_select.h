@@ -1,0 +1,104 @@
+// Adaptive per-batch solver selection: exact KM vs parallel ½-approx.
+//
+// The exact Kuhn–Munkres solve is O(rows²·cols) and single-threaded; the
+// parallel b-matching solve is ~O(rows·cols) per proposal round with a
+// bounded utility loss. Which one a batch should get depends on the batch
+// size the serving layer actually produces, so the choice is made per
+// batch from a cost model calibrated at startup: probe solves run through
+// both backends, their SolveStats are fitted to the backends' asymptotic
+// work terms, and `kAuto` routes each batch to whichever backend the model
+// predicts inside the latency budget — small batches keep the exact
+// solver, large batches go wide.
+//
+// The default configuration is `kExactKm`, which routes every call through
+// the identical pre-existing KM code path — byte-identical results.
+
+#ifndef LACB_MATCHING_APPROX_SOLVER_SELECT_H_
+#define LACB_MATCHING_APPROX_SOLVER_SELECT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lacb/common/result.h"
+#include "lacb/la/matrix.h"
+#include "lacb/matching/assignment.h"
+#include "lacb/matching/approx/parallel_bmatch.h"
+#include "lacb/matching/solve_stats.h"
+
+namespace lacb::matching::approx {
+
+/// \brief Which matching backend solves a batch.
+enum class SolverChoice {
+  kExactKm = 0,  ///< Always the exact Kuhn–Munkres path (the default).
+  kApprox = 1,   ///< Always the parallel ½-approx b-matching solver.
+  kAuto = 2,     ///< Per-batch routing through the calibrated cost model.
+};
+
+/// \brief Solver routing configuration carried by policies and ServeOptions.
+struct SolverConfig {
+  SolverChoice choice = SolverChoice::kExactKm;
+  /// Threads of the approximate solver (results identical at any count).
+  size_t approx_threads = 4;
+  /// kAuto: batches whose predicted exact-KM latency exceeds this budget
+  /// are routed to the approximate solver.
+  double auto_km_budget_seconds = 0.010;
+  /// kAuto: batches with fewer requests than this always stay exact —
+  /// quality first where exact is cheap regardless of the model.
+  size_t auto_min_rows = 128;
+};
+
+/// \brief Calibrated per-backend latency model. Units follow the backends'
+/// asymptotic work terms: KM ≈ c_km · rows²·cols, approx ≈ c_bx · rows·cols
+/// (single-thread; threads divide the scan work).
+struct CostModel {
+  double km_seconds_per_op = 0.0;
+  double approx_seconds_per_op = 0.0;
+  bool fitted = false;
+
+  double PredictKmSeconds(size_t rows, size_t cols) const;
+  double PredictApproxSeconds(size_t rows, size_t cols,
+                              size_t threads) const;
+};
+
+/// \brief Least-squares fit of the per-op coefficients from probe-solve
+/// SolveStats (each probe carries its problem size and measured seconds).
+CostModel FitCostModel(const std::vector<SolveStats>& km_probes,
+                       const std::vector<SolveStats>& approx_probes);
+
+/// \brief Process-wide cost model, fitted once (thread-safe) from a ladder
+/// of probe solves run through both backends on first use.
+const CostModel& CalibratedCostModel();
+
+/// \brief Resolves a config to the backend a rows×cols batch should get.
+/// kAuto consults `model`; rows/cols describe the bipartite instance with
+/// rows = the smaller side the exact solver would actually iterate.
+SolverChoice ChooseBackend(const SolverConfig& config, const CostModel& model,
+                           size_t rows, size_t cols);
+
+/// \brief Like ChooseBackend with the process-wide calibrated model, and
+/// records the decision into `stats` (auto_km_selected /
+/// auto_approx_selected) when `config.choice == kAuto` and stats != null.
+SolverChoice ResolveChoice(const SolverConfig& config, size_t rows,
+                           size_t cols, SolveStats* stats);
+
+/// \brief Dense assignment (every column capacity 1) routed per `config`.
+///
+/// The exact route reproduces the historical KM call shape byte-for-byte:
+/// with `pad_to_square` the matrix is dummy-padded before the solve and
+/// the result truncated back to `weights.rows()` rows. The approx route
+/// runs ParallelBMatch with unit capacities (rows > cols is fine there;
+/// surplus rows stay unmatched). Gauge code for the backend that actually
+/// ran is in the returned stats' `solver` field.
+Result<Assignment> SolveDenseAssignment(const la::Matrix& weights,
+                                        bool pad_to_square,
+                                        const SolverConfig& config,
+                                        SolveStats* stats = nullptr);
+
+/// \brief Stable numeric code of a backend name for gauge exposition:
+/// "km"=0, "bmatch"=1, "greedy"=2, "mixed"=3, anything else 4.
+int BackendGaugeCode(const std::string& solver_name);
+
+}  // namespace lacb::matching::approx
+
+#endif  // LACB_MATCHING_APPROX_SOLVER_SELECT_H_

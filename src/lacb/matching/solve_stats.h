@@ -37,6 +37,16 @@ struct SolveStats {
   /// Objective of the returned solution (total weight, flow cost, or
   /// matching cardinality depending on the backend).
   double objective = 0.0;
+  /// Parallel approximate backend ("bmatch"): barrier-synchronized
+  /// proposal rounds, proposal attempts across all threads, and work items
+  /// claimed from another thread's queue chunk.
+  uint64_t rounds = 0;
+  uint64_t proposals = 0;
+  uint64_t steals = 0;
+  /// kAuto selector decisions folded into this record (how many solves
+  /// the cost model routed to each backend).
+  uint64_t auto_km_selected = 0;
+  uint64_t auto_approx_selected = 0;
   /// Wall-clock attribution. Phases are disjoint slices of the solve, so
   /// build + search + update <= total (the remainder is glue).
   double total_seconds = 0.0;
@@ -48,10 +58,13 @@ struct SolveStats {
   /// several solver calls). Sizes keep the componentwise max so the merged
   /// record still describes the largest subproblem.
   void MergeFrom(const SolveStats& other) {
-    if (other.solves == 0 && other.solver.empty()) return;
+    if (other.solves == 0 && other.solver.empty() &&
+        other.auto_km_selected == 0 && other.auto_approx_selected == 0) {
+      return;
+    }
     if (solver.empty()) {
       solver = other.solver;
-    } else if (solver != other.solver) {
+    } else if (!other.solver.empty() && solver != other.solver) {
       solver = "mixed";
     }
     rows = rows > other.rows ? rows : other.rows;
@@ -61,6 +74,11 @@ struct SolveStats {
     augmenting_paths += other.augmenting_paths;
     dual_updates += other.dual_updates;
     objective += other.objective;
+    rounds += other.rounds;
+    proposals += other.proposals;
+    steals += other.steals;
+    auto_km_selected += other.auto_km_selected;
+    auto_approx_selected += other.auto_approx_selected;
     total_seconds += other.total_seconds;
     phase_build_seconds += other.phase_build_seconds;
     phase_search_seconds += other.phase_search_seconds;

@@ -1,28 +1,26 @@
 #include "lacb/policy/assignment_policy.h"
 
+#include "lacb/matching/approx/parallel_bmatch.h"
+#include "lacb/matching/approx/scoring.h"
 #include "lacb/matching/assignment.h"
 
 namespace lacb::policy {
 
-Result<std::vector<int64_t>> SolveBatchAssignment(
-    const la::Matrix& utility, const std::vector<size_t>& eligible,
-    bool pad_to_square, matching::SolveStats* stats) {
-  size_t num_requests = utility.rows();
-  std::vector<int64_t> out(num_requests, matching::kUnmatched);
-  if (eligible.empty() || num_requests == 0) return out;
-  for (size_t c : eligible) {
-    if (c >= utility.cols()) {
-      return Status::OutOfRange("eligible broker column out of range");
-    }
-  }
+namespace {
 
+namespace approx = matching::approx;
+
+// Exact-KM batch assignment (the historical SolveBatchAssignment body,
+// with the submatrix gathers routed through the shared scoring kernels —
+// identical arithmetic, so results are byte-identical).
+Result<std::vector<int64_t>> SolveBatchExact(
+    const la::Matrix& utility, const std::vector<size_t>& eligible,
+    bool pad_to_square, matching::SolveStats* stats,
+    std::vector<int64_t>* out) {
+  const size_t num_requests = utility.rows();
   if (eligible.size() >= num_requests) {
-    la::Matrix w(num_requests, eligible.size());
-    for (size_t r = 0; r < num_requests; ++r) {
-      for (size_t c = 0; c < eligible.size(); ++c) {
-        w(r, c) = utility(r, eligible[c]);
-      }
-    }
+    la::Matrix w;
+    LACB_RETURN_NOT_OK(approx::GatherColumns(utility, eligible, &w));
     matching::Assignment a;
     if (pad_to_square) {
       LACB_ASSIGN_OR_RETURN(la::Matrix square, matching::PadToSquare(w));
@@ -33,29 +31,80 @@ Result<std::vector<int64_t>> SolveBatchAssignment(
     for (size_t r = 0; r < num_requests; ++r) {
       int64_t col = a.col_of_row[r];
       if (col != matching::kUnmatched) {
-        out[r] = static_cast<int64_t>(eligible[static_cast<size_t>(col)]);
+        (*out)[r] = static_cast<int64_t>(eligible[static_cast<size_t>(col)]);
       }
     }
-    return out;
+    return *out;
   }
 
   // Fewer brokers than requests: solve the transposed problem so every
   // eligible broker serves exactly one request; the rest stay unmatched.
-  la::Matrix w(eligible.size(), num_requests);
-  for (size_t c = 0; c < eligible.size(); ++c) {
-    for (size_t r = 0; r < num_requests; ++r) {
-      w(c, r) = utility(r, eligible[c]);
-    }
-  }
+  la::Matrix w;
+  LACB_RETURN_NOT_OK(approx::GatherColumnsTransposed(utility, eligible, &w));
   LACB_ASSIGN_OR_RETURN(matching::Assignment a,
                         matching::MaxWeightAssignment(w, stats));
   for (size_t c = 0; c < eligible.size(); ++c) {
     int64_t r = a.col_of_row[c];
     if (r != matching::kUnmatched) {
-      out[static_cast<size_t>(r)] = static_cast<int64_t>(eligible[c]);
+      (*out)[static_cast<size_t>(r)] = static_cast<int64_t>(eligible[c]);
     }
   }
-  return out;
+  return *out;
+}
+
+// Approximate route: unit-capacity parallel b-matching over the eligible
+// columns. Handles either orientation without transposing (surplus
+// requests simply stay unmatched).
+Result<std::vector<int64_t>> SolveBatchApprox(
+    const la::Matrix& utility, const std::vector<size_t>& eligible,
+    const approx::SolverConfig& solver, matching::SolveStats* stats,
+    std::vector<int64_t>* out) {
+  approx::ScoreMatrix scores;
+  LACB_RETURN_NOT_OK(
+      approx::BuildScoreMatrix(utility, eligible, nullptr, &scores));
+  std::vector<int64_t> caps(eligible.size(), 1);
+  approx::BMatchOptions opts;
+  opts.num_threads = solver.approx_threads;
+  LACB_ASSIGN_OR_RETURN(approx::BMatchResult bm,
+                        approx::ParallelBMatch(scores, caps, opts, stats));
+  for (size_t r = 0; r < utility.rows(); ++r) {
+    int64_t col = bm.col_of_row[r];
+    if (col != matching::kUnmatched) {
+      (*out)[r] = static_cast<int64_t>(eligible[static_cast<size_t>(col)]);
+    }
+  }
+  return *out;
+}
+
+}  // namespace
+
+Result<std::vector<int64_t>> SolveBatchAssignment(
+    const la::Matrix& utility, const std::vector<size_t>& eligible,
+    bool pad_to_square, matching::SolveStats* stats) {
+  return SolveBatchAssignment(utility, eligible, pad_to_square,
+                              matching::approx::SolverConfig{}, stats);
+}
+
+Result<std::vector<int64_t>> SolveBatchAssignment(
+    const la::Matrix& utility, const std::vector<size_t>& eligible,
+    bool pad_to_square, const matching::approx::SolverConfig& solver,
+    matching::SolveStats* stats) {
+  size_t num_requests = utility.rows();
+  std::vector<int64_t> out(num_requests, matching::kUnmatched);
+  if (eligible.empty() || num_requests == 0) return out;
+  for (size_t c : eligible) {
+    if (c >= utility.cols()) {
+      return Status::OutOfRange("eligible broker column out of range");
+    }
+  }
+  const size_t small_side = std::min(num_requests, eligible.size());
+  const size_t large_side = std::max(num_requests, eligible.size());
+  const approx::SolverChoice choice =
+      approx::ResolveChoice(solver, small_side, large_side, stats);
+  if (choice == approx::SolverChoice::kApprox) {
+    return SolveBatchApprox(utility, eligible, solver, stats, &out);
+  }
+  return SolveBatchExact(utility, eligible, pad_to_square, stats, &out);
 }
 
 }  // namespace lacb::policy

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "lacb/matching/approx/parallel_bmatch.h"
+#include "lacb/matching/approx/scoring.h"
 #include "lacb/matching/assignment.h"
 #include "lacb/matching/selection.h"
 #include "lacb/obs/obs.h"
@@ -80,26 +82,28 @@ Result<std::vector<int64_t>> LacbPolicy::AssignBatch(const BatchInput& input) {
   if (eligible.empty() || num_requests == 0) return out;
 
   // Alg. 2 line 6 / Eq. 15: refine utilities of frequently saturated
-  // brokers by the value-function delta at their current residual.
-  la::Matrix refined(num_requests, eligible.size());
+  // brokers by the value-function delta at their current residual. The
+  // per-column deltas are computed first, then fused into the column
+  // gather by the shared scoring kernel.
+  la::Matrix refined;
   std::vector<double> residual(eligible.size());
   {
     LACB_TRACE_SPAN("value_refine");
+    std::vector<double> column_delta(eligible.size(), 0.0);
     size_t refined_brokers = 0;
     for (size_t c = 0; c < eligible.size(); ++c) {
       size_t b = eligible[c];
       residual[c] = capacity_[b] - w[b];
-      double delta = 0.0;
       if (config_.use_value_function &&
           CapacityHitFrequency(b) > config_.capacity_hit_threshold) {
-        delta = value_function_.RefinementDelta(residual[c]);
+        double delta = value_function_.RefinementDelta(residual[c]);
         if (config_.clamp_refinement) delta = std::min(0.0, delta);
+        column_delta[c] = delta;
         ++refined_brokers;
       }
-      for (size_t r = 0; r < num_requests; ++r) {
-        refined(r, c) = u(r, eligible[c]) + delta;
-      }
     }
+    LACB_RETURN_NOT_OK(matching::approx::GatherRefinedColumns(
+        u, eligible, column_delta, &refined));
     if (refined_brokers > 0) {
       obs::ActiveRegistry()
           .GetCounter("lacb.refined_broker_columns")
@@ -122,10 +126,33 @@ Result<std::vector<int64_t>> LacbPolicy::AssignBatch(const BatchInput& input) {
         .Increment(eligible.size() - active.size());
   }
 
-  // Alg. 2 line 7: KM on the (padded or pruned) graph. The km_solve span
-  // and KM iteration counters live inside matching::MaxWeightAssignment.
+  // Alg. 2 line 7: match on the (padded or pruned) graph. The routed
+  // solver config can swap the exact KM solve for the parallel ½-approx
+  // b-matching solver on large batches; the default keeps exact KM. The
+  // km_solve span and KM iteration counters live inside
+  // matching::MaxWeightAssignment.
+  namespace approx = matching::approx;
+  const approx::SolverChoice choice = approx::ResolveChoice(
+      solver_config(),
+      std::min(solve_matrix->rows(), solve_matrix->cols()),
+      std::max(solve_matrix->rows(), solve_matrix->cols()), stats);
   matching::Assignment assignment;
-  if (solve_matrix->rows() <= solve_matrix->cols()) {
+  if (choice == approx::SolverChoice::kApprox) {
+    // The b-matching solver handles either orientation directly (surplus
+    // requests simply stay unmatched), so no transpose branch here.
+    std::vector<int64_t> caps(solve_matrix->cols(), 1);
+    approx::BMatchOptions opts;
+    opts.num_threads = solver_config().approx_threads;
+    LACB_ASSIGN_OR_RETURN(
+        approx::BMatchResult bm,
+        approx::ParallelBMatch(*solve_matrix, caps, opts, stats));
+    for (size_t r = 0; r < num_requests; ++r) {
+      int64_t col = bm.col_of_row[r];
+      if (col == matching::kUnmatched) continue;
+      size_t local = active[static_cast<size_t>(col)];
+      out[r] = static_cast<int64_t>(eligible[local]);
+    }
+  } else if (solve_matrix->rows() <= solve_matrix->cols()) {
     if (config_.use_cbs || !config_.pad_to_square) {
       LACB_ASSIGN_OR_RETURN(
           assignment, matching::MaxWeightAssignment(*solve_matrix, stats));
