@@ -112,8 +112,8 @@ int main() {
       std::string scrape = HttpGet((*service)->exposition_port(), "/metrics");
       std::istringstream lines(scrape.substr(scrape.find("\r\n\r\n") + 4));
       std::string line;
-      std::cout << "\n--- /metrics (first 12 lines of the day-1 scrape) ---\n";
-      for (int i = 0; i < 12 && std::getline(lines, line); ++i) {
+      std::cout << "\n--- /metrics (first 24 lines of the day-1 scrape) ---\n";
+      for (int i = 0; i < 24 && std::getline(lines, line); ++i) {
         std::cout << line << "\n";
       }
       std::cout << "---\n\n";

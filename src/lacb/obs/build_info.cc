@@ -75,10 +75,13 @@ double UptimeSeconds() {
 std::string RenderBuildInfoMetrics() {
   const BuildInfo& info = GetBuildInfo();
   std::ostringstream out;
+  out << "# HELP lacb_build_info Build identity (version, git commit, "
+         "compiler) as constant-1 labels.\n";
   out << "# TYPE lacb_build_info gauge\n";
   out << "lacb_build_info{version=\"" << EscapeLabel(info.version)
       << "\",commit=\"" << EscapeLabel(info.commit) << "\",compiler=\""
       << EscapeLabel(info.compiler) << "\"} 1\n";
+  out << "# HELP lacb_uptime_seconds Seconds since process start.\n";
   out << "# TYPE lacb_uptime_seconds gauge\n";
   out << "lacb_uptime_seconds " << UptimeSeconds() << "\n";
   return out.str();

@@ -1,0 +1,206 @@
+#include "lacb/obs/forecast.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lacb/common/logging.h"
+
+namespace lacb::obs {
+
+namespace {
+// Trends below this magnitude (units/second) are treated as flat: the
+// projected crossing would be further out than any horizon a control loop
+// could act on, and dividing by them amplifies estimator noise into
+// nonsense horizons.
+constexpr double kFlatTrend = 1e-9;
+}  // namespace
+
+double CrossingHorizonSeconds(double level, double trend, double target,
+                              bool rising) {
+  if (rising) {
+    if (level >= target) return 0.0;
+    if (trend <= kFlatTrend) return kNoHorizon;
+    return (target - level) / trend;
+  }
+  if (level <= target) return 0.0;
+  if (trend >= -kFlatTrend) return kNoHorizon;
+  return (target - level) / trend;
+}
+
+// ---------------------------------------------------------------------------
+// EwmaEstimator.
+
+EwmaEstimator::EwmaEstimator(double alpha) : alpha_(alpha) {
+  LACB_CHECK(alpha > 0.0 && alpha <= 1.0);
+}
+
+void EwmaEstimator::Observe(double t, double value) {
+  if (count_ == 0) {
+    level_ = value;
+  } else {
+    level_ = alpha_ * value + (1.0 - alpha_) * level_;
+  }
+  last_t_ = t;
+  ++count_;
+}
+
+// ---------------------------------------------------------------------------
+// HoltEstimator.
+
+HoltEstimator::HoltEstimator(double alpha, double beta)
+    : alpha_(alpha), beta_(beta) {
+  LACB_CHECK(alpha > 0.0 && alpha <= 1.0);
+  LACB_CHECK(beta > 0.0 && beta <= 1.0);
+}
+
+void HoltEstimator::Observe(double t, double value) {
+  if (count_ == 0) {
+    level_ = value;
+    trend_ = 0.0;
+    last_t_ = t;
+    count_ = 1;
+    return;
+  }
+  double dt = t - last_t_;
+  if (dt <= 0.0) {
+    // Repeated or out-of-order timestamp: no time elapsed, so there is no
+    // rate information — only blend the level.
+    level_ = alpha_ * value + (1.0 - alpha_) * level_;
+    ++count_;
+    return;
+  }
+  double predicted = level_ + trend_ * dt;
+  double prev_level = level_;
+  level_ = alpha_ * value + (1.0 - alpha_) * predicted;
+  trend_ = beta_ * ((level_ - prev_level) / dt) + (1.0 - beta_) * trend_;
+  last_t_ = t;
+  ++count_;
+}
+
+double HoltEstimator::Forecast(double horizon_seconds) const {
+  return level_ + trend_ * horizon_seconds;
+}
+
+double HoltEstimator::LevelAt(double at_time) const {
+  double dt = at_time - last_t_;
+  if (dt < 0.0) dt = 0.0;
+  return Forecast(dt);
+}
+
+// ---------------------------------------------------------------------------
+// HorizonEstimator.
+
+HorizonEstimator::HorizonEstimator(size_t num_series, const Options& options)
+    : series_(num_series, HoltEstimator(options.alpha, options.beta)) {}
+
+void HorizonEstimator::Observe(size_t i, double t, double value) {
+  LACB_CHECK(i < series_.size());
+  series_[i].Observe(t, value);
+}
+
+double HorizonEstimator::HorizonSeconds(size_t i, double at_time,
+                                        double target, bool rising) const {
+  LACB_CHECK(i < series_.size());
+  const HoltEstimator& s = series_[i];
+  // One observation carries no trend; projecting it would always report
+  // kNoHorizon anyway unless already past the target — which a single
+  // stale sample should not assert either.
+  if (!s.has_trend()) return kNoHorizon;
+  return CrossingHorizonSeconds(s.LevelAt(at_time), s.trend(), target,
+                                rising);
+}
+
+std::vector<double> HorizonEstimator::Horizons(double at_time, double target,
+                                               bool rising) const {
+  std::vector<double> out;
+  out.reserve(series_.size());
+  for (size_t i = 0; i < series_.size(); ++i) {
+    out.push_back(HorizonSeconds(i, at_time, target, rising));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// BurstDetector.
+
+BurstDetector::BurstDetector(const Options& options) : options_(options) {
+  LACB_CHECK(options.window >= 2);
+  ring_.resize(options_.window, 0.0);
+}
+
+bool BurstDetector::Observe(double value) {
+  bool fired = false;
+  zscore_ = 0.0;
+  if (count_ >= options_.min_samples && filled_ >= 2) {
+    double sum = 0.0;
+    for (size_t i = 0; i < filled_; ++i) sum += ring_[i];
+    double mean = sum / static_cast<double>(filled_);
+    double var = 0.0;
+    for (size_t i = 0; i < filled_; ++i) {
+      double d = ring_[i] - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(filled_);
+    double sigma = std::sqrt(var);
+    // A perfectly flat baseline has sigma 0; fall back to a fraction of
+    // the mean so the z-score stays finite and the ratio guard decides.
+    double denom = sigma > 1e-12 ? sigma : std::max(1e-12, 0.05 * mean);
+    zscore_ = (value - mean) / denom;
+    fired = zscore_ > options_.z_threshold &&
+            value > options_.min_ratio * std::max(mean, 1e-12);
+  }
+  // The tested observation joins the baseline *after* the test.
+  ring_[next_] = value;
+  next_ = (next_ + 1) % ring_.size();
+  filled_ = std::min(filled_ + 1, ring_.size());
+  ++count_;
+  active_ = fired;
+  if (fired) ++firings_;
+  return fired;
+}
+
+// ---------------------------------------------------------------------------
+// DriftDetector.
+
+DriftDetector::DriftDetector(const Options& options) : options_(options) {
+  LACB_CHECK(options.warmup >= 2);
+  LACB_CHECK(options.threshold > 0.0);
+}
+
+bool DriftDetector::Observe(double value) {
+  ++count_;
+  if (count_ <= options_.warmup) {
+    // Welford update of the warmup baseline.
+    double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+    if (count_ == options_.warmup) {
+      sigma_ = std::sqrt(m2_ / static_cast<double>(count_));
+      if (sigma_ < 1e-12) {
+        // Degenerate (constant) baseline: scale deviations against a
+        // small fraction of the mean so a later shift still registers.
+        sigma_ = std::max(1e-12, 0.05 * std::abs(mean_));
+      }
+    }
+    return false;
+  }
+  double z = (value - mean_) / sigma_;
+  sum_pos_ = std::max(0.0, sum_pos_ + z - options_.slack);
+  sum_neg_ = std::max(0.0, sum_neg_ - z - options_.slack);
+  return drifted();
+}
+
+double DriftDetector::score() const {
+  return std::max(sum_pos_, sum_neg_) / options_.threshold;
+}
+
+void DriftDetector::Reset() {
+  count_ = 0;
+  mean_ = 0.0;
+  m2_ = 0.0;
+  sigma_ = 0.0;
+  sum_pos_ = 0.0;
+  sum_neg_ = 0.0;
+}
+
+}  // namespace lacb::obs

@@ -1,0 +1,233 @@
+// Forecasting plane: short-horizon predictors over serving telemetry.
+//
+// Everything else the obs layer exports is retrospective — a counter says a
+// request *was* shed, a burn rate says the budget *was* spent. The paper's
+// core tension (broker capacity exhausts *during* the day) makes the
+// forward-looking quantities the interesting ones: how long until a
+// broker's residual capacity hits zero, how long until the ingestion queue
+// saturates, is the arrival process bursting right now. This header holds
+// the estimator math; the serve layer feeds it at batch-commit boundaries
+// and exports the projections as serve.forecast.* gauges (docs/
+// observability.md, "Forecasting & pressure signals").
+//
+// Components:
+//   EwmaEstimator   — plain exponentially weighted level (no trend).
+//   HoltEstimator   — double exponential smoothing: level + per-second
+//                     trend, with irregular-interval updates (the trend is
+//                     a rate, so samples may arrive at any spacing).
+//   HorizonEstimator— a bank of HoltEstimators (one per tracked series,
+//                     e.g. one per broker residual) projecting each series
+//                     to a floor/ceiling crossing time.
+//   BurstDetector   — rate-of-change z-score over a sliding ring buffer.
+//   DriftDetector   — two-sided CUSUM on standardized deviations from a
+//                     warmup baseline (slow shifts a z-score misses).
+//
+// All observation methods take explicit timestamps (seconds on any
+// monotone axis), mirroring SloTracker's RecordAt/EvaluateAt pattern, so
+// the math is unit-testable without wall-clock sleeps. None of the classes
+// are thread-safe; the serve layer serializes access under its own mutex.
+
+#ifndef LACB_OBS_FORECAST_H_
+#define LACB_OBS_FORECAST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lacb::obs {
+
+/// \brief Sentinel horizon meaning "no crossing predicted" (the series is
+/// flat or moving away from the target). A finite sentinel instead of
+/// +inf keeps the exported gauges JSON- and Prometheus-friendly.
+inline constexpr double kNoHorizon = -1.0;
+
+/// \brief Time (seconds, >= 0) until a series at `level` moving at `trend`
+/// units/second reaches `target`. `rising` selects the crossing direction:
+/// true means the event is the series growing up to `target` (queue depth
+/// reaching capacity), false means decaying down to it (residual capacity
+/// reaching zero). Already at/past the target in the event direction
+/// returns 0; flat or moving away returns kNoHorizon.
+double CrossingHorizonSeconds(double level, double trend, double target,
+                              bool rising);
+
+/// \brief Plain EWMA level estimator: level' = a*x + (1-a)*level.
+class EwmaEstimator {
+ public:
+  /// \brief `alpha` in (0, 1]: weight of the newest observation.
+  explicit EwmaEstimator(double alpha);
+
+  void Observe(double t, double value);
+
+  bool valid() const { return count_ > 0; }
+  double level() const { return level_; }
+  double last_time() const { return last_t_; }
+  size_t count() const { return count_; }
+
+ private:
+  double alpha_;
+  double level_ = 0.0;
+  double last_t_ = 0.0;
+  size_t count_ = 0;
+};
+
+/// \brief Holt double exponential smoothing with irregular intervals.
+///
+/// The trend is kept as a per-second rate so the update is well-defined
+/// for any sample spacing:
+///   predicted = level + trend * dt
+///   level'    = alpha * x + (1 - alpha) * predicted
+///   trend'    = beta * (level' - level) / dt + (1 - beta) * trend
+/// The first observation seeds the level with a zero trend; a repeated
+/// timestamp (dt <= 0) only blends the level.
+class HoltEstimator {
+ public:
+  /// \brief `alpha` smooths the level, `beta` the trend; both in (0, 1].
+  HoltEstimator(double alpha, double beta);
+
+  void Observe(double t, double value);
+
+  /// \brief Projected value `horizon_seconds` past the last observation.
+  double Forecast(double horizon_seconds) const;
+  /// \brief Level projected forward to absolute time `at_time` (same axis
+  /// as Observe timestamps; times before the last observation clamp to it).
+  double LevelAt(double at_time) const;
+
+  bool valid() const { return count_ > 0; }
+  /// \brief Trend estimates need two observations; before that trend()==0.
+  bool has_trend() const { return count_ >= 2; }
+  double level() const { return level_; }
+  double trend() const { return trend_; }
+  double last_time() const { return last_t_; }
+  size_t count() const { return count_; }
+
+ private:
+  double alpha_;
+  double beta_;
+  double level_ = 0.0;
+  double trend_ = 0.0;
+  double last_t_ = 0.0;
+  size_t count_ = 0;
+};
+
+/// \brief A bank of Holt estimators projecting each tracked series to a
+/// target-crossing time — per-broker residual capacities to exhaustion,
+/// queue depth to saturation.
+class HorizonEstimator {
+ public:
+  struct Options {
+    double alpha = 0.4;  ///< Level smoothing (SNIPPETS EWMA default).
+    double beta = 0.2;   ///< Trend smoothing.
+  };
+
+  HorizonEstimator(size_t num_series, const Options& options);
+
+  size_t num_series() const { return series_.size(); }
+
+  /// \brief Feeds one observation of series `i` at time `t` (seconds).
+  void Observe(size_t i, double t, double value);
+
+  /// \brief Seconds from `at_time` until series `i`'s projection crosses
+  /// `target` in the `rising` direction (see CrossingHorizonSeconds).
+  /// kNoHorizon while the series has fewer than two observations.
+  double HorizonSeconds(size_t i, double at_time, double target,
+                        bool rising) const;
+
+  /// \brief Horizon of every series at `at_time` (kNoHorizon entries for
+  /// unseen/flat series).
+  std::vector<double> Horizons(double at_time, double target,
+                               bool rising) const;
+
+  const HoltEstimator& series(size_t i) const { return series_[i]; }
+
+ private:
+  std::vector<HoltEstimator> series_;
+};
+
+/// \brief Sliding-window z-score burst detector.
+///
+/// Keeps a ring of the last `window` observations as the baseline; a new
+/// observation fires when it sits more than `z_threshold` standard
+/// deviations above the baseline mean AND above `min_ratio` times the
+/// mean (the ratio guard keeps a near-zero-variance baseline from firing
+/// on noise). The baseline excludes the observation under test, so a step
+/// change fires on its first sample. Observations join the ring after the
+/// test, so a sustained burst eventually becomes the new baseline and the
+/// detector re-arms — it flags onsets, not plateaus.
+class BurstDetector {
+ public:
+  struct Options {
+    size_t window = 32;        ///< Baseline ring size.
+    double z_threshold = 4.0;  ///< Fire above this many baseline sigmas.
+    double min_ratio = 2.0;    ///< ... and above this multiple of the mean.
+    size_t min_samples = 8;    ///< Warmup before the detector may fire.
+  };
+
+  explicit BurstDetector(const Options& options);
+
+  /// \brief Feeds one observation; returns whether it fired.
+  bool Observe(double value);
+
+  /// \brief Whether the latest observation fired.
+  bool active() const { return active_; }
+  /// \brief z-score of the latest observation against its baseline.
+  double zscore() const { return zscore_; }
+  uint64_t firings() const { return firings_; }
+  size_t count() const { return count_; }
+
+ private:
+  Options options_;
+  std::vector<double> ring_;
+  size_t next_ = 0;
+  size_t filled_ = 0;
+  size_t count_ = 0;
+  bool active_ = false;
+  double zscore_ = 0.0;
+  uint64_t firings_ = 0;
+};
+
+/// \brief Two-sided CUSUM drift detector on standardized deviations.
+///
+/// The first `warmup` observations fit a baseline mean and standard
+/// deviation; afterwards each observation's standardized deviation z feeds
+/// the classical tabular CUSUM:
+///   S+ = max(0, S+ + z - slack),   S- = max(0, S- - z - slack)
+/// score() = max(S+, S-) / threshold, so a score >= 1 means the decision
+/// interval was crossed — a sustained shift of the mean that a per-sample
+/// z-test would never flag. Unlike the burst detector this accumulates, so
+/// it catches slow drifts (solve latency creeping up, admission rate
+/// eroding) long before any single sample looks anomalous.
+class DriftDetector {
+ public:
+  struct Options {
+    double slack = 0.5;      ///< k: dead zone, in baseline sigmas.
+    double threshold = 8.0;  ///< h: decision interval, in sigmas.
+    size_t warmup = 16;      ///< Observations used to fit the baseline.
+  };
+
+  explicit DriftDetector(const Options& options);
+
+  /// \brief Feeds one observation; returns drifted() after it.
+  bool Observe(double value);
+
+  /// \brief max(S+, S-) normalized by the decision interval; >= 1 = drift.
+  double score() const;
+  bool drifted() const { return score() >= 1.0; }
+  size_t count() const { return count_; }
+
+  /// \brief Drops all state (baseline and sums) — e.g. at a day boundary.
+  void Reset();
+
+ private:
+  Options options_;
+  size_t count_ = 0;
+  // Welford running baseline over the warmup prefix.
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sigma_ = 0.0;
+  double sum_pos_ = 0.0;
+  double sum_neg_ = 0.0;
+};
+
+}  // namespace lacb::obs
+
+#endif  // LACB_OBS_FORECAST_H_

@@ -228,6 +228,43 @@ Histogram& MetricRegistry::GetHistogram(const std::string& name,
   return *slot;
 }
 
+void MetricRegistry::SetHelpLocked(const std::string& name,
+                                   const std::string& help) {
+  if (help.empty()) return;
+  help_.emplace(name, help);  // first description wins
+}
+
+Counter& MetricRegistry::GetCounter(const std::string& name,
+                                    const std::string& help) {
+  Counter& c = GetCounter(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  SetHelpLocked(name, help);
+  return c;
+}
+
+Gauge& MetricRegistry::GetGauge(const std::string& name,
+                                const std::string& help) {
+  Gauge& g = GetGauge(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  SetHelpLocked(name, help);
+  return g;
+}
+
+Histogram& MetricRegistry::GetHistogram(const std::string& name,
+                                        std::vector<double> bounds,
+                                        const std::string& help) {
+  Histogram& h = GetHistogram(name, std::move(bounds));
+  std::lock_guard<std::mutex> lock(mu_);
+  SetHelpLocked(name, help);
+  return h;
+}
+
+void MetricRegistry::SetHelp(const std::string& name,
+                             const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SetHelpLocked(name, help);
+}
+
 MetricsSnapshot MetricRegistry::Snapshot() const {
   MetricsSnapshot snap;
   std::lock_guard<std::mutex> lock(mu_);
@@ -236,6 +273,7 @@ MetricsSnapshot MetricRegistry::Snapshot() const {
   for (const auto& [name, h] : histograms_) {
     snap.histograms[name] = h->Snapshot();
   }
+  snap.help = help_;
   return snap;
 }
 

@@ -123,6 +123,10 @@ struct MetricsSnapshot {
   std::map<std::string, uint64_t> counters;
   std::map<std::string, double> gauges;
   std::map<std::string, HistogramSnapshot> histograms;
+  /// Help strings by (dotted) instrument name — instruments registered
+  /// without a description are simply absent. Exporters emit these as
+  /// `# HELP` lines (see prometheus.cc).
+  std::map<std::string, std::string> help;
 };
 
 /// \brief True when `name` is valid dotted snake_case: non-empty
@@ -152,6 +156,19 @@ class MetricRegistry {
   Histogram& GetHistogram(const std::string& name,
                           std::vector<double> bounds);
 
+  /// \brief Registration variants carrying a help string: the description
+  /// rides into MetricsSnapshot::help and the Prometheus exporter emits it
+  /// as the family's `# HELP` line. The first non-empty description of a
+  /// name wins; later registrations never overwrite it.
+  Counter& GetCounter(const std::string& name, const std::string& help);
+  Gauge& GetGauge(const std::string& name, const std::string& help);
+  Histogram& GetHistogram(const std::string& name, std::vector<double> bounds,
+                          const std::string& help);
+
+  /// \brief Attaches a description to an instrument name (first non-empty
+  /// description wins). Usable independently of the Get* overloads.
+  void SetHelp(const std::string& name, const std::string& help);
+
   MetricsSnapshot Snapshot() const;
 
  private:
@@ -160,11 +177,16 @@ class MetricRegistry {
   /// Validates `name` and records/compares its kind (callers hold mu_).
   void RegisterName(const std::string& name, InstrumentKind kind);
 
+  /// Records `help` for `name` if non-empty and not already set (callers
+  /// hold mu_).
+  void SetHelpLocked(const std::string& name, const std::string& help);
+
   mutable std::mutex mu_;
   std::map<std::string, InstrumentKind> kinds_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::string> help_;
 };
 
 }  // namespace lacb::obs

@@ -24,14 +24,34 @@ std::string FormatDouble(double v) {
   return buf;
 }
 
+// HELP text escapes backslash and newline (exposition format v0.0.4).
+std::string EscapeHelp(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 void AppendFamilyHeader(std::string* out, const std::string& name,
-                        const char* type) {
+                        const char* type, const std::string& help = "") {
+  if (!help.empty()) {
+    out->append("# HELP ").append(name).append(" ").append(EscapeHelp(help));
+    out->append("\n");
+  }
   out->append("# TYPE ").append(name).append(" ").append(type).append("\n");
 }
 
 void AppendHistogram(std::string* out, const std::string& name,
-                     const HistogramSnapshot& h) {
-  AppendFamilyHeader(out, name, "histogram");
+                     const HistogramSnapshot& h, const std::string& help) {
+  AppendFamilyHeader(out, name, "histogram", help);
   uint64_t cumulative = 0;
   for (size_t i = 0; i < h.bounds.size(); ++i) {
     cumulative += i < h.counts.size() ? h.counts[i] : 0;
@@ -73,18 +93,22 @@ std::string PrometheusName(const std::string& name) {
 
 std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
   std::string out;
+  auto help_for = [&snapshot](const std::string& name) -> std::string {
+    auto it = snapshot.help.find(name);
+    return it == snapshot.help.end() ? std::string() : it->second;
+  };
   for (const auto& [name, value] : snapshot.counters) {
     std::string pname = PrometheusName(name);
-    AppendFamilyHeader(&out, pname, "counter");
+    AppendFamilyHeader(&out, pname, "counter", help_for(name));
     out.append(pname).append(" ").append(std::to_string(value)).append("\n");
   }
   for (const auto& [name, value] : snapshot.gauges) {
     std::string pname = PrometheusName(name);
-    AppendFamilyHeader(&out, pname, "gauge");
+    AppendFamilyHeader(&out, pname, "gauge", help_for(name));
     out.append(pname).append(" ").append(FormatDouble(value)).append("\n");
   }
   for (const auto& [name, hist] : snapshot.histograms) {
-    AppendHistogram(&out, PrometheusName(name), hist);
+    AppendHistogram(&out, PrometheusName(name), hist, help_for(name));
   }
   return out;
 }

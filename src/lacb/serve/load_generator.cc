@@ -66,6 +66,60 @@ Status PumpPoisson(AssignmentService* service,
   return Status::OK();
 }
 
+// Open-loop flash-crowd arrivals: a Poisson-like baseline with one
+// contiguous burst window at burst_multiplier times the base rate, and
+// optionally heavy-tailed (Pareto) gaps. Pacing uses absolute deadlines
+// (sleep_until against an accumulated schedule) instead of relative
+// sleep_for: at burst rates the per-arrival sleep overshoot would
+// otherwise accumulate and quietly flatten the burst the mode exists to
+// produce.
+Status PumpFlashCrowd(AssignmentService* service,
+                      const std::vector<std::vector<sim::Request>>& batches,
+                      size_t day, const ServedRunOptions& options) {
+  if (options.flash_base_rate <= 0.0) return PumpFreeRun(service, batches);
+  size_t total = 0;
+  for (const std::vector<sim::Request>& batch : batches) {
+    total += batch.size();
+  }
+  const size_t burst_begin = static_cast<size_t>(
+      options.burst_start_fraction * static_cast<double>(total));
+  const size_t burst_end =
+      burst_begin + static_cast<size_t>(options.burst_fraction *
+                                        static_cast<double>(total));
+  Rng rng = Rng(options.poisson_seed).Fork(day);
+  auto deadline = std::chrono::steady_clock::now();
+  size_t index = 0;
+  for (const std::vector<sim::Request>& batch : batches) {
+    for (const sim::Request& r : batch) {
+      const bool in_burst = index >= burst_begin && index < burst_end;
+      const double rate = in_burst
+                              ? options.flash_base_rate *
+                                    std::max(1.0, options.burst_multiplier)
+                              : options.flash_base_rate;
+      const double mean_gap = 1.0 / rate;
+      double u = rng.Uniform();
+      if (u < 1e-12) u = 1e-12;
+      double gap;
+      if (options.pareto_shape > 1.0) {
+        // Pareto via inverse CDF, scale chosen so the mean matches the
+        // exponential gap: E[gap] = xm·a/(a−1) = mean_gap.
+        const double a = options.pareto_shape;
+        const double xm = mean_gap * (a - 1.0) / a;
+        gap = xm * std::pow(u, -1.0 / a);
+      } else {
+        gap = -mean_gap * std::log(u);
+      }
+      deadline += std::chrono::duration_cast<
+          std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(gap));
+      std::this_thread::sleep_until(deadline);
+      service->Submit(r);  // open-loop: shed when admission refuses
+      ++index;
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Status PumpDay(AssignmentService* service, size_t day,
@@ -84,6 +138,8 @@ Status PumpDay(AssignmentService* service, size_t day,
       return PumpFreeRun(service, schedule[day]);
     case LoadMode::kPoisson:
       return PumpPoisson(service, schedule[day], day, options);
+    case LoadMode::kFlashCrowd:
+      return PumpFlashCrowd(service, schedule[day], day, options);
   }
   return Status::Internal("unknown load mode");
 }

@@ -18,6 +18,12 @@
 //    bound are shed — that is the point of open-loop load). A
 //    non-positive rate degenerates to free-run pumping.
 //
+//  - The flash-crowd generator layers a burst on the open-loop process: a
+//    contiguous window of each day's schedule arrives at a multiple of the
+//    base rate (optionally with heavy-tailed Pareto gaps), which is the
+//    stimulus the forecasting plane's burst/horizon detectors are scored
+//    against (bench_forecast).
+//
 // RunPolicyServed drives a whole run — days opened/closed around the
 // chosen load mode — and aggregates the same PolicyRunResult the offline
 // engine produces, so benches and tests compare the two paths directly.
@@ -40,6 +46,9 @@ enum class LoadMode {
   kLockstepReplay,  ///< Batch-by-batch, drained between scheduled batches.
   kFreeRunReplay,   ///< Pump each day as fast as admission allows.
   kPoisson,         ///< Open-loop Poisson arrivals at `poisson_rate`.
+  kFlashCrowd,      ///< Open-loop arrivals at `flash_base_rate` with a
+                    ///< contiguous burst window at a rate multiple —
+                    ///< optionally heavy-tailed gaps (see pareto_shape).
 };
 
 /// \brief Options of a served run.
@@ -51,6 +60,23 @@ struct ServedRunOptions {
   double poisson_rate = 0.0;
   /// Seed of the Poisson arrival clock (independent of the dataset seed).
   uint64_t poisson_seed = 1234;
+
+  // --- Flash-crowd mode (LoadMode::kFlashCrowd) ---
+
+  /// Baseline arrivals per second outside the burst window; <= 0 pumps
+  /// with no pacing (saturation), like kPoisson.
+  double flash_base_rate = 0.0;
+  /// Burst arrival rate = flash_base_rate × burst_multiplier.
+  double burst_multiplier = 8.0;
+  /// The burst window covers the contiguous requests whose index falls in
+  /// [burst_start_fraction, burst_start_fraction + burst_fraction) of each
+  /// day's schedule.
+  double burst_start_fraction = 0.4;
+  double burst_fraction = 0.3;
+  /// > 1: draw heavy-tailed Pareto inter-arrival gaps with the same mean
+  /// as the exponential ones (shape a, scale mean·(a−1)/a) — occasional
+  /// long gaps between arrival clumps. <= 1 (default): exponential gaps.
+  double pareto_shape = 0.0;
   /// Wall-clock cadence of time-series samples over the run's registry
   /// (queue depth, carryover, shed, ... — see sample_instruments); zero
   /// disables sampling. The series lands in the result's

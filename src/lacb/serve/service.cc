@@ -1,6 +1,8 @@
 #include "lacb/serve/service.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <limits>
 #include <string_view>
 #include <thread>
@@ -53,7 +55,128 @@ Result<std::vector<BrokerSlot>> ReadBrokerSlots(persist::ByteReader* r) {
   return slots;
 }
 
+// Horizons exported as gauges are capped so downstream JSON/Prometheus
+// consumers never see astronomically large (or infinite) values; anything
+// beyond ~11 days is operationally equivalent to "no horizon".
+constexpr double kHorizonGaugeCap = 1e6;
+
+// Lead time is a signed difference (a late signal is a negative lead), so
+// its "not yet measurable" sentinel sits far outside the plausible range
+// instead of at -1.
+constexpr double kNoLeadTime = -1e6;
+
+double CapHorizon(double h) {
+  if (h < 0.0) return obs::kNoHorizon;
+  return std::min(h, kHorizonGaugeCap);
+}
+
+std::string FormatSeconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1fs", s);
+  return buf;
+}
+
 }  // namespace
+
+// Estimators, detectors, lead-time stamps, and instrument pointers of the
+// forecasting plane — allocated at Start() only when
+// ServeOptions::forecasting is enabled, so the default path carries a null
+// pointer and nothing else. All mutable state is guarded by `mu` except
+// `epoch` (immutable) and the `shed_stamped` fast-path flag Submit checks
+// before taking the lock.
+struct AssignmentService::ForecastRuntime {
+  ForecastRuntime(const ForecastOptions& opt, size_t num_brokers)
+      : epoch(std::chrono::steady_clock::now()),
+        brokers(num_brokers,
+                obs::HorizonEstimator::Options{opt.alpha, opt.beta}),
+        queue_depth(opt.alpha, opt.beta),
+        arrival_rate(opt.alpha, opt.beta),
+        burst(obs::BurstDetector::Options{opt.burst_window,
+                                          opt.burst_z_threshold,
+                                          opt.burst_min_ratio,
+                                          /*min_samples=*/8}),
+        solve_drift(obs::DriftDetector::Options{opt.cusum_slack,
+                                                opt.cusum_threshold,
+                                                /*warmup=*/16}),
+        admission_drift(obs::DriftDetector::Options{opt.cusum_slack,
+                                                    opt.cusum_threshold,
+                                                    /*warmup=*/16}) {}
+
+  /// Seconds since the runtime was created (the time axis every estimator
+  /// observation and lead-time stamp lives on).
+  double Now() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch)
+        .count();
+  }
+
+  const std::chrono::steady_clock::time_point epoch;
+
+  mutable std::mutex mu;
+  obs::HorizonEstimator brokers;       // per-broker residual capacity
+  obs::HoltEstimator queue_depth;      // ingestion-queue depth
+  obs::HoltEstimator arrival_rate;     // requests/second (admitted + shed)
+  obs::BurstDetector burst;            // on the arrival rate
+  obs::DriftDetector solve_drift;      // on non-degraded solve seconds
+  obs::DriftDetector admission_drift;  // on the per-sample shed fraction
+
+  // Rate-window bookkeeping between batch-commit samples.
+  double last_sample_t = -1.0;
+  uint64_t last_arrivals = 0;
+  uint64_t last_shed = 0;
+
+  // Lead-time stamps (seconds on the epoch axis; -1 = never happened).
+  // first_signal is the earliest pressure signal (burst firing or a
+  // horizon inside warn_horizon_seconds); first_shed / first_degraded are
+  // the earliest *actual* capacity events. Their difference is the lead
+  // time the bench scores.
+  double first_signal_t = -1.0;
+  double first_shed_t = -1.0;
+  double first_degraded_t = -1.0;
+  std::atomic<bool> shed_stamped{false};
+
+  // Instruments (registered in Start() under serve.forecast.*).
+  obs::Counter* samples = nullptr;
+  obs::Counter* burst_firings = nullptr;
+  obs::Gauge* broker_horizon_min = nullptr;
+  obs::Gauge* broker_horizon_p10 = nullptr;
+  obs::Gauge* broker_horizon_median = nullptr;
+  obs::Gauge* queue_horizon = nullptr;
+  obs::Gauge* arrival_rate_gauge = nullptr;
+  obs::Gauge* arrival_trend_gauge = nullptr;
+  obs::Gauge* burst_active_gauge = nullptr;
+  obs::Gauge* drift_score_gauge = nullptr;
+  obs::Gauge* first_signal_gauge = nullptr;
+  obs::Gauge* first_shed_gauge = nullptr;
+  obs::Gauge* first_degraded_gauge = nullptr;
+  obs::Gauge* lead_time_gauge = nullptr;
+
+  // --- Derived quantities; callers hold mu ---
+
+  /// Seconds until the queue depth projection reaches `capacity`.
+  double QueueHorizonLocked(double at_time, double capacity) const {
+    if (!queue_depth.has_trend()) return obs::kNoHorizon;
+    return obs::CrossingHorizonSeconds(queue_depth.LevelAt(at_time),
+                                       queue_depth.trend(), capacity,
+                                       /*rising=*/true);
+  }
+
+  /// Minimum predicted broker-exhaustion horizon (kNoHorizon when no
+  /// broker projects a crossing).
+  double MinBrokerHorizonLocked(double at_time) const {
+    double best = obs::kNoHorizon;
+    for (size_t i = 0; i < brokers.num_series(); ++i) {
+      double h = brokers.HorizonSeconds(i, at_time, 0.0, /*rising=*/false);
+      if (h < 0.0) continue;
+      if (best < 0.0 || h < best) best = h;
+    }
+    return best;
+  }
+
+  double MaxDriftScoreLocked() const {
+    return std::max(solve_drift.score(), admission_drift.score());
+  }
+};
 
 Result<std::unique_ptr<AssignmentService>> AssignmentService::Create(
     const sim::DatasetConfig& config, const policy::PolicyFactory& factory,
@@ -106,19 +229,31 @@ Status AssignmentService::Start() {
   registry_ = &obs::ActiveRegistry();
   tracer_ = &obs::ActiveTracer();
   recorder_ = obs::ActiveEventRecorder();
-  submitted_counter_ = &registry_->GetCounter("serve.submitted");
-  shed_counter_ = &registry_->GetCounter("serve.shed_requests");
-  assigned_counter_ = &registry_->GetCounter("serve.assigned_requests");
-  unmatched_counter_ = &registry_->GetCounter("serve.unmatched_requests");
-  appeal_counter_ = &registry_->GetCounter("serve.appeals_requeued");
-  batch_counter_ = &registry_->GetCounter("serve.batches");
+  submitted_counter_ = &registry_->GetCounter(
+      "serve.submitted", "Requests accepted by the ingestion queue.");
+  shed_counter_ = &registry_->GetCounter(
+      "serve.shed_requests",
+      "Requests refused at admission (queue full or no open day).");
+  assigned_counter_ = &registry_->GetCounter(
+      "serve.assigned_requests", "Requests committed to a broker.");
+  unmatched_counter_ = &registry_->GetCounter(
+      "serve.unmatched_requests",
+      "Requests the policy left unassigned in a committed batch.");
+  appeal_counter_ = &registry_->GetCounter(
+      "serve.appeals_requeued", "Appeals re-queued into later batches.");
+  batch_counter_ =
+      &registry_->GetCounter("serve.batches", "Batches committed.");
   size_close_counter_ = &registry_->GetCounter("serve.batch_close.size");
   deadline_close_counter_ =
       &registry_->GetCounter("serve.batch_close.deadline");
   flush_close_counter_ = &registry_->GetCounter("serve.batch_close.flush");
-  failed_counter_ = &registry_->GetCounter("serve.failed_requests");
+  failed_counter_ = &registry_->GetCounter(
+      "serve.failed_requests",
+      "Requests in batches whose commit retries were exhausted.");
   dropped_counter_ = &registry_->GetCounter("serve.dropped_appeals");
-  degraded_counter_ = &registry_->GetCounter("serve.degraded_batches");
+  degraded_counter_ = &registry_->GetCounter(
+      "serve.degraded_batches",
+      "Batches solved by the greedy capacity-aware fallback.");
   retry_counter_ = &registry_->GetCounter("serve.commit_retries");
   redrive_counter_ = &registry_->GetCounter("serve.redriven_batches");
   stall_counter_ = &registry_->GetCounter("serve.worker_stalls");
@@ -126,7 +261,8 @@ Status AssignmentService::Start() {
   restart_counter_ = &registry_->GetCounter("serve.worker_restarts");
   inflight_gauge_ = &registry_->GetGauge("serve.inflight_batches");
   carryover_gauge_ = &registry_->GetGauge("serve.carryover_depth");
-  health_gauge_ = &registry_->GetGauge("serve.health_state");
+  health_gauge_ = &registry_->GetGauge(
+      "serve.health_state", "0 = healthy, 1 = degraded, 2 = unhealthy.");
   batch_size_hist_ = &registry_->GetHistogram(
       "serve.batch_size",
       std::vector<double>{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
@@ -190,9 +326,77 @@ Status AssignmentService::Start() {
     rt.budget->Set(1.0);  // untouched budget until the first event
     slos_.push_back(std::move(rt));
   }
+  if (options_.forecasting.enabled) {
+    forecast_ = std::make_unique<ForecastRuntime>(options_.forecasting,
+                                                  platform_->num_brokers());
+    ForecastRuntime& fr = *forecast_;
+    fr.samples = &registry_->GetCounter(
+        "serve.forecast.samples",
+        "Batch-commit samples fed to the forecasting plane.");
+    fr.burst_firings = &registry_->GetCounter(
+        "serve.forecast.burst_firings",
+        "Arrival-rate burst detector firings (onsets, not plateaus).");
+    fr.broker_horizon_min = &registry_->GetGauge(
+        "serve.forecast.broker_exhaustion_horizon_seconds_min",
+        "Smallest predicted seconds until any broker's residual capacity "
+        "reaches zero (-1: no crossing predicted).");
+    fr.broker_horizon_p10 = &registry_->GetGauge(
+        "serve.forecast.broker_exhaustion_horizon_seconds_p10",
+        "10th percentile of predicted broker-exhaustion horizons (-1: no "
+        "crossing predicted).");
+    fr.broker_horizon_median = &registry_->GetGauge(
+        "serve.forecast.broker_exhaustion_horizon_seconds_median",
+        "Median predicted broker-exhaustion horizon in seconds (-1: no "
+        "crossing predicted).");
+    fr.queue_horizon = &registry_->GetGauge(
+        "serve.forecast.queue_saturation_horizon_seconds",
+        "Predicted seconds until the ingestion queue depth reaches its "
+        "capacity (-1: no crossing predicted).");
+    fr.arrival_rate_gauge = &registry_->GetGauge(
+        "serve.forecast.arrival_rate",
+        "Smoothed arrival rate (admitted + shed), requests/second.");
+    fr.arrival_trend_gauge = &registry_->GetGauge(
+        "serve.forecast.arrival_rate_trend",
+        "Holt trend of the arrival rate, requests/second per second.");
+    fr.burst_active_gauge = &registry_->GetGauge(
+        "serve.forecast.burst_active",
+        "1 while the latest arrival-rate sample fired the burst detector.");
+    fr.drift_score_gauge = &registry_->GetGauge(
+        "serve.forecast.drift_score",
+        "Max CUSUM drift score across solve latency and admission "
+        "detectors; >= 1 means the decision interval was crossed.");
+    fr.first_signal_gauge = &registry_->GetGauge(
+        "serve.forecast.first_signal_seconds",
+        "Seconds from service start to the first pressure signal (-1: "
+        "none yet).");
+    fr.first_shed_gauge = &registry_->GetGauge(
+        "serve.forecast.first_shed_seconds",
+        "Seconds from service start to the first shed request (-1: none "
+        "yet).");
+    fr.first_degraded_gauge = &registry_->GetGauge(
+        "serve.forecast.first_degraded_seconds",
+        "Seconds from service start to the first degraded batch (-1: none "
+        "yet).");
+    fr.lead_time_gauge = &registry_->GetGauge(
+        "serve.forecast.lead_time_seconds",
+        "First actual capacity event (shed or degraded batch) minus first "
+        "pressure signal; positive = the forecast led the event (-1000000: "
+        "not yet measurable).");
+    // Horizons start as "no crossing predicted" rather than zero.
+    fr.broker_horizon_min->Set(obs::kNoHorizon);
+    fr.broker_horizon_p10->Set(obs::kNoHorizon);
+    fr.broker_horizon_median->Set(obs::kNoHorizon);
+    fr.queue_horizon->Set(obs::kNoHorizon);
+    fr.first_signal_gauge->Set(-1.0);
+    fr.first_shed_gauge->Set(-1.0);
+    fr.first_degraded_gauge->Set(-1.0);
+    fr.lead_time_gauge->Set(kNoLeadTime);
+  }
 
   queue_ = std::make_unique<BoundedRequestQueue>(
-      options_.queue_capacity, &registry_->GetGauge("serve.queue_depth"));
+      options_.queue_capacity,
+      &registry_->GetGauge("serve.queue_depth",
+                           "Requests waiting in the ingestion queue."));
   MicroBatcherOptions batch_opts;
   batch_opts.max_batch_size = options_.max_batch_size;
   batch_opts.max_batch_delay = options_.max_batch_delay;
@@ -224,9 +428,12 @@ Status AssignmentService::Start() {
         obs::ExpositionServer::Start(
             [this] {
               // Refresh scrape-time-only derived state: the timeline-drop
-              // mirror and the SLO burn gauges (via the health probe).
+              // mirror, the SLO burn gauges (via the health probe), the
+              // forecast projections, and the store residual gauges.
               SyncTimelineDrops();
               Health();
+              RefreshForecastTelemetry();
+              RefreshStoreGauges();
               return registry_->Snapshot();
             },
             expo));
@@ -338,6 +545,7 @@ bool AssignmentService::Submit(const sim::Request& request) {
     RetireWork(1);
     shed_counter_->Increment();
     RecordAdmissionSlo(false);
+    NoteForecastShed();
     if (recorder_ != nullptr) recorder_->Instant("serve.shed");
     return false;
   }
@@ -471,9 +679,11 @@ void AssignmentService::Shutdown() {
     size_t stranded = batcher_->carryover_size();
     if (stranded > 0) dropped_counter_->Increment(stranded);
   }
-  // Final drop-count sync: runs without an exposition server too, so the
-  // captured RunTelemetry carries the truthful total.
+  // Final drop-count sync and forecast-gauge refresh: both run without an
+  // exposition server too, so the captured RunTelemetry carries the
+  // truthful totals and the final projections/lead-time stamps.
   SyncTimelineDrops();
+  RefreshForecastTelemetry();
   if (exposition_ != nullptr) exposition_->Stop();
 }
 
@@ -632,6 +842,7 @@ Status AssignmentService::ProcessBatch(size_t worker_index, MicroBatch batch) {
   // feasible, O(R×B), bounded utility loss instead of a missed batch.
   std::vector<int64_t> assignment;
   bool degraded = false;
+  double solve_seconds = 0.0;
   const bool budgeted = options_.solve_budget.count() > 0;
   FaultDecision solve_fault = DecideAt(injector_.get(), FaultSite::kSolve);
   if (budgeted && solve_fault.action == FaultAction::kOverBudgetSolve) {
@@ -643,6 +854,7 @@ Status AssignmentService::ProcessBatch(size_t worker_index, MicroBatch batch) {
     LACB_ASSIGN_OR_RETURN(assignment,
                           replicas_[worker_index]->AssignBatch(input));
     double elapsed = sw.ElapsedSeconds();
+    solve_seconds = elapsed;
     assign_latency_hist_->Record(elapsed);
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
@@ -782,6 +994,9 @@ Status AssignmentService::ProcessBatch(size_t worker_index, MicroBatch batch) {
     stage_disposition_hist_->Record(disposition_seconds);
     stage_disposition_total_->Add(disposition_seconds);
   }
+  // Batch-commit boundary: exactly one forecast sample per terminal-owned
+  // batch (twins never reach this point).
+  FeedForecast(degraded, solve_seconds);
   RetireWork(static_cast<int64_t>(batch.from_queue));
   // Injected process kill: fires at a batch boundary — this batch fully
   // disposed (committed, WAL-logged, retired), nothing after it survives.
@@ -972,6 +1187,190 @@ void AssignmentService::SyncTimelineDrops() {
   if (total > prev) timeline_dropped_counter_->Increment(total - prev);
 }
 
+void AssignmentService::FeedForecast(bool degraded, double solve_seconds) {
+  if (forecast_ == nullptr) return;
+  ForecastRuntime& fr = *forecast_;
+  const double t = fr.Now();
+  const uint64_t shed = shed_counter_->value();
+  const uint64_t arrivals = submitted_counter_->value() + shed;
+  const double depth = static_cast<double>(queue_->size());
+  const std::vector<double> residuals =
+      store_.ResidualCapacities(std::numeric_limits<double>::infinity());
+
+  std::lock_guard<std::mutex> lock(fr.mu);
+  if (degraded && fr.first_degraded_t < 0.0) fr.first_degraded_t = t;
+  fr.queue_depth.Observe(t, depth);
+  for (size_t b = 0; b < residuals.size(); ++b) {
+    if (std::isinf(residuals[b])) continue;  // capacity never installed
+    fr.brokers.Observe(b, t, residuals[b]);
+  }
+  // A degraded batch skipped (or discarded) the real solve; its latency
+  // would teach the drift detector the wrong baseline.
+  if (!degraded) fr.solve_drift.Observe(solve_seconds);
+  if (fr.last_sample_t < 0.0) {
+    // First sample anchors the rate window; there is no rate yet.
+    fr.last_sample_t = t;
+    fr.last_arrivals = arrivals;
+    fr.last_shed = shed;
+  } else if (t - fr.last_sample_t > 1e-6) {
+    const double dt = t - fr.last_sample_t;
+    const double rate = static_cast<double>(arrivals - fr.last_arrivals) / dt;
+    fr.arrival_rate.Observe(t, rate);
+    if (fr.burst.Observe(rate)) fr.burst_firings->Increment();
+    if (arrivals > fr.last_arrivals) {
+      fr.admission_drift.Observe(static_cast<double>(shed - fr.last_shed) /
+                                 static_cast<double>(arrivals -
+                                                     fr.last_arrivals));
+    }
+    fr.last_sample_t = t;
+    fr.last_arrivals = arrivals;
+    fr.last_shed = shed;
+  }
+  fr.samples->Increment();
+  if (fr.first_signal_t < 0.0) {
+    const double warn = options_.forecasting.warn_horizon_seconds;
+    bool signal = fr.burst.active() || fr.solve_drift.drifted() ||
+                  fr.admission_drift.drifted();
+    if (!signal) {
+      double qh = fr.QueueHorizonLocked(
+          t, static_cast<double>(options_.queue_capacity));
+      signal = qh >= 0.0 && qh <= warn;
+    }
+    if (!signal) {
+      double bh = fr.MinBrokerHorizonLocked(t);
+      signal = bh >= 0.0 && bh <= warn;
+    }
+    if (signal) fr.first_signal_t = t;
+  }
+}
+
+void AssignmentService::NoteForecastShed() {
+  if (forecast_ == nullptr) return;
+  ForecastRuntime& fr = *forecast_;
+  // Fast path: after the first shed this is one relaxed load per shed.
+  if (fr.shed_stamped.load(std::memory_order_relaxed)) return;
+  const double t = fr.Now();
+  std::lock_guard<std::mutex> lock(fr.mu);
+  if (fr.first_shed_t < 0.0) {
+    fr.first_shed_t = t;
+    fr.shed_stamped.store(true, std::memory_order_relaxed);
+  }
+}
+
+void AssignmentService::RefreshForecastTelemetry() {
+  if (forecast_ == nullptr) return;
+  ForecastRuntime& fr = *forecast_;
+  const double t = fr.Now();
+  std::lock_guard<std::mutex> lock(fr.mu);
+  std::vector<double> horizons;
+  for (size_t i = 0; i < fr.brokers.num_series(); ++i) {
+    double h = fr.brokers.HorizonSeconds(i, t, 0.0, /*rising=*/false);
+    if (h >= 0.0) horizons.push_back(h);
+  }
+  std::sort(horizons.begin(), horizons.end());
+  if (horizons.empty()) {
+    fr.broker_horizon_min->Set(obs::kNoHorizon);
+    fr.broker_horizon_p10->Set(obs::kNoHorizon);
+    fr.broker_horizon_median->Set(obs::kNoHorizon);
+  } else {
+    const size_t n = horizons.size();
+    fr.broker_horizon_min->Set(CapHorizon(horizons.front()));
+    fr.broker_horizon_p10->Set(
+        CapHorizon(horizons[static_cast<size_t>(0.10 * (n - 1))]));
+    fr.broker_horizon_median->Set(CapHorizon(horizons[n / 2]));
+  }
+  fr.queue_horizon->Set(CapHorizon(fr.QueueHorizonLocked(
+      t, static_cast<double>(options_.queue_capacity))));
+  fr.arrival_rate_gauge->Set(fr.arrival_rate.valid() ? fr.arrival_rate.level()
+                                                     : 0.0);
+  fr.arrival_trend_gauge->Set(fr.arrival_rate.trend());
+  fr.burst_active_gauge->Set(fr.burst.active() ? 1.0 : 0.0);
+  fr.drift_score_gauge->Set(fr.MaxDriftScoreLocked());
+  fr.first_signal_gauge->Set(fr.first_signal_t);
+  fr.first_shed_gauge->Set(fr.first_shed_t);
+  fr.first_degraded_gauge->Set(fr.first_degraded_t);
+  // Lead time = first actual capacity event − first pressure signal.
+  double event_t = fr.first_shed_t;
+  if (fr.first_degraded_t >= 0.0 &&
+      (event_t < 0.0 || fr.first_degraded_t < event_t)) {
+    event_t = fr.first_degraded_t;
+  }
+  fr.lead_time_gauge->Set((fr.first_signal_t >= 0.0 && event_t >= 0.0)
+                              ? event_t - fr.first_signal_t
+                              : kNoLeadTime);
+}
+
+void AssignmentService::RefreshStoreGauges() {
+  if (registry_ == nullptr) return;
+  const std::vector<double> residuals =
+      store_.ResidualCapacities(std::numeric_limits<double>::infinity());
+  std::vector<double> known;
+  known.reserve(residuals.size());
+  for (double r : residuals) {
+    if (!std::isinf(r)) known.push_back(std::max(0.0, r));
+  }
+  // Lazy registration keeps the never-scraped default path instrument-free.
+  obs::Gauge& min_gauge = registry_->GetGauge(
+      "serve.store.residual_min",
+      "Smallest residual capacity across brokers with installed capacity "
+      "(-1: no capacities installed).");
+  obs::Gauge& median_gauge = registry_->GetGauge(
+      "serve.store.residual_median",
+      "Median residual capacity across brokers with installed capacity "
+      "(-1: no capacities installed).");
+  obs::Gauge& gini_gauge = registry_->GetGauge(
+      "serve.store.residual_gini",
+      "Gini coefficient of residual capacities: 0 = headroom evenly "
+      "spread, towards 1 = concentrated on few brokers (-1: no capacities "
+      "installed).");
+  if (known.empty()) {
+    min_gauge.Set(-1.0);
+    median_gauge.Set(-1.0);
+    gini_gauge.Set(-1.0);
+    return;
+  }
+  std::sort(known.begin(), known.end());
+  min_gauge.Set(known.front());
+  median_gauge.Set(known[known.size() / 2]);
+  // Gini via the sorted-rank identity: G = 2·Σ i·x_i / (n·Σ x_i) − (n+1)/n.
+  double total = 0.0;
+  double weighted = 0.0;
+  for (size_t i = 0; i < known.size(); ++i) {
+    total += known[i];
+    weighted += static_cast<double>(i + 1) * known[i];
+  }
+  const double n = static_cast<double>(known.size());
+  gini_gauge.Set(total > 0.0
+                     ? (2.0 * weighted) / (n * total) - (n + 1.0) / n
+                     : 0.0);
+}
+
+std::string AssignmentService::ForecastPressureDetail() const {
+  if (forecast_ == nullptr) return std::string();
+  const ForecastRuntime& fr = *forecast_;
+  const double t = fr.Now();
+  const double warn = options_.forecasting.warn_horizon_seconds;
+  std::lock_guard<std::mutex> lock(fr.mu);
+  std::string out;
+  auto append = [&out](const std::string& part) {
+    if (!out.empty()) out += ", ";
+    out += part;
+  };
+  if (double bh = fr.MinBrokerHorizonLocked(t); bh >= 0.0 && bh <= warn) {
+    append("broker exhaustion in ~" + FormatSeconds(bh));
+  }
+  if (double qh = fr.QueueHorizonLocked(
+          t, static_cast<double>(options_.queue_capacity));
+      qh >= 0.0 && qh <= warn) {
+    append("queue saturation in ~" + FormatSeconds(qh));
+  }
+  if (fr.burst.active()) append("arrival burst");
+  if (fr.solve_drift.drifted()) append("solve-latency drift");
+  if (fr.admission_drift.drifted()) append("admission drift");
+  if (out.empty()) return out;
+  return "pressure: " + out;
+}
+
 void AssignmentService::RecordIncident(const char* /*kind*/) {
   {
     std::lock_guard<std::mutex> lock(health_mu_);
@@ -1035,6 +1434,13 @@ obs::HealthReport AssignmentService::Health() const {
       report.detail =
           "recent fault incidents: " + std::to_string(incident_count_);
     }
+  }
+  // Advisory pressure annotation from the forecasting plane. Deliberately
+  // applied after the state machine settles: forecasts annotate /healthz,
+  // they never drive transitions.
+  if (std::string pressure = ForecastPressureDetail(); !pressure.empty()) {
+    report.detail = report.detail.empty() ? pressure
+                                          : report.detail + "; " + pressure;
   }
   if (report.detail.empty()) report.detail = "serving";
   if (health_gauge_ != nullptr) {

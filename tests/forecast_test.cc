@@ -1,0 +1,357 @@
+// Forecasting plane: estimator math (Holt/EWMA levels and trends, crossing
+// horizons, burst z-scores, CUSUM drift) and the serve-layer gates — with
+// forecasting off the service registers no forecast instruments and stays
+// bit-identical to the offline engine; with it on the assignment output is
+// still bit-identical and the serve.forecast.* instruments appear.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <string>
+
+#include "lacb/core/engine.h"
+#include "lacb/core/policy_suite.h"
+#include "lacb/obs/obs.h"
+#include "lacb/serve/serve.h"
+
+namespace lacb {
+namespace {
+
+using obs::BurstDetector;
+using obs::CrossingHorizonSeconds;
+using obs::DriftDetector;
+using obs::EwmaEstimator;
+using obs::HoltEstimator;
+using obs::HorizonEstimator;
+using obs::kNoHorizon;
+
+// --- CrossingHorizonSeconds ----------------------------------------------
+
+TEST(CrossingHorizonTest, RisingSeriesReachesTarget) {
+  // 10 units, growing 5/s, capacity 30: saturation in 4 seconds.
+  EXPECT_DOUBLE_EQ(CrossingHorizonSeconds(10.0, 5.0, 30.0, true), 4.0);
+}
+
+TEST(CrossingHorizonTest, FallingSeriesReachesFloor) {
+  // Residual 12, draining 3/s, floor 0: exhaustion in 4 seconds.
+  EXPECT_DOUBLE_EQ(CrossingHorizonSeconds(12.0, -3.0, 0.0, false), 4.0);
+}
+
+TEST(CrossingHorizonTest, AlreadyCrossedIsZero) {
+  EXPECT_DOUBLE_EQ(CrossingHorizonSeconds(35.0, 1.0, 30.0, true), 0.0);
+  EXPECT_DOUBLE_EQ(CrossingHorizonSeconds(-2.0, -1.0, 0.0, false), 0.0);
+}
+
+TEST(CrossingHorizonTest, FlatOrRecedingHasNoHorizon) {
+  EXPECT_DOUBLE_EQ(CrossingHorizonSeconds(10.0, 0.0, 30.0, true), kNoHorizon);
+  // Moving away from the event direction.
+  EXPECT_DOUBLE_EQ(CrossingHorizonSeconds(10.0, -5.0, 30.0, true),
+                   kNoHorizon);
+  EXPECT_DOUBLE_EQ(CrossingHorizonSeconds(10.0, 5.0, 0.0, false), kNoHorizon);
+}
+
+// --- EwmaEstimator -------------------------------------------------------
+
+TEST(EwmaEstimatorTest, ConstantSeriesHoldsLevel) {
+  EwmaEstimator e(0.3);
+  EXPECT_FALSE(e.valid());
+  for (int i = 0; i < 10; ++i) e.Observe(static_cast<double>(i), 42.0);
+  EXPECT_TRUE(e.valid());
+  EXPECT_DOUBLE_EQ(e.level(), 42.0);
+  EXPECT_EQ(e.count(), 10u);
+}
+
+TEST(EwmaEstimatorTest, BlendsTowardNewObservations) {
+  EwmaEstimator e(0.5);
+  e.Observe(0.0, 0.0);
+  e.Observe(1.0, 10.0);
+  EXPECT_DOUBLE_EQ(e.level(), 5.0);
+}
+
+// --- HoltEstimator -------------------------------------------------------
+
+TEST(HoltEstimatorTest, ConvergesOnLinearSeries) {
+  HoltEstimator h(0.4, 0.2);
+  EXPECT_FALSE(h.valid());
+  for (int i = 0; i <= 30; ++i) {
+    double t = static_cast<double>(i);
+    h.Observe(t, 2.0 + 3.0 * t);
+  }
+  EXPECT_TRUE(h.has_trend());
+  // The first observation seeds a zero trend, so the estimate approaches
+  // the true line geometrically — close but not exact after 30 samples.
+  EXPECT_NEAR(h.trend(), 3.0, 1e-2);
+  EXPECT_NEAR(h.level(), 2.0 + 3.0 * 30.0, 1e-2);
+  EXPECT_NEAR(h.Forecast(10.0), 2.0 + 3.0 * 40.0, 0.1);
+  EXPECT_NEAR(h.LevelAt(35.0), 2.0 + 3.0 * 35.0, 0.1);
+}
+
+TEST(HoltEstimatorTest, IrregularIntervalsStillRecoverTheSlope) {
+  // The trend is a per-second rate, so uneven spacing must not bias it.
+  HoltEstimator h(0.4, 0.2);
+  double ts[] = {0.0, 0.4, 1.7, 2.0, 4.5, 5.0, 7.25, 9.0, 12.0, 12.5, 15.0};
+  for (double t : ts) h.Observe(t, 100.0 - 4.0 * t);
+  EXPECT_NEAR(h.trend(), -4.0, 0.1);
+  EXPECT_NEAR(h.LevelAt(20.0), 100.0 - 4.0 * 20.0, 1.0);
+}
+
+TEST(HoltEstimatorTest, RepeatedTimestampOnlyBlendsTheLevel) {
+  HoltEstimator h(0.5, 0.5);
+  h.Observe(0.0, 0.0);
+  h.Observe(1.0, 10.0);
+  double trend_before = h.trend();
+  h.Observe(1.0, 100.0);  // dt == 0: a rate is undefined here
+  EXPECT_DOUBLE_EQ(h.trend(), trend_before);
+  EXPECT_EQ(h.last_time(), 1.0);
+}
+
+TEST(HoltEstimatorTest, LevelAtClampsTimesBeforeLastObservation) {
+  HoltEstimator h(0.4, 0.2);
+  h.Observe(0.0, 0.0);
+  h.Observe(1.0, 5.0);
+  EXPECT_DOUBLE_EQ(h.LevelAt(0.5), h.level());
+}
+
+// --- HorizonEstimator ----------------------------------------------------
+
+TEST(HorizonEstimatorTest, ProjectsLinearDecayToExhaustion) {
+  HorizonEstimator est(2, HorizonEstimator::Options{});
+  ASSERT_EQ(est.num_series(), 2u);
+  // Series 0 drains 10 units/s from 100; series 1 is never observed.
+  for (int i = 0; i <= 10; ++i) {
+    double t = static_cast<double>(i);
+    est.Observe(0, t, 100.0 - 10.0 * t);
+  }
+  // At t=10 the projected level is ~0 already; look from t=5 instead via
+  // the underlying series to keep the arithmetic transparent.
+  // The smoothed level slightly lags the true line (which hits zero at
+  // t=10), so the projected exhaustion sits a fraction of a second out.
+  double h = est.HorizonSeconds(0, 10.0, 0.0, /*rising=*/false);
+  EXPECT_GE(h, 0.0);
+  EXPECT_LT(h, 0.5);
+  EXPECT_DOUBLE_EQ(est.HorizonSeconds(1, 10.0, 0.0, false), kNoHorizon);
+
+  std::vector<double> all = est.Horizons(10.0, 0.0, false);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_DOUBLE_EQ(all[1], kNoHorizon);
+}
+
+TEST(HorizonEstimatorTest, MidSeriesHorizonMatchesTheLine) {
+  HorizonEstimator est(1, HorizonEstimator::Options{});
+  for (int i = 0; i <= 20; ++i) {
+    double t = 0.5 * static_cast<double>(i);  // t in [0, 10]
+    est.Observe(0, t, 80.0 - 4.0 * t);
+  }
+  // Level at t=10 is ~40, draining 4/s: exhaustion ~10s out.
+  EXPECT_NEAR(est.HorizonSeconds(0, 10.0, 0.0, false), 10.0, 0.2);
+}
+
+TEST(HorizonEstimatorTest, SingleObservationHasNoHorizon) {
+  HorizonEstimator est(1, HorizonEstimator::Options{});
+  est.Observe(0, 0.0, 50.0);
+  EXPECT_DOUBLE_EQ(est.HorizonSeconds(0, 1.0, 0.0, false), kNoHorizon);
+}
+
+// --- BurstDetector -------------------------------------------------------
+
+TEST(BurstDetectorTest, StepChangeFiresOnFirstSample) {
+  BurstDetector d(BurstDetector::Options{});
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_FALSE(d.Observe(100.0 + (i % 2)));  // calm baseline, tiny jitter
+  }
+  EXPECT_TRUE(d.Observe(1000.0));  // 10x the baseline: onset
+  EXPECT_TRUE(d.active());
+  EXPECT_GT(d.zscore(), 4.0);
+  EXPECT_EQ(d.firings(), 1u);
+}
+
+TEST(BurstDetectorTest, ConstantStreamNeverFires) {
+  BurstDetector d(BurstDetector::Options{});
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(d.Observe(100.0)) << "sample " << i;
+  }
+  EXPECT_EQ(d.firings(), 0u);
+}
+
+TEST(BurstDetectorTest, WarmupSuppressesEarlyFirings) {
+  BurstDetector::Options opts;
+  opts.min_samples = 8;
+  BurstDetector d(opts);
+  for (int i = 0; i < 7; ++i) d.Observe(100.0);
+  // Sample #8 is within warmup (the test sample itself counts).
+  EXPECT_FALSE(d.Observe(5000.0));
+}
+
+TEST(BurstDetectorTest, SustainedPlateauRearmsAsBaseline) {
+  BurstDetector d(BurstDetector::Options{});
+  for (int i = 0; i < 32; ++i) d.Observe(100.0 + (i % 2));
+  EXPECT_TRUE(d.Observe(1000.0));
+  // The plateau joins the ring; once it dominates the baseline the same
+  // level stops being anomalous — the detector flags onsets.
+  for (int i = 0; i < 64; ++i) d.Observe(1000.0);
+  EXPECT_FALSE(d.Observe(1000.0));
+}
+
+// --- DriftDetector -------------------------------------------------------
+
+TEST(DriftDetectorTest, ConstantStreamDoesNotDrift) {
+  DriftDetector d(DriftDetector::Options{});
+  for (int i = 0; i < 100; ++i) d.Observe(10.0 + 0.1 * (i % 2));
+  EXPECT_FALSE(d.drifted());
+  EXPECT_LT(d.score(), 1.0);
+}
+
+TEST(DriftDetectorTest, SustainedUpwardShiftCrossesTheInterval) {
+  DriftDetector::Options opts;
+  opts.warmup = 16;
+  DriftDetector d(opts);
+  // Baseline mean 10, sigma ~1.
+  for (int i = 0; i < 16; ++i) d.Observe(i % 2 == 0 ? 9.0 : 11.0);
+  EXPECT_FALSE(d.drifted());
+  // +3 sigma sustained: each sample adds z - slack = 2.5 to S+; the
+  // decision interval (8) is crossed after four samples.
+  bool fired = false;
+  for (int i = 0; i < 6; ++i) fired = d.Observe(13.0);
+  EXPECT_TRUE(fired);
+  EXPECT_TRUE(d.drifted());
+  EXPECT_GE(d.score(), 1.0);
+}
+
+TEST(DriftDetectorTest, DownwardShiftDriftsViaTheNegativeSum) {
+  DriftDetector::Options opts;
+  opts.warmup = 16;
+  DriftDetector d(opts);
+  for (int i = 0; i < 16; ++i) d.Observe(i % 2 == 0 ? 9.0 : 11.0);
+  for (int i = 0; i < 6; ++i) d.Observe(7.0);
+  EXPECT_TRUE(d.drifted());
+}
+
+TEST(DriftDetectorTest, ResetDropsBaselineAndSums) {
+  DriftDetector::Options opts;
+  opts.warmup = 16;
+  DriftDetector d(opts);
+  for (int i = 0; i < 16; ++i) d.Observe(i % 2 == 0 ? 9.0 : 11.0);
+  for (int i = 0; i < 10; ++i) d.Observe(13.0);
+  ASSERT_TRUE(d.drifted());
+  d.Reset();
+  EXPECT_FALSE(d.drifted());
+  EXPECT_EQ(d.count(), 0u);
+  EXPECT_DOUBLE_EQ(d.score(), 0.0);
+}
+
+// --- Serve gates ---------------------------------------------------------
+
+sim::DatasetConfig TinyConfig() {
+  sim::DatasetConfig cfg;
+  cfg.name = "forecast";
+  cfg.num_brokers = 30;
+  cfg.num_requests = 360;
+  cfg.num_days = 3;
+  cfg.imbalance = 0.2;
+  cfg.seed = 321;
+  return cfg;
+}
+
+serve::ServedRunOptions LockstepOptions() {
+  serve::ServedRunOptions opts;
+  opts.mode = serve::LoadMode::kLockstepReplay;
+  opts.serve.num_workers = 1;
+  opts.serve.max_batch_size = 1u << 20;
+  opts.serve.max_batch_delay = std::chrono::seconds(300);
+  opts.serve.queue_capacity = 4096;
+  return opts;
+}
+
+void ExpectBitIdentical(const core::PolicyRunResult& offline,
+                        const core::PolicyRunResult& served) {
+  EXPECT_DOUBLE_EQ(offline.total_utility, served.total_utility);
+  ASSERT_EQ(offline.daily_utility.size(), served.daily_utility.size());
+  for (size_t d = 0; d < offline.daily_utility.size(); ++d) {
+    EXPECT_DOUBLE_EQ(offline.daily_utility[d], served.daily_utility[d])
+        << "day " << d;
+  }
+  EXPECT_EQ(offline.broker_requests, served.broker_requests);
+  EXPECT_EQ(offline.broker_utility, served.broker_utility);
+  EXPECT_EQ(served.shed_requests, 0u);
+}
+
+bool AnyKeyHasPrefix(const obs::MetricsSnapshot& snap,
+                     const std::string& prefix) {
+  for (const auto& [name, v] : snap.counters) {
+    (void)v;
+    if (name.rfind(prefix, 0) == 0) return true;
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    (void)v;
+    if (name.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+TEST(ForecastServeTest, DisabledByDefaultRegistersNoInstruments) {
+  sim::DatasetConfig cfg = TinyConfig();
+  core::PolicySuiteConfig suite;
+  suite.seed = 55;
+  const size_t index = 1;  // Top-3
+
+  auto offline_policy = core::MakeSuitePolicy(cfg, suite, index);
+  ASSERT_TRUE(offline_policy.ok());
+  auto offline = core::RunPolicy(cfg, offline_policy->get());
+  ASSERT_TRUE(offline.ok());
+
+  auto served = serve::RunPolicyServed(
+      cfg, core::SuitePolicyFactory(cfg, suite, index), LockstepOptions());
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+
+  // The default path does not pay for forecasting: bit-identical output
+  // and not a single forecast or residual-distribution instrument.
+  ExpectBitIdentical(*offline, *served);
+  ASSERT_NE(served->telemetry, nullptr);
+  EXPECT_FALSE(AnyKeyHasPrefix(served->telemetry->metrics, "serve.forecast."));
+  EXPECT_FALSE(
+      AnyKeyHasPrefix(served->telemetry->metrics, "serve.store.residual_"));
+}
+
+TEST(ForecastServeTest, EnabledStaysBitIdenticalAndExportsGauges) {
+  sim::DatasetConfig cfg = TinyConfig();
+  core::PolicySuiteConfig suite;
+  suite.seed = 55;
+  const size_t index = 1;
+
+  auto offline_policy = core::MakeSuitePolicy(cfg, suite, index);
+  ASSERT_TRUE(offline_policy.ok());
+  auto offline = core::RunPolicy(cfg, offline_policy->get());
+  ASSERT_TRUE(offline.ok());
+
+  serve::ServedRunOptions opts = LockstepOptions();
+  opts.serve.forecasting.enabled = true;
+
+  auto served = serve::RunPolicyServed(
+      cfg, core::SuitePolicyFactory(cfg, suite, index), opts);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+
+  // Forecasting observes the pipeline; it must not steer it.
+  ExpectBitIdentical(*offline, *served);
+
+  ASSERT_NE(served->telemetry, nullptr);
+  const obs::MetricsSnapshot& snap = served->telemetry->metrics;
+  auto samples = snap.counters.find("serve.forecast.samples");
+  ASSERT_NE(samples, snap.counters.end());
+  EXPECT_GT(samples->second, 0u);
+  for (const char* gauge :
+       {"serve.forecast.broker_exhaustion_horizon_seconds_min",
+        "serve.forecast.broker_exhaustion_horizon_seconds_median",
+        "serve.forecast.queue_saturation_horizon_seconds",
+        "serve.forecast.arrival_rate", "serve.forecast.drift_score",
+        "serve.forecast.first_signal_seconds",
+        "serve.forecast.first_shed_seconds",
+        "serve.forecast.lead_time_seconds"}) {
+    EXPECT_TRUE(snap.gauges.count(gauge)) << gauge;
+  }
+  // Lockstep replay never sheds, so no shed stamp and no lead time.
+  EXPECT_DOUBLE_EQ(snap.gauges.at("serve.forecast.first_shed_seconds"), -1.0);
+}
+
+}  // namespace
+}  // namespace lacb

@@ -517,6 +517,74 @@ TEST(TimeSeriesTest, EngineTicksAttachedSamplerOncePerDay) {
   EXPECT_EQ(restored->series.time_unit, "day");
 }
 
+TEST(TimeSeriesTest, IrregularManualIntervalsArePreservedVerbatim) {
+  // Manual cadence makes no spacing assumptions: bursty, near-duplicate,
+  // and widely spaced timestamps all land as-is, in call order.
+  obs::MetricRegistry registry;
+  obs::Counter& ticks = registry.GetCounter("t.count");
+  obs::TimeSeriesSampler sampler;
+  const double times[] = {0.0, 0.001, 0.002, 5.0, 5.0001, 3600.0};
+  for (double t : times) {
+    ticks.Increment();
+    sampler.Sample(t, registry);
+  }
+  obs::TimeSeries series = sampler.Series();
+  ASSERT_EQ(series.points.size(), 6u);
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ(series.points[i].t, times[i]) << "point " << i;
+    EXPECT_DOUBLE_EQ(series.points[i].values.at("t.count"),
+                     static_cast<double>(i + 1));
+  }
+}
+
+TEST(TimeSeriesTest, RunShorterThanOneIntervalStillYieldsAFinalSample) {
+  // A run can finish before the periodic clock ever fires; StopPeriodic
+  // takes one last sample so short runs are never empty.
+  obs::ScopedTelemetry telemetry;
+  telemetry.registry().GetGauge("short.gauge").Set(7.0);
+  obs::TimeSeriesSampler sampler;
+  ASSERT_TRUE(sampler.StartPeriodic(std::chrono::milliseconds(60000)).ok());
+  // Re-arming while running is an error, as is a zero interval.
+  EXPECT_FALSE(sampler.StartPeriodic(std::chrono::milliseconds(1)).ok());
+  sampler.StopPeriodic();
+  sampler.StopPeriodic();  // idempotent
+
+  obs::TimeSeries series = sampler.Series();
+  ASSERT_GE(series.points.size(), 1u);
+  EXPECT_DOUBLE_EQ(series.points.back().values.at("short.gauge"), 7.0);
+
+  EXPECT_FALSE(sampler.StartPeriodic(std::chrono::milliseconds(0)).ok());
+}
+
+TEST(TimeSeriesTest, ScopedAttachmentNestsAndRestoresMidRun) {
+  obs::MetricRegistry registry;
+  registry.GetGauge("n.gauge").Set(1.0);
+  obs::TimeSeriesSampler outer;
+  obs::TimeSeriesSampler inner;
+
+  EXPECT_EQ(obs::ActiveSampler(), nullptr);
+  {
+    obs::ScopedSamplerAttachment attach_outer(&outer);
+    ASSERT_EQ(obs::ActiveSampler(), &outer);
+    obs::ActiveSampler()->Sample(0.0, registry);
+    {
+      // Mid-run re-attachment diverts ticks to the inner sampler...
+      obs::ScopedSamplerAttachment attach_inner(&inner);
+      ASSERT_EQ(obs::ActiveSampler(), &inner);
+      obs::ActiveSampler()->Sample(1.0, registry);
+    }
+    // ... and detaching restores the outer one, not null.
+    ASSERT_EQ(obs::ActiveSampler(), &outer);
+    obs::ActiveSampler()->Sample(2.0, registry);
+  }
+  EXPECT_EQ(obs::ActiveSampler(), nullptr);
+
+  ASSERT_EQ(outer.num_points(), 2u);
+  ASSERT_EQ(inner.num_points(), 1u);
+  EXPECT_DOUBLE_EQ(outer.Series().points[1].t, 2.0);
+  EXPECT_DOUBLE_EQ(inner.Series().points[0].t, 1.0);
+}
+
 // ---------------------------------------------------------------------------
 // Determinism under full instrumentation.
 // ---------------------------------------------------------------------------
