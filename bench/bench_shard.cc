@@ -1,0 +1,226 @@
+// Sharded-serving chaos sweep: the multi-process fleet (docs/sharding.md)
+// driven through the full horizon while 0, 1, or 2 shards are SIGKILLed
+// mid-day under load.
+//
+// Claims checked: (i) the fleet conservation identity
+// `submitted == assigned + unmatched + failed + dropped_appeals + shed`
+// holds at every chaos level — a kill never loses or double-counts a
+// request; (ii) exactly-once terminals survive failover (no duplicate
+// terminals, no reconcile mismatches, nothing left pending); (iii) every
+// injected kill produces a failover that redrives the dead shard's
+// in-flight work; (iv) recovered-fleet utility stays within a bounded gap
+// of the unkilled run — failover costs availability, not correctness.
+// BENCH_shard.json records the sweep for CI validation and future diffs.
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "lacb/cluster/coordinator.h"
+#include "lacb/common/stopwatch.h"
+#include "lacb/obs/snapshot.h"
+
+namespace lacb {
+namespace {
+
+// One shard death injected after submitting batch `batch` of day `day`.
+struct KillEvent {
+  size_t day = 0;
+  size_t batch = 0;
+  uint64_t shard = 0;
+};
+
+struct SweepPoint {
+  size_t kills = 0;
+  double wall_seconds = 0.0;
+  std::vector<double> daily_utility;
+  cluster::FleetStats stats;
+};
+
+sim::DatasetConfig FleetConfig() {
+  sim::DatasetConfig cfg;
+  cfg.name = "fleet";
+  cfg.num_brokers = 40;
+  cfg.num_requests = 480;
+  cfg.num_days = 3;
+  cfg.imbalance = 0.2;
+  cfg.seed = 321;
+  cfg.appeal_rate = 0.4;
+  return cfg;
+}
+
+Result<SweepPoint> RunSweepPoint(const std::string& workdir,
+                                 const std::vector<KillEvent>& kills) {
+  std::filesystem::remove_all(workdir);
+  cluster::CoordinatorOptions opts;
+  opts.shard_binary = LACB_SHARD_BINARY;
+  opts.workdir = workdir;
+  opts.base_config = FleetConfig();
+  opts.num_shards = 4;
+  LACB_ASSIGN_OR_RETURN(auto coord, cluster::Coordinator::Create(opts));
+
+  SweepPoint point;
+  point.kills = kills.size();
+  Stopwatch sw;
+  LACB_RETURN_NOT_OK(coord->Start());
+  size_t fired = 0;
+  for (size_t day = 0; day < coord->NumDays(); ++day) {
+    LACB_RETURN_NOT_OK(coord->OpenDay(day));
+    for (size_t j = 0; j < coord->BatchesPerDay(); ++j) {
+      LACB_RETURN_NOT_OK(coord->SubmitScheduledBatch(j));
+      while (fired < kills.size() && kills[fired].day == day &&
+             kills[fired].batch == j) {
+        LACB_RETURN_NOT_OK(
+            coord->KillShard(kills[fired].shard, /*sigstop=*/false));
+        ++fired;
+      }
+    }
+    LACB_RETURN_NOT_OK(coord->CloseDay());
+  }
+  LACB_RETURN_NOT_OK(coord->Shutdown());
+  point.wall_seconds = sw.ElapsedSeconds();
+  point.daily_utility = coord->FleetDailyUtility();
+  point.stats = coord->Stats();
+  std::filesystem::remove_all(workdir);
+  return point;
+}
+
+bool ConservationHolds(const cluster::FleetStats& s) {
+  return s.submitted == s.assigned + s.unmatched + s.failed +
+                            s.dropped_appeals + s.shed &&
+         s.pending == 0 && s.duplicate_terminals == 0 &&
+         s.reconcile_mismatches == 0;
+}
+
+Status Run() {
+  bench::PrintHeader("sharded serving",
+                     "fleet conservation & utility under 0/1/2 shard kills");
+
+  sim::DatasetConfig cfg = FleetConfig();
+  std::cout << "fleet: 4 shards, " << cfg.num_brokers << " brokers, "
+            << cfg.num_requests << " requests/day, " << cfg.num_days
+            << " days, policy: LACB-Opt\n\n";
+
+  // Kill points sit mid-day under load: one failover in day 1, the second
+  // (at chaos level 2) in day 2 so the fleet must survive back-to-back
+  // adoptions with already-redistributed ranges.
+  const std::vector<std::vector<KillEvent>> chaos_levels = {
+      {},
+      {{1, 10, 1}},
+      {{1, 10, 1}, {2, 5, 2}},
+  };
+
+  const std::string dir_prefix =
+      (std::filesystem::temp_directory_path() / "lacb_bench_shard_").string();
+  TablePrinter table;
+  table.SetHeader({"kills", "wall_s", "submitted", "assigned", "redriven",
+                   "failovers", "wal_shipped", "utility", "conserved"});
+  std::vector<SweepPoint> points;
+  for (const std::vector<KillEvent>& kills : chaos_levels) {
+    LACB_ASSIGN_OR_RETURN(
+        SweepPoint point,
+        RunSweepPoint(dir_prefix + std::to_string(kills.size()), kills));
+    double total = 0.0;
+    for (double u : point.daily_utility) total += u;
+    LACB_RETURN_NOT_OK(table.AddRow(
+        {std::to_string(point.kills), TablePrinter::Num(point.wall_seconds, 3),
+         std::to_string(point.stats.submitted),
+         std::to_string(point.stats.assigned),
+         std::to_string(point.stats.redriven_requests),
+         std::to_string(point.stats.failovers),
+         std::to_string(point.stats.wal_records_shipped),
+         TablePrinter::Num(total, 4),
+         ConservationHolds(point.stats) ? "yes" : "NO"}));
+    points.push_back(std::move(point));
+  }
+  bench::PrintBoth(table);
+
+  bool all_ok = true;
+  double base_total = 0.0;
+  for (double u : points[0].daily_utility) base_total += u;
+  for (const SweepPoint& point : points) {
+    all_ok &= bench::ShapeCheck(
+        "conservation identity holds at " + std::to_string(point.kills) +
+            " kills (exactly-once, nothing pending)",
+        ConservationHolds(point.stats),
+        std::to_string(point.stats.submitted) + " submitted, " +
+            std::to_string(point.stats.pending) + " pending, " +
+            std::to_string(point.stats.duplicate_terminals) + " dupes");
+  }
+  all_ok &= bench::ShapeCheck(
+      "the unkilled fleet needs no failovers or redrives",
+      points[0].stats.failovers == 0 && points[0].stats.redriven_requests == 0,
+      std::to_string(points[0].stats.failovers) + " failovers");
+  for (size_t level = 1; level < points.size(); ++level) {
+    const cluster::FleetStats& s = points[level].stats;
+    all_ok &= bench::ShapeCheck(
+        "every kill at level " + std::to_string(level) +
+            " produced a failover that redrove in-flight work",
+        s.shard_deaths == level && s.failovers >= level &&
+            s.redriven_requests > 0 && s.wal_records_shipped > 0,
+        std::to_string(s.shard_deaths) + " deaths, " +
+            std::to_string(s.failovers) + " failovers, " +
+            std::to_string(s.redriven_requests) + " redriven");
+    double total = 0.0;
+    for (double u : points[level].daily_utility) total += u;
+    all_ok &= bench::ShapeCheck(
+        "recovered-fleet utility at level " + std::to_string(level) +
+            " stays within 25% of the unkilled run",
+        total > 0.75 * base_total && total < 1.25 * base_total,
+        TablePrinter::Num(total, 4) + " vs " +
+            TablePrinter::Num(base_total, 4));
+  }
+
+  // Machine-readable sweep for the CI conservation validator.
+  obs::JsonValue root = obs::JsonValue::Object();
+  root.Set("bench", std::string("shard"));
+  root.Set("schema_version", static_cast<int64_t>(1));
+  obs::JsonValue sweep = obs::JsonValue::Array();
+  for (const SweepPoint& point : points) {
+    const cluster::FleetStats& s = point.stats;
+    obs::JsonValue entry = obs::JsonValue::Object();
+    entry.Set("kills", static_cast<uint64_t>(point.kills));
+    entry.Set("wall_seconds", point.wall_seconds);
+    entry.Set("submitted", s.submitted);
+    entry.Set("assigned", s.assigned);
+    entry.Set("unmatched", s.unmatched);
+    entry.Set("failed", s.failed);
+    entry.Set("dropped_appeals", s.dropped_appeals);
+    entry.Set("shed", s.shed);
+    entry.Set("pending", s.pending);
+    entry.Set("redriven_requests", s.redriven_requests);
+    entry.Set("shard_deaths", s.shard_deaths);
+    entry.Set("failovers", s.failovers);
+    entry.Set("duplicate_terminals", s.duplicate_terminals);
+    entry.Set("reconcile_mismatches", s.reconcile_mismatches);
+    entry.Set("wal_records_shipped", s.wal_records_shipped);
+    entry.Set("checkpoints_shipped", s.checkpoints_shipped);
+    obs::JsonValue daily = obs::JsonValue::Array();
+    for (double u : point.daily_utility) daily.Append(u);
+    entry.Set("daily_utility", std::move(daily));
+    sweep.Append(std::move(entry));
+  }
+  root.Set("sweep", std::move(sweep));
+  LACB_RETURN_NOT_OK(obs::WriteJsonFile(root, "BENCH_shard.json"));
+  std::cout << "\ntelemetry written to BENCH_shard.json\n";
+
+  std::cout << "\n"
+            << (all_ok ? "ALL SHAPE CHECKS PASSED" : "SHAPE CHECKS FAILED")
+            << "\n";
+  return all_ok ? Status::OK()
+                : Status::Internal("shard bench shape checks failed");
+}
+
+}  // namespace
+}  // namespace lacb
+
+int main() {
+  lacb::Status s = lacb::Run();
+  if (!s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,212 @@
+#include "lacb/cluster/frame.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include "lacb/common/rng.h"
+#include "lacb/persist/bytes.h"
+
+namespace lacb::cluster {
+
+namespace {
+
+Status WriteAll(int fd, const char* data, size_t size) {
+  size_t written = 0;
+  while (written < size) {
+    ssize_t n = ::send(fd, data + written, size - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("frame write failed: ") +
+                             std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Full read of `size` bytes. `*clean_eof` is set when the peer closed
+/// before the first byte (only meaningful when `at_boundary`).
+Status ReadAll(int fd, char* data, size_t size, bool at_boundary,
+               bool* clean_eof) {
+  *clean_eof = false;
+  size_t got = 0;
+  while (got < size) {
+    ssize_t n = ::recv(fd, data + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("frame read failed: ") +
+                             std::strerror(errno));
+    }
+    if (n == 0) {
+      if (at_boundary && got == 0) {
+        *clean_eof = true;
+        return Status::OK();
+      }
+      return Status::IoError("peer closed mid-frame");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+void SetCloexec(int fd) { ::fcntl(fd, F_SETFD, FD_CLOEXEC); }
+
+}  // namespace
+
+Status SendFrame(int fd, uint8_t type, const std::string& payload) {
+  std::string body;
+  body.reserve(1 + payload.size());
+  body.push_back(static_cast<char>(type));
+  body.append(payload);
+  if (body.size() > kMaxFrameBody) {
+    return Status::InvalidArgument("frame body exceeds kMaxFrameBody");
+  }
+  persist::ByteWriter out;
+  out.U32(static_cast<uint32_t>(body.size()));
+  const std::string& bytes = out.bytes();
+  std::string wire;
+  wire.reserve(4 + body.size() + 4);
+  wire.append(bytes);
+  wire.append(body);
+  persist::ByteWriter crc;
+  crc.U32(persist::Crc32(body));
+  wire.append(crc.bytes());
+  return WriteAll(fd, wire.data(), wire.size());
+}
+
+Result<Frame> ReadFrame(int fd) {
+  char len_buf[4];
+  bool clean_eof = false;
+  LACB_RETURN_NOT_OK(
+      ReadAll(fd, len_buf, sizeof(len_buf), /*at_boundary=*/true, &clean_eof));
+  if (clean_eof) return Status::NotFound("peer closed (clean EOF)");
+  uint32_t len = 0;
+  std::memcpy(&len, len_buf, sizeof(len));
+  if (len == 0 || len > kMaxFrameBody) {
+    return Status::IoError("corrupt frame length prefix");
+  }
+  std::string body(len, '\0');
+  LACB_RETURN_NOT_OK(
+      ReadAll(fd, body.data(), len, /*at_boundary=*/false, &clean_eof));
+  char crc_buf[4];
+  LACB_RETURN_NOT_OK(
+      ReadAll(fd, crc_buf, sizeof(crc_buf), /*at_boundary=*/false,
+              &clean_eof));
+  uint32_t crc = 0;
+  std::memcpy(&crc, crc_buf, sizeof(crc));
+  if (crc != persist::Crc32(body)) {
+    return Status::IoError("frame CRC mismatch");
+  }
+  Frame frame;
+  frame.type = static_cast<uint8_t>(body[0]);
+  frame.payload = body.substr(1);
+  return frame;
+}
+
+Result<int> ListenLoopback(int port, int* bound_port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError("socket() failed");
+  SetCloexec(fd);
+  int one = 1;
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
+    CloseFd(fd);
+    return Status::IoError("setsockopt(SO_REUSEADDR) failed");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    CloseFd(fd);
+    return Status::IoError("bind() failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  if (::listen(fd, 64) != 0) {
+    CloseFd(fd);
+    return Status::IoError("listen() failed");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    CloseFd(fd);
+    return Status::IoError("getsockname() failed");
+  }
+  if (bound_port != nullptr) *bound_port = static_cast<int>(ntohs(bound.sin_port));
+  return fd;
+}
+
+Result<int> AcceptWithTimeout(int listen_fd,
+                              std::chrono::milliseconds timeout) {
+  pollfd pfd{};
+  pfd.fd = listen_fd;
+  pfd.events = POLLIN;
+  auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) {
+      return Status::IoError("accept timed out");
+    }
+    int rc = ::poll(&pfd, 1, static_cast<int>(left.count()));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("poll() failed");
+    }
+    if (rc == 0) return Status::IoError("accept timed out");
+    int client = ::accept(listen_fd, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("accept() failed");
+    }
+    SetCloexec(client);
+    return client;
+  }
+}
+
+Result<int> ConnectLoopback(int port, const ConnectRetry& retry) {
+  Rng jitter_rng(retry.jitter_seed);
+  Status last = Status::OK();
+  for (size_t attempt = 1; attempt <= retry.max_attempts; ++attempt) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return Status::IoError("socket() failed");
+    SetCloexec(fd);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return fd;
+    }
+    last = Status::IoError("connect() failed: " +
+                           std::string(std::strerror(errno)));
+    CloseFd(fd);
+    if (attempt == retry.max_attempts) break;
+    // Same deterministic jitter shape as the serve layer's commit retry:
+    // base × 2^(k−1) capped, scaled into [0.5, 1].
+    auto backoff = retry.backoff_base * (1u << std::min<size_t>(attempt - 1, 16));
+    if (backoff > retry.backoff_cap) backoff = retry.backoff_cap;
+    double jitter = 0.5 + 0.5 * jitter_rng.Fork(attempt).Uniform();
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        static_cast<int64_t>(backoff.count() * jitter)));
+  }
+  return last;
+}
+
+void CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace lacb::cluster

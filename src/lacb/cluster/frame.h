@@ -1,0 +1,78 @@
+// Length-prefixed framed socket protocol for the cluster layer
+// (docs/sharding.md).
+//
+// Wire format (mirrors the WAL's record framing so a shipped WAL record
+// can be forwarded inside a frame without re-encoding):
+//
+//   frame:  u32 len | u8 type | payload[len-1] | u32 crc32(type+payload)
+//
+// Frames are written with a single full-write under the caller's
+// serialization and read with full-reads; a CRC mismatch or a short read
+// mid-frame is an IoError (the peer is presumed dead — the coordinator
+// funnels both into its shard-death path). A clean EOF at a frame
+// boundary is NotFound, the orderly-shutdown signal.
+//
+// All sockets are loopback TCP with FD_CLOEXEC (shard processes are
+// spawned by fork+exec and must not inherit each other's connections)
+// and writes use MSG_NOSIGNAL so a dead peer surfaces as EPIPE, never
+// SIGPIPE.
+
+#ifndef LACB_CLUSTER_FRAME_H_
+#define LACB_CLUSTER_FRAME_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "lacb/common/result.h"
+#include "lacb/common/status.h"
+
+namespace lacb::cluster {
+
+/// \brief Upper bound on a frame body; a length prefix beyond it means a
+/// corrupt stream, not a large message.
+inline constexpr uint32_t kMaxFrameBody = 64u << 20;
+
+/// \brief One decoded frame: the type byte plus its payload.
+struct Frame {
+  uint8_t type = 0;
+  std::string payload;
+};
+
+/// \brief Writes one frame with a single buffered full-write
+/// (MSG_NOSIGNAL). Not internally synchronized — callers serialize per fd.
+Status SendFrame(int fd, uint8_t type, const std::string& payload);
+
+/// \brief Blocking read of the next frame. NotFound on a clean EOF at a
+/// frame boundary; IoError on a short read mid-frame, a CRC mismatch, or
+/// an oversized length prefix.
+Result<Frame> ReadFrame(int fd);
+
+/// \brief Opens a listening TCP socket on 127.0.0.1 (FD_CLOEXEC,
+/// SO_REUSEADDR). `port` 0 binds an ephemeral port; `*bound_port`
+/// receives the actual port.
+Result<int> ListenLoopback(int port, int* bound_port);
+
+/// \brief Accepts one connection (FD_CLOEXEC) or times out (IoError "accept timed out").
+Result<int> AcceptWithTimeout(int listen_fd, std::chrono::milliseconds timeout);
+
+/// \brief Connect-with-retry policy: exponential backoff scaled by the
+/// serve layer's deterministic per-attempt jitter in [0.5, 1].
+struct ConnectRetry {
+  size_t max_attempts = 40;
+  std::chrono::microseconds backoff_base{500};
+  std::chrono::microseconds backoff_cap{100000};
+  uint64_t jitter_seed = 2027;
+};
+
+/// \brief Connects to 127.0.0.1:`port` (FD_CLOEXEC), retrying with the
+/// deterministic-jitter backoff until the listener answers or the attempt
+/// budget is spent.
+Result<int> ConnectLoopback(int port, const ConnectRetry& retry);
+
+/// \brief Closes an fd ignoring EINTR (no-op for fd < 0).
+void CloseFd(int fd);
+
+}  // namespace lacb::cluster
+
+#endif  // LACB_CLUSTER_FRAME_H_

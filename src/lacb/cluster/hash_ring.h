@@ -1,0 +1,67 @@
+// Consistent-hash ring: districts → shard ranges (docs/sharding.md).
+//
+// The fleet is partitioned into `num_ranges` broker ranges. Each range is
+// a self-contained AssignmentService over a slice of the broker
+// population; the ring decides which range serves a request by hashing
+// its district. Virtual nodes (many ring points per range) keep the
+// per-range district load balanced, and because the ring is a pure
+// function of (num_ranges, vnodes, seed) every process — coordinator and
+// shards alike — computes identical routing without coordination.
+//
+// Ranges are identities, not processes: on failover a surviving shard
+// process adopts a dead shard's ranges (the satja/distributed-service-
+// selection `fill_brokers_data` topology), and the ring keeps routing by
+// range id unchanged.
+
+#ifndef LACB_CLUSTER_HASH_RING_H_
+#define LACB_CLUSTER_HASH_RING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "lacb/sim/dataset.h"
+
+namespace lacb::cluster {
+
+/// \brief Consistent-hash ring over `num_ranges` shard ranges.
+class HashRing {
+ public:
+  explicit HashRing(size_t num_ranges, size_t vnodes_per_range = 64,
+                    uint64_t seed = 0x5ac8c0de);
+
+  size_t num_ranges() const { return num_ranges_; }
+
+  /// \brief Range owning an arbitrary 64-bit key (first ring point at or
+  /// after hash(key), wrapping).
+  size_t RangeOfKey(uint64_t key) const;
+
+  /// \brief Range serving a request district.
+  size_t RangeForDistrict(size_t district) const {
+    return RangeOfKey(0x9e3779b97f4a7c15ULL ^ static_cast<uint64_t>(district));
+  }
+
+  /// \brief Districts of `num_districts` that map to `range` (diagnostic /
+  /// docs helper).
+  std::vector<size_t> DistrictsOfRange(size_t range,
+                                       size_t num_districts) const;
+
+ private:
+  size_t num_ranges_;
+  // Sorted ring points: (hash, range).
+  std::vector<std::pair<uint64_t, size_t>> points_;
+};
+
+/// \brief The broker-population slice a range serves: a per-range
+/// DatasetConfig derived from the fleet's base config. With one range the
+/// base config is returned unchanged — the bit-identity gate between a
+/// single-shard cluster and the single-process AssignmentService depends
+/// on this. With N ranges the broker count is divided (remainder to the
+/// low ranges), request volume scales with it, and each range gets a
+/// distinct seed so shard populations are independent draws.
+sim::DatasetConfig ShardDatasetConfig(const sim::DatasetConfig& base,
+                                      size_t range, size_t num_ranges);
+
+}  // namespace lacb::cluster
+
+#endif  // LACB_CLUSTER_HASH_RING_H_

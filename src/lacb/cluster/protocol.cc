@@ -1,0 +1,297 @@
+#include "lacb/cluster/protocol.h"
+
+#include "lacb/persist/bytes.h"
+#include "lacb/persist/serializers.h"
+
+namespace lacb::cluster {
+
+namespace {
+
+void WriteDatasetConfig(persist::ByteWriter* w, const sim::DatasetConfig& c) {
+  w->Str(c.name);
+  w->U64(c.num_brokers);
+  w->U64(c.num_requests);
+  w->U64(c.num_days);
+  w->F64(c.imbalance);
+  w->U64(c.num_districts);
+  w->U64(c.embedding_dim);
+  w->U64(c.seed);
+  w->VecF64(c.capacity_candidates);
+  w->F64(c.capacity_log_mean);
+  w->F64(c.capacity_log_sigma);
+  w->F64(c.quality_floor);
+  w->F64(c.quality_span);
+  w->F64(c.popularity_skew);
+  w->F64(c.appeal_rate);
+  w->Bool(c.poisson_arrivals);
+  w->F64(c.utility.quality_weight);
+  w->F64(c.utility.affinity_weight);
+  w->F64(c.utility.noise_weight);
+  w->F64(c.utility.quality_compression);
+  w->U64(c.utility.noise_seed);
+}
+
+Result<sim::DatasetConfig> ReadDatasetConfig(persist::ByteReader* r) {
+  sim::DatasetConfig c;
+  LACB_ASSIGN_OR_RETURN(c.name, r->Str());
+  LACB_ASSIGN_OR_RETURN(c.num_brokers, r->U64());
+  LACB_ASSIGN_OR_RETURN(c.num_requests, r->U64());
+  LACB_ASSIGN_OR_RETURN(c.num_days, r->U64());
+  LACB_ASSIGN_OR_RETURN(c.imbalance, r->F64());
+  LACB_ASSIGN_OR_RETURN(c.num_districts, r->U64());
+  LACB_ASSIGN_OR_RETURN(c.embedding_dim, r->U64());
+  LACB_ASSIGN_OR_RETURN(c.seed, r->U64());
+  LACB_ASSIGN_OR_RETURN(c.capacity_candidates, r->VecF64());
+  LACB_ASSIGN_OR_RETURN(c.capacity_log_mean, r->F64());
+  LACB_ASSIGN_OR_RETURN(c.capacity_log_sigma, r->F64());
+  LACB_ASSIGN_OR_RETURN(c.quality_floor, r->F64());
+  LACB_ASSIGN_OR_RETURN(c.quality_span, r->F64());
+  LACB_ASSIGN_OR_RETURN(c.popularity_skew, r->F64());
+  LACB_ASSIGN_OR_RETURN(c.appeal_rate, r->F64());
+  LACB_ASSIGN_OR_RETURN(c.poisson_arrivals, r->Bool());
+  LACB_ASSIGN_OR_RETURN(c.utility.quality_weight, r->F64());
+  LACB_ASSIGN_OR_RETURN(c.utility.affinity_weight, r->F64());
+  LACB_ASSIGN_OR_RETURN(c.utility.noise_weight, r->F64());
+  LACB_ASSIGN_OR_RETURN(c.utility.quality_compression, r->F64());
+  LACB_ASSIGN_OR_RETURN(c.utility.noise_seed, r->U64());
+  return c;
+}
+
+void WriteDisposition(persist::ByteWriter* w,
+                      const serve::BatchDisposition& d) {
+  w->U64(d.token);
+  w->U64(d.day);
+  w->VecI64(d.assigned);
+  w->VecI64(d.unmatched);
+  w->VecI64(d.appealed);
+  w->VecI64(d.failed);
+  w->VecI64(d.dropped);
+}
+
+Result<serve::BatchDisposition> ReadDisposition(persist::ByteReader* r) {
+  serve::BatchDisposition d;
+  LACB_ASSIGN_OR_RETURN(d.token, r->U64());
+  LACB_ASSIGN_OR_RETURN(d.day, r->U64());
+  LACB_ASSIGN_OR_RETURN(d.assigned, r->VecI64());
+  LACB_ASSIGN_OR_RETURN(d.unmatched, r->VecI64());
+  LACB_ASSIGN_OR_RETURN(d.appealed, r->VecI64());
+  LACB_ASSIGN_OR_RETURN(d.failed, r->VecI64());
+  LACB_ASSIGN_OR_RETURN(d.dropped, r->VecI64());
+  return d;
+}
+
+}  // namespace
+
+std::string EncodeHello(const Hello& m) {
+  persist::ByteWriter w;
+  w.U64(m.shard_id);
+  w.U64(m.pid);
+  return w.Release();
+}
+
+Result<Hello> DecodeHello(const std::string& payload) {
+  persist::ByteReader r(payload);
+  Hello m;
+  LACB_ASSIGN_OR_RETURN(m.shard_id, r.U64());
+  LACB_ASSIGN_OR_RETURN(m.pid, r.U64());
+  return m;
+}
+
+std::string EncodeAssignRange(const AssignRange& m) {
+  persist::ByteWriter w;
+  w.U64(m.range);
+  WriteDatasetConfig(&w, m.config);
+  w.Str(m.checkpoint_dir);
+  w.U64(m.checkpoint_interval_batches);
+  w.Bool(m.wal_fsync);
+  w.U64(m.suite_seed);
+  w.U64(m.policy_index);
+  w.U64(m.num_workers);
+  w.U64(m.queue_capacity);
+  w.U64(m.max_batch_size);
+  w.U64(m.max_batch_delay_us);
+  return w.Release();
+}
+
+Result<AssignRange> DecodeAssignRange(const std::string& payload) {
+  persist::ByteReader r(payload);
+  AssignRange m;
+  LACB_ASSIGN_OR_RETURN(m.range, r.U64());
+  LACB_ASSIGN_OR_RETURN(m.config, ReadDatasetConfig(&r));
+  LACB_ASSIGN_OR_RETURN(m.checkpoint_dir, r.Str());
+  LACB_ASSIGN_OR_RETURN(m.checkpoint_interval_batches, r.U64());
+  LACB_ASSIGN_OR_RETURN(m.wal_fsync, r.Bool());
+  LACB_ASSIGN_OR_RETURN(m.suite_seed, r.U64());
+  LACB_ASSIGN_OR_RETURN(m.policy_index, r.U64());
+  LACB_ASSIGN_OR_RETURN(m.num_workers, r.U64());
+  LACB_ASSIGN_OR_RETURN(m.queue_capacity, r.U64());
+  LACB_ASSIGN_OR_RETURN(m.max_batch_size, r.U64());
+  LACB_ASSIGN_OR_RETURN(m.max_batch_delay_us, r.U64());
+  return m;
+}
+
+std::string EncodeRangeReady(const RangeReady& m) {
+  persist::ByteWriter w;
+  w.U64(m.range);
+  w.Bool(m.restored);
+  w.U64(m.day);
+  w.Bool(m.day_open);
+  w.U64(m.commits_today);
+  w.U64(m.replayed_batches);
+  w.U64(m.replay_log.size());
+  for (const serve::BatchDisposition& d : m.replay_log) {
+    WriteDisposition(&w, d);
+  }
+  w.U64(m.replayed_day_closes.size());
+  for (const auto& [day, utility] : m.replayed_day_closes) {
+    w.U64(day);
+    w.F64(utility);
+  }
+  w.VecI64(m.carryover_ids);
+  return w.Release();
+}
+
+Result<RangeReady> DecodeRangeReady(const std::string& payload) {
+  persist::ByteReader r(payload);
+  RangeReady m;
+  LACB_ASSIGN_OR_RETURN(m.range, r.U64());
+  LACB_ASSIGN_OR_RETURN(m.restored, r.Bool());
+  LACB_ASSIGN_OR_RETURN(m.day, r.U64());
+  LACB_ASSIGN_OR_RETURN(m.day_open, r.Bool());
+  LACB_ASSIGN_OR_RETURN(m.commits_today, r.U64());
+  LACB_ASSIGN_OR_RETURN(m.replayed_batches, r.U64());
+  LACB_ASSIGN_OR_RETURN(uint64_t log_size, r.U64());
+  m.replay_log.reserve(log_size);
+  for (uint64_t i = 0; i < log_size; ++i) {
+    LACB_ASSIGN_OR_RETURN(serve::BatchDisposition d, ReadDisposition(&r));
+    m.replay_log.push_back(std::move(d));
+  }
+  LACB_ASSIGN_OR_RETURN(uint64_t closes, r.U64());
+  m.replayed_day_closes.reserve(closes);
+  for (uint64_t i = 0; i < closes; ++i) {
+    LACB_ASSIGN_OR_RETURN(uint64_t day, r.U64());
+    LACB_ASSIGN_OR_RETURN(double utility, r.F64());
+    m.replayed_day_closes.emplace_back(day, utility);
+  }
+  LACB_ASSIGN_OR_RETURN(m.carryover_ids, r.VecI64());
+  return m;
+}
+
+std::string EncodeDispositionMsg(const DispositionMsg& m) {
+  persist::ByteWriter w;
+  w.U64(m.range);
+  WriteDisposition(&w, m.disposition);
+  return w.Release();
+}
+
+Result<DispositionMsg> DecodeDispositionMsg(const std::string& payload) {
+  persist::ByteReader r(payload);
+  DispositionMsg m;
+  LACB_ASSIGN_OR_RETURN(m.range, r.U64());
+  LACB_ASSIGN_OR_RETURN(m.disposition, ReadDisposition(&r));
+  return m;
+}
+
+std::string EncodeTicketDone(const TicketDone& m) {
+  persist::ByteWriter w;
+  w.U64(m.range);
+  w.U64(m.ticket);
+  w.VecI64(m.shed_ids);
+  return w.Release();
+}
+
+Result<TicketDone> DecodeTicketDone(const std::string& payload) {
+  persist::ByteReader r(payload);
+  TicketDone m;
+  LACB_ASSIGN_OR_RETURN(m.range, r.U64());
+  LACB_ASSIGN_OR_RETURN(m.ticket, r.U64());
+  LACB_ASSIGN_OR_RETURN(m.shed_ids, r.VecI64());
+  return m;
+}
+
+std::string EncodeSubmitBatch(const SubmitBatch& m) {
+  persist::ByteWriter w;
+  w.U64(m.range);
+  w.U64(m.ticket);
+  persist::WriteRequests(&w, m.requests);
+  return w.Release();
+}
+
+Result<SubmitBatch> DecodeSubmitBatch(const std::string& payload) {
+  persist::ByteReader r(payload);
+  SubmitBatch m;
+  LACB_ASSIGN_OR_RETURN(m.range, r.U64());
+  LACB_ASSIGN_OR_RETURN(m.ticket, r.U64());
+  LACB_ASSIGN_OR_RETURN(m.requests, persist::ReadRequests(&r));
+  return m;
+}
+
+std::string EncodeDayClosed(const DayClosed& m) {
+  persist::ByteWriter w;
+  w.U64(m.range);
+  w.U64(m.day);
+  w.F64(m.utility);
+  w.U64(m.appeals);
+  return w.Release();
+}
+
+Result<DayClosed> DecodeDayClosed(const std::string& payload) {
+  persist::ByteReader r(payload);
+  DayClosed m;
+  LACB_ASSIGN_OR_RETURN(m.range, r.U64());
+  LACB_ASSIGN_OR_RETURN(m.day, r.U64());
+  LACB_ASSIGN_OR_RETURN(m.utility, r.F64());
+  LACB_ASSIGN_OR_RETURN(m.appeals, r.U64());
+  return m;
+}
+
+std::string EncodeShipBytes(const ShipBytes& m) {
+  persist::ByteWriter w;
+  w.U64(m.range);
+  w.U64(m.seq);
+  w.Str(m.bytes);
+  return w.Release();
+}
+
+Result<ShipBytes> DecodeShipBytes(const std::string& payload) {
+  persist::ByteReader r(payload);
+  ShipBytes m;
+  LACB_ASSIGN_OR_RETURN(m.range, r.U64());
+  LACB_ASSIGN_OR_RETURN(m.seq, r.U64());
+  LACB_ASSIGN_OR_RETURN(m.bytes, r.Str());
+  return m;
+}
+
+std::string EncodeStateDump(const StateDump& m) {
+  persist::ByteWriter w;
+  w.U64(m.range);
+  w.Str(m.platform_state);
+  w.Str(m.replica_state);
+  return w.Release();
+}
+
+Result<StateDump> DecodeStateDump(const std::string& payload) {
+  persist::ByteReader r(payload);
+  StateDump m;
+  LACB_ASSIGN_OR_RETURN(m.range, r.U64());
+  LACB_ASSIGN_OR_RETURN(m.platform_state, r.Str());
+  LACB_ASSIGN_OR_RETURN(m.replica_state, r.Str());
+  return m;
+}
+
+std::string EncodePair(uint64_t a, uint64_t b) {
+  persist::ByteWriter w;
+  w.U64(a);
+  w.U64(b);
+  return w.Release();
+}
+
+Result<std::pair<uint64_t, uint64_t>> DecodePair(const std::string& payload) {
+  persist::ByteReader r(payload);
+  std::pair<uint64_t, uint64_t> out;
+  LACB_ASSIGN_OR_RETURN(out.first, r.U64());
+  LACB_ASSIGN_OR_RETURN(out.second, r.U64());
+  return out;
+}
+
+}  // namespace lacb::cluster

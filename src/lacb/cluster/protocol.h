@@ -1,0 +1,160 @@
+// Cluster wire protocol: typed messages carried in CRC frames
+// (docs/sharding.md). Payloads use the persist layer's little-endian
+// ByteWriter/ByteReader, so every message round-trips bit-exactly and a
+// truncated payload decodes to a Status instead of UB.
+
+#ifndef LACB_CLUSTER_PROTOCOL_H_
+#define LACB_CLUSTER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lacb/common/result.h"
+#include "lacb/common/status.h"
+#include "lacb/serve/service.h"
+#include "lacb/sim/dataset.h"
+#include "lacb/sim/request.h"
+
+namespace lacb::cluster {
+
+/// \brief Frame type byte. Shard → coordinator types are < 20,
+/// coordinator → shard types are ≥ 20.
+enum class MessageType : uint8_t {
+  // shard → coordinator
+  kHello = 1,          ///< shard_id, pid — first frame after connect.
+  kHeartbeat = 2,      ///< shard_id, aggregated health state.
+  kRangeReady = 3,     ///< range restored/adopted and serving (RangeReady).
+  kDisposition = 4,    ///< range, BatchDisposition (live sink forward).
+  kTicketDone = 5,     ///< range, ticket, shed ids — releases the window.
+  kDayClosed = 6,      ///< range, day, realized utility, appeals.
+  kWalShip = 7,        ///< range, ckpt seq, framed WAL record bytes.
+  kCheckpointShip = 8, ///< range, seq, encoded checkpoint image.
+  kStateDump = 9,      ///< range, platform bytes, replica-0 bytes.
+  kShutdownAck = 10,   ///< shard_id — all ranges shut down cleanly.
+  // coordinator → shard
+  kAssignRange = 20,   ///< build + start a range service (AssignRange).
+  kAdoptRange = 21,    ///< same payload; restore from a shipped envelope.
+  kOpenDay = 22,       ///< range, day.
+  kSubmitBatch = 23,   ///< range, ticket, requests.
+  kCloseDay = 24,      ///< range, day.
+  kRequestState = 25,  ///< range — reply with kStateDump.
+  kShutdown = 26,      ///< drain + shut down every range, then ack.
+};
+
+/// \brief kHello payload.
+struct Hello {
+  uint64_t shard_id = 0;
+  uint64_t pid = 0;
+};
+
+/// \brief kAssignRange / kAdoptRange payload: everything a shard needs to
+/// build the range's AssignmentService. The dataset config is shipped (not
+/// re-derived) so coordinator and shard can never disagree on the slice.
+struct AssignRange {
+  uint64_t range = 0;
+  sim::DatasetConfig config;
+  std::string checkpoint_dir;  ///< Local persist dir (adopt: the envelope).
+  uint64_t checkpoint_interval_batches = 0;
+  bool wal_fsync = false;
+  uint64_t suite_seed = 55;
+  uint64_t policy_index = 8;
+  uint64_t num_workers = 1;
+  uint64_t queue_capacity = 4096;
+  uint64_t max_batch_size = 1u << 20;
+  uint64_t max_batch_delay_us = 300000000;
+};
+
+/// \brief kRangeReady payload: restore outcome plus the reconciliation
+/// material (replay log, replayed day outcomes, pending carryover).
+struct RangeReady {
+  uint64_t range = 0;
+  bool restored = false;
+  uint64_t day = 0;
+  bool day_open = false;
+  uint64_t commits_today = 0;
+  uint64_t replayed_batches = 0;
+  std::vector<serve::BatchDisposition> replay_log;
+  std::vector<std::pair<uint64_t, double>> replayed_day_closes;
+  std::vector<int64_t> carryover_ids;
+};
+
+/// \brief kDisposition payload.
+struct DispositionMsg {
+  uint64_t range = 0;
+  serve::BatchDisposition disposition;
+};
+
+/// \brief kTicketDone payload.
+struct TicketDone {
+  uint64_t range = 0;
+  uint64_t ticket = 0;
+  std::vector<int64_t> shed_ids;
+};
+
+/// \brief kSubmitBatch payload.
+struct SubmitBatch {
+  uint64_t range = 0;
+  uint64_t ticket = 0;
+  std::vector<sim::Request> requests;
+};
+
+/// \brief kDayClosed payload.
+struct DayClosed {
+  uint64_t range = 0;
+  uint64_t day = 0;
+  double utility = 0.0;
+  uint64_t appeals = 0;
+};
+
+/// \brief kWalShip / kCheckpointShip payload.
+struct ShipBytes {
+  uint64_t range = 0;
+  uint64_t seq = 0;
+  std::string bytes;
+};
+
+/// \brief kStateDump payload.
+struct StateDump {
+  uint64_t range = 0;
+  std::string platform_state;
+  std::string replica_state;
+};
+
+std::string EncodeHello(const Hello& m);
+Result<Hello> DecodeHello(const std::string& payload);
+
+std::string EncodeAssignRange(const AssignRange& m);
+Result<AssignRange> DecodeAssignRange(const std::string& payload);
+
+std::string EncodeRangeReady(const RangeReady& m);
+Result<RangeReady> DecodeRangeReady(const std::string& payload);
+
+std::string EncodeDispositionMsg(const DispositionMsg& m);
+Result<DispositionMsg> DecodeDispositionMsg(const std::string& payload);
+
+std::string EncodeTicketDone(const TicketDone& m);
+Result<TicketDone> DecodeTicketDone(const std::string& payload);
+
+std::string EncodeSubmitBatch(const SubmitBatch& m);
+Result<SubmitBatch> DecodeSubmitBatch(const std::string& payload);
+
+std::string EncodeDayClosed(const DayClosed& m);
+Result<DayClosed> DecodeDayClosed(const std::string& payload);
+
+std::string EncodeShipBytes(const ShipBytes& m);
+Result<ShipBytes> DecodeShipBytes(const std::string& payload);
+
+std::string EncodeStateDump(const StateDump& m);
+Result<StateDump> DecodeStateDump(const std::string& payload);
+
+/// \brief (range, day) pair used by kOpenDay / kCloseDay; kHeartbeat and
+/// kShutdownAck reuse it as (shard_id, state) / (shard_id, 0); kRequestState
+/// as (range, 0).
+std::string EncodePair(uint64_t a, uint64_t b);
+Result<std::pair<uint64_t, uint64_t>> DecodePair(const std::string& payload);
+
+}  // namespace lacb::cluster
+
+#endif  // LACB_CLUSTER_PROTOCOL_H_

@@ -1,0 +1,145 @@
+#include "lacb/cluster/replica_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "lacb/persist/bytes.h"
+#include "lacb/persist/wal.h"
+
+namespace lacb::cluster {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+Status WriteAll(int fd, const char* data, size_t size,
+                const std::string& path) {
+  size_t written = 0;
+  while (written < size) {
+    ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("replica write failed: " + path + ": " +
+                             std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+ReplicaStore::ReplicaStore(std::string root, bool do_fsync)
+    : root_(std::move(root)), fsync_(do_fsync) {}
+
+ReplicaStore::~ReplicaStore() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [range, wal] : open_wals_) {
+    if (wal.fd >= 0) ::close(wal.fd);
+  }
+}
+
+std::string ReplicaStore::RangeDir(uint64_t range) const {
+  return root_ + "/range" + std::to_string(range);
+}
+
+Status ReplicaStore::EnsureRangeDir(uint64_t range) {
+  std::error_code ec;
+  fs::create_directories(RangeDir(range), ec);
+  if (ec) {
+    return Status::IoError("cannot create replica dir: " + RangeDir(range) +
+                           ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status ReplicaStore::PutCheckpoint(uint64_t range, uint64_t seq,
+                                   const std::string& bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LACB_RETURN_NOT_OK(EnsureRangeDir(range));
+  return persist::WriteFileAtomic(
+      RangeDir(range) + "/ckpt-" + std::to_string(seq) + ".bin", bytes,
+      fsync_);
+}
+
+Status ReplicaStore::AppendWalRecord(uint64_t range, uint64_t seq,
+                                     const std::string& framed_record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LACB_RETURN_NOT_OK(EnsureRangeDir(range));
+  OpenWal& wal = open_wals_[range];
+  // Must match CheckpointManager's wal-<seq>.log naming exactly: an adopted
+  // shard points its persist layer at a clone of this directory and walks the
+  // chain via WalPath(seq), so a different name silently yields zero replay.
+  const std::string path =
+      RangeDir(range) + "/wal-" + std::to_string(seq) + ".log";
+  if (wal.fd < 0 || wal.seq != seq) {
+    if (wal.fd >= 0) ::close(wal.fd);
+    wal.fd = -1;
+    // A new sequence always starts a fresh file (truncate): shipped
+    // records arrive in order per range, so anything previously at this
+    // path belongs to an older generation of the same takeover.
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                    0644);
+    if (fd < 0) {
+      return Status::IoError("cannot open replica WAL: " + path + ": " +
+                             std::strerror(errno));
+    }
+    persist::ByteWriter header;
+    for (char c : persist::kWalMagic) header.U8(static_cast<uint8_t>(c));
+    header.U32(persist::kWalVersion);
+    header.U64(seq);
+    Status s = WriteAll(fd, header.bytes().data(), header.bytes().size(), path);
+    if (!s.ok()) {
+      ::close(fd);
+      return s;
+    }
+    wal.fd = fd;
+    wal.seq = seq;
+  }
+  LACB_RETURN_NOT_OK(
+      WriteAll(wal.fd, framed_record.data(), framed_record.size(), path));
+  if (fsync_ && ::fsync(wal.fd) != 0) {
+    return Status::IoError("replica WAL fsync failed: " + path);
+  }
+  return Status::OK();
+}
+
+void ReplicaStore::Finalize(uint64_t range) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = open_wals_.find(range);
+  if (it == open_wals_.end()) return;
+  if (it->second.fd >= 0) ::close(it->second.fd);
+  open_wals_.erase(it);
+}
+
+Result<std::string> ReplicaStore::PrepareAdoptionDir(uint64_t range,
+                                                     uint64_t generation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string src = RangeDir(range);
+  const std::string dst = root_ + "/adopt/range" + std::to_string(range) +
+                          "-g" + std::to_string(generation);
+  std::error_code ec;
+  fs::create_directories(dst, ec);
+  if (ec) {
+    return Status::IoError("cannot create adoption dir: " + dst + ": " +
+                           ec.message());
+  }
+  if (fs::exists(src, ec)) {
+    for (const auto& entry : fs::directory_iterator(src, ec)) {
+      if (!entry.is_regular_file()) continue;
+      fs::copy_file(entry.path(), fs::path(dst) / entry.path().filename(),
+                    fs::copy_options::overwrite_existing, ec);
+      if (ec) {
+        return Status::IoError("cannot clone replica file " +
+                               entry.path().string() + ": " + ec.message());
+      }
+    }
+  }
+  return dst;
+}
+
+}  // namespace lacb::cluster

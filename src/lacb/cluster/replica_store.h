@@ -1,0 +1,77 @@
+// Coordinator-side replica of every range's durable state
+// (docs/sharding.md). Shards ship two streams per range over the framed
+// protocol:
+//
+//   - kCheckpointShip: the encoded checkpoint image at sequence s — the
+//     bootstrap envelope. Stored atomically as ckpt-<s>.bin.
+//   - kWalShip: each WAL record's exact on-disk framing, tagged with its
+//     sequence. Appended to wal-<s>.log after a standard WAL header, so
+//     the replica file is RecoverWal-compatible byte for byte.
+//
+// On failover the store clones a range's files into a fresh adoption
+// directory; the surviving shard points a new AssignmentService's
+// checkpoint_dir at it and Start()'s normal restore path (newest valid
+// envelope + WAL-chain replay) brings the range back to the last shipped
+// record. Files are never pruned here — the replica is the recovery
+// source of truth for the fleet's whole run.
+
+#ifndef LACB_CLUSTER_REPLICA_STORE_H_
+#define LACB_CLUSTER_REPLICA_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "lacb/common/result.h"
+#include "lacb/common/status.h"
+
+namespace lacb::cluster {
+
+/// \brief Per-range durable replica written from shipped frames.
+/// Thread-safe (frames for different ranges arrive on different reader
+/// threads).
+class ReplicaStore {
+ public:
+  explicit ReplicaStore(std::string root, bool do_fsync = false);
+  ~ReplicaStore();
+  ReplicaStore(const ReplicaStore&) = delete;
+  ReplicaStore& operator=(const ReplicaStore&) = delete;
+
+  /// \brief Stores the checkpoint envelope `seq` of `range` atomically.
+  Status PutCheckpoint(uint64_t range, uint64_t seq, const std::string& bytes);
+
+  /// \brief Appends one framed WAL record to `range`'s wal-<seq>.log,
+  /// writing the WAL header first when the record opens a new sequence.
+  Status AppendWalRecord(uint64_t range, uint64_t seq,
+                         const std::string& framed_record);
+
+  /// \brief Closes `range`'s open WAL fd (called when its shard dies —
+  /// the chain is final and about to be cloned).
+  void Finalize(uint64_t range);
+
+  /// \brief Clones `range`'s replica files into a fresh adoption
+  /// directory `<root>/adopt/range<range>-g<generation>` and returns its
+  /// path. The caller ships the path to the adopting shard.
+  Result<std::string> PrepareAdoptionDir(uint64_t range, uint64_t generation);
+
+  /// \brief Directory holding `range`'s replica files.
+  std::string RangeDir(uint64_t range) const;
+
+ private:
+  struct OpenWal {
+    uint64_t seq = 0;
+    int fd = -1;
+  };
+
+  Status EnsureRangeDir(uint64_t range);
+
+  std::string root_;
+  bool fsync_;
+  std::mutex mu_;
+  std::map<uint64_t, OpenWal> open_wals_;
+};
+
+}  // namespace lacb::cluster
+
+#endif  // LACB_CLUSTER_REPLICA_STORE_H_

@@ -1,0 +1,62 @@
+// lacb_shard: one shard process of the sharded serving fleet
+// (docs/sharding.md). Spawned by the cluster coordinator via fork+execv;
+// everything beyond the connection endpoint and its identity arrives over
+// the framed control socket.
+//
+//   lacb_shard --port=<coordinator port> --shard=<shard id>
+//              [--heartbeat-ms=<period>]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "lacb/cluster/shard_server.h"
+
+namespace {
+
+bool ParseFlag(const char* arg, const char* name, long* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  char* end = nullptr;
+  long value = std::strtol(arg + len + 1, &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lacb::cluster::ShardServerOptions options;
+  long port = -1;
+  long shard = -1;
+  long heartbeat_ms = 100;
+  for (int i = 1; i < argc; ++i) {
+    if (ParseFlag(argv[i], "--port", &port)) continue;
+    if (ParseFlag(argv[i], "--shard", &shard)) continue;
+    if (ParseFlag(argv[i], "--heartbeat-ms", &heartbeat_ms)) continue;
+    std::fprintf(stderr, "lacb_shard: unknown argument %s\n", argv[i]);
+    return 2;
+  }
+  if (port <= 0 || shard < 0) {
+    std::fprintf(stderr,
+                 "usage: lacb_shard --port=<coordinator port> "
+                 "--shard=<shard id> [--heartbeat-ms=<period>]\n");
+    return 2;
+  }
+  options.coordinator_port = static_cast<int>(port);
+  options.shard_id = static_cast<uint64_t>(shard);
+  options.heartbeat_period = std::chrono::milliseconds(heartbeat_ms);
+
+  lacb::cluster::ShardServer server(std::move(options));
+  lacb::Status status = server.Run();
+  if (!status.ok()) {
+    // A non-zero exit drops the socket; the coordinator handles the EOF
+    // with the same failover path as a SIGKILL.
+    std::fprintf(stderr, "lacb_shard %ld: %s\n", shard,
+                 status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

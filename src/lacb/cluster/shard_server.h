@@ -1,0 +1,103 @@
+// Shard process runtime (docs/sharding.md): connects to the coordinator,
+// hosts one embedded AssignmentService per assigned/adopted broker range,
+// forwards dispositions + WAL/checkpoint shipping frames through an
+// ordered outbox, and heartbeats its aggregated health.
+//
+// The control loop is intentionally serial: frames from the coordinator
+// are processed in FIFO order on one thread, so kOpenDay is always fully
+// applied before the day's first kSubmitBatch, and a kSubmitBatch's
+// Submit → Flush → WaitIdle completes before the next frame is read.
+// Cross-shard parallelism comes from the coordinator pumping all shards
+// concurrently, not from intra-shard pipelining.
+//
+// Any internal failure exits the process non-zero: the coordinator
+// observes the EOF and runs the same death/failover path as for a
+// SIGKILL, which is exactly the robustness contract under test.
+
+#ifndef LACB_CLUSTER_SHARD_SERVER_H_
+#define LACB_CLUSTER_SHARD_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "lacb/cluster/protocol.h"
+#include "lacb/common/status.h"
+#include "lacb/serve/service.h"
+
+namespace lacb::cluster {
+
+/// \brief Shard runtime knobs (the rest of the configuration arrives over
+/// the wire in kAssignRange).
+struct ShardServerOptions {
+  int coordinator_port = 0;
+  uint64_t shard_id = 0;
+  std::chrono::milliseconds heartbeat_period{100};
+};
+
+/// \brief One shard process: run by lacb_shard's main(), blocking until
+/// the coordinator orders shutdown or the connection drops.
+class ShardServer {
+ public:
+  explicit ShardServer(ShardServerOptions options);
+  ~ShardServer();
+  ShardServer(const ShardServer&) = delete;
+  ShardServer& operator=(const ShardServer&) = delete;
+
+  /// \brief Connects, sends kHello, and serves the control loop. Returns
+  /// OK after a clean kShutdown handshake; any error means the process
+  /// should exit non-zero (the coordinator treats the EOF as a death).
+  Status Run();
+
+ private:
+  /// One hosted range: the embedded service plus its wire identity.
+  struct RangeRuntime {
+    uint64_t range = 0;
+    std::unique_ptr<serve::AssignmentService> service;
+  };
+
+  Status HandleAssignRange(const std::string& payload, bool adopt);
+  Status HandleOpenDay(const std::string& payload);
+  Status HandleSubmitBatch(const std::string& payload);
+  Status HandleCloseDay(const std::string& payload);
+  Status HandleRequestState(const std::string& payload);
+  Status HandleShutdown();
+
+  /// Enqueues a frame on the ordered outbox (thread-safe; sinks call this
+  /// from worker threads under the service's environment mutex, so it
+  /// must never block on the socket).
+  void Enqueue(MessageType type, std::string payload);
+  void OutboxLoop();
+  void HeartbeatLoop();
+
+  RangeRuntime* FindRange(uint64_t range);
+
+  ShardServerOptions options_;
+  int fd_ = -1;
+
+  // ranges_mu_ orders control-loop inserts against the heartbeat thread's
+  // health sweep; the services themselves are internally synchronized.
+  mutable std::mutex ranges_mu_;
+  std::map<uint64_t, RangeRuntime> ranges_;
+
+  std::mutex outbox_mu_;
+  std::condition_variable outbox_cv_;
+  std::deque<std::pair<uint8_t, std::string>> outbox_;
+  bool outbox_closed_ = false;
+  bool outbox_failed_ = false;
+  std::thread outbox_thread_;
+
+  std::atomic<bool> stopping_{false};
+  std::thread heartbeat_thread_;
+};
+
+}  // namespace lacb::cluster
+
+#endif  // LACB_CLUSTER_SHARD_SERVER_H_

@@ -5,6 +5,7 @@
 
 #if !defined(_WIN32)
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -99,8 +100,17 @@ Result<std::unique_ptr<ExpositionServer>> ExpositionServer::Start(
   if (fd < 0) {
     return Status::IoError("ExpositionServer: socket() failed");
   }
+  // The listener must never leak into forked shard processes (a child
+  // holding the fd would keep the port bound after this process exits).
+  ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+  // SO_REUSEADDR lets N shards on one host cycle through ephemeral
+  // /metrics ports without TIME_WAIT collisions; failure here is a real
+  // misconfiguration, not a condition to scrape through silently.
   int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
+    ::close(fd);
+    return Status::IoError("ExpositionServer: setsockopt(SO_REUSEADDR) failed");
+  }
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -163,6 +173,7 @@ void ExpositionServer::AcceptLoop() {
       if (errno == EINTR) continue;
       return;  // listen socket closed by Stop()
     }
+    ::fcntl(client, F_SETFD, FD_CLOEXEC);
     if (stopping_.load(std::memory_order_relaxed)) {
       ::close(client);
       return;

@@ -77,6 +77,9 @@ Status WalWriter::AppendRecord(WalRecordType type,
   }
   ++records_written_;
   bytes_written_ += out.bytes().size();
+  if (record_sink_) {
+    record_sink_(std::string_view(out.bytes().data(), out.bytes().size()));
+  }
   return Status::OK();
 }
 

@@ -17,8 +17,10 @@
 #define LACB_PERSIST_WAL_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "lacb/common/result.h"
@@ -67,6 +69,17 @@ class WalWriter {
                      const std::vector<sim::Request>& requests,
                      const std::vector<int64_t>& assignment);
 
+  /// \brief Observer of every durable record, invoked after the local
+  /// write (and fsync, when enabled) succeeds with the exact framed bytes
+  /// — `u32 len | body | crc` — as they landed on disk. The cluster layer
+  /// uses this to ship the record to a replication follower; a follower
+  /// appending the bytes verbatim after a header reproduces a
+  /// RecoverWal-compatible file. Called under the same serialization as
+  /// Append* (the serving layer's environment mutex); must not re-enter
+  /// the writer.
+  using RecordSink = std::function<void(std::string_view framed_record)>;
+  void set_record_sink(RecordSink sink) { record_sink_ = std::move(sink); }
+
   uint64_t records_written() const { return records_written_; }
   uint64_t bytes_written() const { return bytes_written_; }
   const std::string& path() const { return path_; }
@@ -82,6 +95,7 @@ class WalWriter {
   bool fsync_ = true;
   uint64_t records_written_ = 0;
   uint64_t bytes_written_ = 0;
+  RecordSink record_sink_;
 };
 
 struct WalRecovery {

@@ -669,7 +669,7 @@ void AssignmentService::Shutdown() {
       batch = std::move(channel_.front());
       channel_.pop_front();
     }
-    DropBatchTerminal(batch, failed_counter_);
+    DropBatchTerminal(batch, DropKind::kFailed);
   }
   // Appeals stranded in the batcher's carryover (re-queued but never
   // emitted into a later batch — the end-of-run appeal overflow) are
@@ -677,7 +677,17 @@ void AssignmentService::Shutdown() {
   //   submitted == assigned + unmatched + failed + dropped_appeals.
   if (batcher_ != nullptr) {
     size_t stranded = batcher_->carryover_size();
-    if (stranded > 0) dropped_counter_->Increment(stranded);
+    if (stranded > 0) {
+      dropped_counter_->Increment(stranded);
+      if (options_.disposition_sink) {
+        BatchDisposition d;  // token 0: not batch-scoped, shutdown overflow
+        d.day = current_day_.load(std::memory_order_acquire);
+        for (const sim::Request& r : batcher_->SnapshotCarryover()) {
+          d.dropped.push_back(r.id);
+        }
+        EmitDisposition(d);
+      }
+    }
   }
   // Final drop-count sync and forecast-gauge refresh: both run without an
   // exposition server too, so the captured RunTelemetry carries the
@@ -706,7 +716,7 @@ void AssignmentService::BatcherLoop() {
     });
     if (channel_closed_) {
       lock.unlock();
-      DropBatchTerminal(*batch, failed_counter_);
+      DropBatchTerminal(*batch, DropKind::kFailed);
       continue;
     }
     channel_.push_back(std::move(*batch));
@@ -793,7 +803,7 @@ Status AssignmentService::ProcessBatch(size_t worker_index, MicroBatch batch) {
     // The injected process kill already fired: this process is "dead".
     // Every batch that still reaches a worker fails terminally; recovery
     // happens in a fresh service instance via checkpoint + WAL replay.
-    DropBatchTerminal(batch, failed_counter_);
+    DropBatchTerminal(batch, DropKind::kFailed);
     return Status::OK();
   }
   if (!day_open_.load(std::memory_order_acquire)) {
@@ -801,7 +811,7 @@ Status AssignmentService::ProcessBatch(size_t worker_index, MicroBatch batch) {
     // queued item before the day closes): appeals that outlive the horizon
     // are dropped, exactly like the platform's appeal overflow at the end
     // of the run — but with explicit ledger accounting.
-    DropBatchTerminal(batch, dropped_counter_);
+    DropBatchTerminal(batch, DropKind::kDroppedAppeal);
     return Status::OK();
   }
   {
@@ -941,13 +951,16 @@ Status AssignmentService::ProcessBatch(size_t worker_index, MicroBatch batch) {
   }
 
   if (committed) {
+    const bool sink = static_cast<bool>(options_.disposition_sink);
+    std::unordered_set<int64_t> appealed_ids;
+    if (recorder_ != nullptr || sink) {
+      appealed_ids.reserve(commit.appealed.size());
+      for (const sim::Request& r : commit.appealed) appealed_ids.insert(r.id);
+    }
     if (recorder_ != nullptr) {
       // Terminate each request's flow at the commit; appealed requests
       // keep their flow alive (they re-enter through carryover and step
       // again at the next batch close).
-      std::unordered_set<int64_t> appealed_ids;
-      appealed_ids.reserve(commit.appealed.size());
-      for (const sim::Request& r : commit.appealed) appealed_ids.insert(r.id);
       recorder_->Begin("serve.disposition");
       for (const sim::Request& r : batch.requests) {
         if (appealed_ids.count(r.id) == 0) {
@@ -955,6 +968,20 @@ Status AssignmentService::ProcessBatch(size_t worker_index, MicroBatch batch) {
         }
       }
       recorder_->End("serve.disposition");
+    }
+    BatchDisposition disposition;
+    if (sink) {
+      disposition.token = batch.token;
+      disposition.day = current_day_.load(std::memory_order_acquire);
+      for (size_t i = 0; i < batch.requests.size(); ++i) {
+        const sim::Request& r = batch.requests[i];
+        if (appealed_ids.count(r.id) != 0) continue;
+        if (i < assignment.size() && assignment[i] >= 0) {
+          disposition.assigned.push_back(r.id);
+        } else {
+          disposition.unmatched.push_back(r.id);
+        }
+      }
     }
 
     if (!commit.appealed.empty()) {
@@ -964,7 +991,17 @@ Status AssignmentService::ProcessBatch(size_t worker_index, MicroBatch batch) {
         // would never be drained. Drop with accounting instead of
         // leaking the requests out of the ledger.
         dropped_counter_->Increment(commit.appealed.size());
+        if (sink) {
+          for (const sim::Request& r : commit.appealed) {
+            disposition.dropped.push_back(r.id);
+          }
+        }
       } else {
+        if (sink) {
+          for (const sim::Request& r : commit.appealed) {
+            disposition.appealed.push_back(r.id);
+          }
+        }
         batcher_->AddCarryover(std::move(commit.appealed));
         carryover_gauge_->Set(static_cast<double>(batcher_->carryover_size()));
       }
@@ -976,6 +1013,7 @@ Status AssignmentService::ProcessBatch(size_t worker_index, MicroBatch batch) {
       if (a < 0) ++unmatched;
     }
     unmatched_counter_->Increment(unmatched);
+    if (sink) EmitDisposition(disposition);
 
     auto now = std::chrono::steady_clock::now();
     for (const auto& arrival : batch.arrival_times) {
@@ -987,6 +1025,14 @@ Status AssignmentService::ProcessBatch(size_t worker_index, MicroBatch batch) {
     // Retry budget exhausted and the platform confirmed nothing applied:
     // the whole batch is shed with explicit accounting.
     failed_counter_->Increment(batch.requests.size());
+    if (options_.disposition_sink) {
+      BatchDisposition d;
+      d.token = batch.token;
+      d.day = current_day_.load(std::memory_order_acquire);
+      d.failed.reserve(batch.requests.size());
+      for (const sim::Request& r : batch.requests) d.failed.push_back(r.id);
+      EmitDisposition(d);
+    }
     RecordIncident("commit_failed");
   }
   if (attribute) {
@@ -1109,22 +1155,38 @@ bool AssignmentService::TryClaimTerminalLocked(uint64_t token) {
 }
 
 void AssignmentService::DropBatchTerminal(const MicroBatch& batch,
-                                          obs::Counter* bucket) {
+                                          DropKind kind) {
   bool claimed = false;
   {
     std::lock_guard<std::mutex> lock(env_mu_);
     claimed = TryClaimTerminalLocked(batch.token);
   }
   if (!claimed) return;
+  obs::Counter* bucket =
+      kind == DropKind::kFailed ? failed_counter_ : dropped_counter_;
   if (!batch.requests.empty()) bucket->Increment(batch.requests.size());
+  if (options_.disposition_sink && !batch.requests.empty()) {
+    BatchDisposition d;
+    d.token = batch.token;
+    d.day = current_day_.load(std::memory_order_acquire);
+    std::vector<int64_t>& ids =
+        kind == DropKind::kFailed ? d.failed : d.dropped;
+    ids.reserve(batch.requests.size());
+    for (const sim::Request& r : batch.requests) ids.push_back(r.id);
+    EmitDisposition(d);
+  }
   RetireWork(static_cast<int64_t>(batch.from_queue));
+}
+
+void AssignmentService::EmitDisposition(const BatchDisposition& d) {
+  if (options_.disposition_sink) options_.disposition_sink(d);
 }
 
 void AssignmentService::RedriveBatch(MicroBatch&& batch) {
   std::unique_lock<std::mutex> lock(channel_mu_);
   if (channel_closed_) {
     lock.unlock();
-    DropBatchTerminal(batch, failed_counter_);
+    DropBatchTerminal(batch, DropKind::kFailed);
     return;
   }
   // Channel *front*, skipping the capacity bound: the replacement worker
@@ -1511,9 +1573,20 @@ Status AssignmentService::CheckpointLocked() {
     std::lock_guard<std::mutex> lock(env_mu_);
     LACB_RETURN_NOT_OK(BuildCheckpointSections(&ckpt));
     LACB_ASSIGN_OR_RETURN(bytes, ckpt_mgr_->Write(ckpt));
+    if (options_.checkpoint_sink) {
+      // Ship the bootstrap envelope before any record of the new WAL
+      // sequence: a follower that has ckpt seq k can always replay wal-k.
+      options_.checkpoint_sink(ckpt.seq, persist::EncodeCheckpoint(ckpt));
+    }
     LACB_ASSIGN_OR_RETURN(
         wal_, persist::WalWriter::Create(ckpt_mgr_->WalPath(ckpt.seq),
                                          ckpt.seq, options_.wal_fsync));
+    if (options_.wal_record_sink) {
+      const uint64_t seq = ckpt.seq;
+      wal_->set_record_sink([this, seq](std::string_view record) {
+        options_.wal_record_sink(seq, record);
+      });
+    }
   }
   commits_since_ckpt_.store(0, std::memory_order_release);
   ++next_ckpt_seq_;
@@ -1727,6 +1800,29 @@ Status AssignmentService::ReplayWalRecords(
           store_.CommitAccepted(outcome.accepted);
           commits_today_.fetch_add(1, std::memory_order_acq_rel);
         }
+        if (options_.record_replay_log) {
+          // Re-derive the batch's disposition for coordinator
+          // reconciliation — same id partition as the live sink.
+          BatchDisposition d;
+          d.token = record.token;
+          d.day = record.day;
+          std::unordered_set<int64_t> appealed_ids;
+          appealed_ids.reserve(outcome.appealed.size());
+          for (const sim::Request& r : outcome.appealed) {
+            appealed_ids.insert(r.id);
+            d.appealed.push_back(r.id);
+          }
+          for (size_t i = 0; i < record.requests.size(); ++i) {
+            const sim::Request& r = record.requests[i];
+            if (appealed_ids.count(r.id) != 0) continue;
+            if (i < record.assignment.size() && record.assignment[i] >= 0) {
+              d.assigned.push_back(r.id);
+            } else {
+              d.unmatched.push_back(r.id);
+            }
+          }
+          replay_log_.push_back(std::move(d));
+        }
         *carryover = std::move(outcome.appealed);
         max_token = std::max(max_token, record.token);
         ++*replayed;
@@ -1735,7 +1831,10 @@ Status AssignmentService::ReplayWalRecords(
       case persist::WalRecordType::kDayClose: {
         LACB_ASSIGN_OR_RETURN(sim::DayOutcome outcome,
                               DoCloseDay(/*log_wal=*/false));
-        (void)outcome;
+        if (options_.record_replay_log) {
+          replayed_day_closes_.emplace_back(record.day,
+                                            outcome.realized_utility);
+        }
         break;
       }
     }
@@ -1744,6 +1843,16 @@ Status AssignmentService::ReplayWalRecords(
     batcher_->set_next_token(max_token + 1);
   }
   return Status::OK();
+}
+
+std::vector<int64_t> AssignmentService::CarryoverRequestIds() const {
+  std::vector<int64_t> ids;
+  if (batcher_ != nullptr) {
+    for (const sim::Request& r : batcher_->SnapshotCarryover()) {
+      ids.push_back(r.id);
+    }
+  }
+  return ids;
 }
 
 Result<std::string> AssignmentService::SerializeReplicaState(size_t index) {

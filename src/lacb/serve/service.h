@@ -49,11 +49,14 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <thread>
+#include <utility>
 #include <unordered_set>
 #include <vector>
 
@@ -92,6 +95,23 @@ struct ServedSlo {
   SloTarget target = SloTarget::kLatency;
   obs::SloSpec spec;
 };
+
+/// \brief Per-request terminal fates of one disposed batch, keyed by the
+/// batch's idempotent commit token (docs/sharding.md). Every request id of
+/// the batch appears in exactly one list; `appealed` ids are *not*
+/// terminal — they re-enter through the carryover buffer and reappear in a
+/// later batch's disposition. The cluster coordinator folds these into its
+/// fleet-wide exactly-once ledger.
+struct BatchDisposition {
+  uint64_t token = 0;
+  uint64_t day = 0;
+  std::vector<int64_t> assigned;   ///< Committed to a broker (terminal).
+  std::vector<int64_t> unmatched;  ///< Left unassigned (terminal).
+  std::vector<int64_t> appealed;   ///< Re-queued to carryover (pending).
+  std::vector<int64_t> failed;     ///< Commit-exhausted / drained (terminal).
+  std::vector<int64_t> dropped;    ///< Appeals dropped at day end/shutdown.
+};
+using DispositionSink = std::function<void(const BatchDisposition&)>;
 
 /// \brief Predictive capacity observability (docs/observability.md,
 /// "Forecasting & pressure signals"). Off by default: the serve path takes
@@ -194,6 +214,32 @@ struct ServeOptions {
   bool wal_fsync = true;
   /// Checkpoints (and their WALs) retained before pruning.
   size_t checkpoint_retain = 3;
+
+  // --- Cluster hooks (docs/sharding.md) ---
+
+  /// Observer of every batch's terminal disposition (and of appeals moving
+  /// to carryover). Invoked on the disposing thread *before* the batch's
+  /// in-system units retire, so an observer that forwards dispositions over
+  /// a socket is guaranteed to enqueue them before WaitIdle() returns.
+  /// Empty (the default) — no per-batch id bookkeeping is done at all.
+  DispositionSink disposition_sink;
+  /// Observer of every durable WAL record: called with the WAL's current
+  /// checkpoint sequence and the exact framed bytes after the local append
+  /// succeeds (under the environment mutex — keep it cheap / non-blocking;
+  /// the cluster layer hands the bytes to an outbox thread). Empty: the
+  /// WAL writer gets no sink installed.
+  std::function<void(uint64_t seq, std::string_view record)> wal_record_sink;
+  /// Observer of every cut checkpoint (the replication bootstrap
+  /// envelope): sequence number plus the encoded checkpoint image, called
+  /// after the local atomic write succeeds and before any WAL record of
+  /// the new sequence ships.
+  std::function<void(uint64_t seq, const std::string& encoded)>
+      checkpoint_sink;
+  /// Collect the per-batch dispositions re-derived during WAL replay (and
+  /// the day outcomes of replayed day-closes) for the cluster
+  /// coordinator's post-failover reconciliation; read them back via
+  /// replay_log() / replayed_day_closes(). Off by default.
+  bool record_replay_log = false;
 
   // --- Performance attribution (docs/observability.md) ---
 
@@ -336,6 +382,27 @@ class AssignmentService {
   /// \brief What Start() recovered from durable state.
   const RestoreInfo& restore_info() const { return restore_info_; }
 
+  /// \brief Per-batch dispositions re-derived during the Start()-time WAL
+  /// replay (populated only when ServeOptions::record_replay_log is set).
+  /// The cluster coordinator diffs this against its ledger after a range
+  /// adoption to decide which in-flight requests need a redrive.
+  const std::vector<BatchDisposition>& replay_log() const {
+    return replay_log_;
+  }
+  /// \brief (day, realized utility) of every day-close re-applied during
+  /// WAL replay (same record_replay_log gate) — a coordinator that lost a
+  /// shard between CloseDay and its acknowledgment recovers the day's
+  /// outcome from here instead of re-closing an already-closed day.
+  const std::vector<std::pair<uint64_t, double>>& replayed_day_closes()
+      const {
+    return replayed_day_closes_;
+  }
+  /// \brief Ids of the appealed requests currently waiting in the
+  /// carryover buffer (call at a quiesce point — after Start()'s restore
+  /// or WaitIdle). The coordinator reconciles these as pending, not
+  /// terminal.
+  std::vector<int64_t> CarryoverRequestIds() const;
+
   /// \brief Serialized state of replica `index` / of the platform
   /// (diagnostic hooks: the recovery gate compares these byte-for-byte
   /// between a crashed-and-restored run and an uninterrupted one). Call
@@ -421,9 +488,12 @@ class AssignmentService {
   /// Requires env_mu_ held.
   bool TryClaimTerminalLocked(uint64_t token);
   /// Terminal-drop of a batch that can no longer be processed (day closed
-  /// or channel closed): the claiming twin counts every request dropped
-  /// and retires the batch's queue units.
-  void DropBatchTerminal(const MicroBatch& batch, obs::Counter* bucket);
+  /// or channel closed): the claiming twin counts every request into the
+  /// kind's terminal bucket and retires the batch's queue units.
+  enum class DropKind { kFailed, kDroppedAppeal };
+  void DropBatchTerminal(const MicroBatch& batch, DropKind kind);
+  /// Invokes options_.disposition_sink when set (no-op otherwise).
+  void EmitDisposition(const BatchDisposition& d);
   /// Supervisor callbacks.
   void RedriveBatch(MicroBatch&& batch);
   void RestartWorker(size_t worker_index);
@@ -494,6 +564,10 @@ class AssignmentService {
   // is failed terminally, modeling a dead process.
   std::atomic<bool> killed_{false};
   RestoreInfo restore_info_;
+  // Replay reconciliation log (populated under record_replay_log; written
+  // only during Start()'s single-threaded restore, read-only afterwards).
+  std::vector<BatchDisposition> replay_log_;
+  std::vector<std::pair<uint64_t, double>> replayed_day_closes_;
 
   // --- Concurrent state ---
   ShardedBrokerStore store_;

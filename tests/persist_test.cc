@@ -636,6 +636,59 @@ TEST(CrashRecoveryTest, CorruptCheckpointAndTornWalStillRecover) {
   EXPECT_EQ(resumed.replica_state, expected.replica_state);
 }
 
+TEST(CrashRecoveryTest, WalChainReplayCrossesDayBoundary) {
+  sim::DatasetConfig cfg = RecoveryConfig();
+  RunLedger expected = UninterruptedBaseline(cfg);
+
+  std::string dir = TempDirFor("day_boundary_recover");
+  std::vector<double> before_kill = RunUntilKilled(cfg, dir, 27);
+  ASSERT_EQ(before_kill.size(), 1u);
+
+  // Corrupt the two newest checkpoints so restore falls back behind the
+  // day-0 close. The chain walk must then cross the day boundary: wal-6
+  // ends with kDayClose(0); wal-7 opens day 1 and holds its first four
+  // batches; wal-8 holds the rest. The day-open record sits in a
+  // different WAL file than the batches under the corrupt ckpt-8, so a
+  // replayer that only reads the newest checkpoint's own WAL would come
+  // up with the day cursor wrong.
+  persist::CheckpointManager mgr(dir, 3, false);
+  std::vector<uint64_t> seqs = mgr.ListSeqs();
+  ASSERT_GE(seqs.size(), 3u);
+  CorruptByteAt(mgr.CheckpointPath(seqs[seqs.size() - 1]), 40);
+  CorruptByteAt(mgr.CheckpointPath(seqs[seqs.size() - 2]), 40);
+
+  obs::ScopedTelemetry telemetry;
+  auto service = serve::AssignmentService::Create(cfg, RecoveryFactory(cfg),
+                                                  RecoveryServeOptions(dir, 0));
+  ASSERT_TRUE(service.ok());
+  ASSERT_TRUE((*service)->Start().ok()) << "day-boundary restart failed";
+
+  obs::MetricRegistry& registry = obs::ActiveRegistry();
+  EXPECT_GE(registry.GetCounter("persist.checkpoint_load_failures").value(),
+            2u);
+
+  const serve::RestoreInfo& info = (*service)->restore_info();
+  ASSERT_TRUE(info.restored);
+  EXPECT_EQ(info.day, 1u);
+  EXPECT_TRUE(info.day_open);
+  EXPECT_EQ(info.batches_committed_today, 7u);
+  // The replay re-ran day 1's seven batches from the pre-close anchor.
+  EXPECT_GE(info.replayed_batches, 7u);
+
+  RunLedger resumed;
+  Status st = DriveToEnd(service->get(), info.day,
+                         info.batches_committed_today, info.day_open,
+                         &resumed);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  (*service)->Shutdown();
+
+  ASSERT_EQ(resumed.daily_utility.size(), 2u);
+  EXPECT_DOUBLE_EQ(resumed.daily_utility[0], expected.daily_utility[1]);
+  EXPECT_DOUBLE_EQ(resumed.daily_utility[1], expected.daily_utility[2]);
+  EXPECT_EQ(resumed.platform_state, expected.platform_state);
+  EXPECT_EQ(resumed.replica_state, expected.replica_state);
+}
+
 TEST(CrashRecoveryTest, DisabledPersistenceKeepsServePathUnchanged) {
   // checkpoint_dir empty: no manager, no WAL, restore_info stays default,
   // MaybeCheckpoint is a no-op and Checkpoint refuses.
