@@ -19,8 +19,8 @@ struct CityMeasurement {
 };
 
 Result<CityMeasurement> Measure(char city, double scale) {
-  LACB_ASSIGN_OR_RETURN(sim::DatasetConfig preset, sim::CityPreset(city));
-  sim::DatasetConfig data = sim::ScaleDown(preset, scale);
+  LACB_ASSIGN_OR_RETURN(sim::DatasetConfig data,
+                        bench::MotivationCity(city, scale));
   CityMeasurement out;
   out.name = data.name;
 

@@ -29,12 +29,10 @@ struct BrokerTrace {
 Status Run() {
   bench::PrintHeader(
       "Fig. 3", "per-broker sign-up vs workload (KDE), top brokers, City A");
-  LACB_ASSIGN_OR_RETURN(sim::DatasetConfig preset, sim::CityPreset('A'));
   // The motivation study covers ~92 days (June 1 - Aug 31), not Table IV's
-  // 21; extend the horizon and request volume proportionally.
-  preset.num_days = 92;
-  preset.num_requests = preset.num_requests * 92 / 21;
-  sim::DatasetConfig data = sim::ScaleDown(preset, 0.12);  // cheap policies only: afford a bigger cohort
+  // 21. Cheap policies only, so a bigger cohort (0.12) is affordable.
+  LACB_ASSIGN_OR_RETURN(sim::DatasetConfig data,
+                        bench::MotivationCity('A', 0.12, /*days=*/92));
   LACB_ASSIGN_OR_RETURN(sim::Platform platform, sim::Platform::Create(data));
   policy::TopKPolicy top3(3, data.seed + 5);
   policy::RandomizedRecommendationPolicy rr(data.seed + 6);

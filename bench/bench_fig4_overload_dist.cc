@@ -16,8 +16,8 @@ Status Run() {
                      "workload distribution of top brokers under Top-3");
   bool all_ok = true;
   for (char city : {'A', 'B'}) {
-    LACB_ASSIGN_OR_RETURN(sim::DatasetConfig preset, sim::CityPreset(city));
-    sim::DatasetConfig data = sim::ScaleDown(preset, 0.05);
+    LACB_ASSIGN_OR_RETURN(sim::DatasetConfig data,
+                          bench::MotivationCity(city, 0.05));
     policy::TopKPolicy top3(3, data.seed + 5);
     LACB_ASSIGN_OR_RETURN(core::PolicyRunResult run,
                           core::RunPolicy(data, &top3));

@@ -47,6 +47,21 @@ inline Result<sim::DatasetConfig> ScaledCity(char city, size_t days) {
   return sim::ScaleDown(preset, scale);
 }
 
+/// \brief Motivation-study city instance (the Fig. 2–4 drivers): the city
+/// preset scaled by an explicit factor, with an optional horizon override.
+/// `days` = 0 keeps Table IV's horizon; otherwise the horizon is replaced
+/// and the request volume extended proportionally *before* scaling, so the
+/// per-day operating regime is unchanged.
+inline Result<sim::DatasetConfig> MotivationCity(char city, double scale,
+                                                 size_t days = 0) {
+  LACB_ASSIGN_OR_RETURN(sim::DatasetConfig preset, sim::CityPreset(city));
+  if (days != 0) {
+    preset.num_requests = preset.num_requests * days / preset.num_days;
+    preset.num_days = days;
+  }
+  return sim::ScaleDown(preset, scale);
+}
+
 /// \brief Runs a policy suite over a dataset, printing progress.
 inline Result<std::vector<core::PolicyRunResult>> RunSuite(
     const sim::DatasetConfig& data, const core::PolicySuiteConfig& suite) {

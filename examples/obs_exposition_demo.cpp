@@ -11,6 +11,9 @@
 //      ui.perfetto.dev to see request flows hop across threads,
 //   3. a TimeSeriesSampler ticking queue/carryover depth on a wall-clock
 //      cadence, written as obs_demo_series.jsonl.
+//
+// Both files land in the build directory (LACB_OBS_DEMO_OUTPUT_DIR, set
+// by examples/CMakeLists.txt), not the working directory.
 
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -48,6 +51,10 @@ std::string HttpGet(int port, const std::string& path) {
   ::close(fd);
   return response;
 }
+
+#ifndef LACB_OBS_DEMO_OUTPUT_DIR
+#define LACB_OBS_DEMO_OUTPUT_DIR "."
+#endif
 
 }  // namespace
 
@@ -136,23 +143,26 @@ int main() {
             << stats.batches << " batches; exposition answered "
             << "1 scrape during the run\n";
 
-  if (auto s = obs::WriteChromeTrace(recorder, "obs_demo_trace.json",
+  const std::string out_dir = LACB_OBS_DEMO_OUTPUT_DIR;
+  const std::string trace_path = out_dir + "/obs_demo_trace.json";
+  if (auto s = obs::WriteChromeTrace(recorder, trace_path,
                                      "obs_exposition_demo");
       !s.ok()) {
     std::cerr << s << "\n";
     return 1;
   }
   obs::TraceSnapshot snap = recorder.Snapshot();
-  std::cout << "wrote obs_demo_trace.json: " << snap.events.size()
+  std::cout << "wrote " << trace_path << ": " << snap.events.size()
             << " events across " << snap.threads
             << " threads (open in chrome://tracing or ui.perfetto.dev)\n";
 
+  const std::string series_path = out_dir + "/obs_demo_series.jsonl";
   const obs::TimeSeries& series = sampler.Series();
-  if (auto s = series.WriteJsonl("obs_demo_series.jsonl"); !s.ok()) {
+  if (auto s = series.WriteJsonl(series_path); !s.ok()) {
     std::cerr << s << "\n";
     return 1;
   }
-  std::cout << "wrote obs_demo_series.jsonl: " << series.points.size()
+  std::cout << "wrote " << series_path << ": " << series.points.size()
             << " samples of " << sampler_opts.instruments.size()
             << " instruments\n";
   return 0;

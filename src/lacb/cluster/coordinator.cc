@@ -882,6 +882,28 @@ Status Coordinator::KillShard(uint64_t shard_id, bool sigstop) {
   return Status::OK();
 }
 
+Status Coordinator::InjectChurn(uint64_t range,
+                                const scenario::ChurnEvent& event) {
+  uint64_t owner = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = ranges_.find(range);
+    if (it == ranges_.end()) return Status::NotFound("no such range");
+    RangeState* state = &it->second;
+    LACB_RETURN_NOT_OK(WaitLocked(
+        &lock, [state] { return state->serving; }, "churn target serving"));
+    owner = state->owner;
+  }
+  ChurnMsg msg;
+  msg.range = range;
+  msg.day = event.day;
+  msg.batch_offset = event.batch_offset;
+  msg.broker = event.broker;
+  msg.kind = static_cast<uint8_t>(event.kind);
+  msg.cold_capacity = event.cold_capacity;
+  return SendToShard(owner, MessageType::kChurnEvent, EncodeChurnMsg(msg));
+}
+
 Result<StateDump> Coordinator::FetchState(uint64_t range) {
   uint64_t owner = 0;
   {

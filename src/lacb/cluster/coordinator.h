@@ -153,6 +153,13 @@ class Coordinator {
   /// deadline instead of the socket EOF) shard `shard_id`.
   Status KillShard(uint64_t shard_id, bool sigstop);
 
+  /// \brief Routes one scenario churn event to the shard owning `range`
+  /// (the broker index is range-local — each range hosts its own roster
+  /// slice). Control-plane only: the event mutates the owner's live day
+  /// but is not WAL-journaled, so a failover between the event and its
+  /// day close adopts the range without it (docs/scenarios.md).
+  Status InjectChurn(uint64_t range, const scenario::ChurnEvent& event);
+
   /// \brief Batches scheduled per day in the fleet (max over ranges; short
   /// ranges simply skip indices past their schedule).
   size_t BatchesPerDay() const;

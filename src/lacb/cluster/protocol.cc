@@ -279,6 +279,29 @@ Result<StateDump> DecodeStateDump(const std::string& payload) {
   return m;
 }
 
+std::string EncodeChurnMsg(const ChurnMsg& m) {
+  persist::ByteWriter w;
+  w.U64(m.range);
+  w.U64(m.day);
+  w.U64(m.batch_offset);
+  w.U64(m.broker);
+  w.U8(m.kind);
+  w.F64(m.cold_capacity);
+  return w.Release();
+}
+
+Result<ChurnMsg> DecodeChurnMsg(const std::string& payload) {
+  persist::ByteReader r(payload);
+  ChurnMsg m;
+  LACB_ASSIGN_OR_RETURN(m.range, r.U64());
+  LACB_ASSIGN_OR_RETURN(m.day, r.U64());
+  LACB_ASSIGN_OR_RETURN(m.batch_offset, r.U64());
+  LACB_ASSIGN_OR_RETURN(m.broker, r.U64());
+  LACB_ASSIGN_OR_RETURN(m.kind, r.U8());
+  LACB_ASSIGN_OR_RETURN(m.cold_capacity, r.F64());
+  return m;
+}
+
 std::string EncodePair(uint64_t a, uint64_t b) {
   persist::ByteWriter w;
   w.U64(a);

@@ -41,6 +41,7 @@ enum class MessageType : uint8_t {
   kCloseDay = 24,      ///< range, day.
   kRequestState = 25,  ///< range — reply with kStateDump.
   kShutdown = 26,      ///< drain + shut down every range, then ack.
+  kChurnEvent = 27,    ///< range, scenario churn event (ChurnMsg).
 };
 
 /// \brief kHello payload.
@@ -115,6 +116,21 @@ struct ShipBytes {
   std::string bytes;
 };
 
+/// \brief kChurnEvent payload: one scenario churn event routed to the
+/// shard owning `range`. The broker index is range-local (the coordinator
+/// maps the global broker through its hash ring before sending). A
+/// control-plane injection — applied to the live day, not WAL-journaled;
+/// a shard failover between the event and its day close loses it
+/// (docs/scenarios.md, "Cluster churn").
+struct ChurnMsg {
+  uint64_t range = 0;
+  uint64_t day = 0;
+  uint64_t batch_offset = 0;
+  uint64_t broker = 0;
+  uint8_t kind = 0;  ///< scenario::ChurnKind underlying value.
+  double cold_capacity = 0.0;
+};
+
 /// \brief kStateDump payload.
 struct StateDump {
   uint64_t range = 0;
@@ -148,6 +164,9 @@ Result<ShipBytes> DecodeShipBytes(const std::string& payload);
 
 std::string EncodeStateDump(const StateDump& m);
 Result<StateDump> DecodeStateDump(const std::string& payload);
+
+std::string EncodeChurnMsg(const ChurnMsg& m);
+Result<ChurnMsg> DecodeChurnMsg(const std::string& payload);
 
 /// \brief (range, day) pair used by kOpenDay / kCloseDay; kHeartbeat and
 /// kShutdownAck reuse it as (shard_id, state) / (shard_id, 0); kRequestState

@@ -208,6 +208,22 @@ Status ShardServer::HandleCloseDay(const std::string& payload) {
   return Status::OK();
 }
 
+Status ShardServer::HandleChurnEvent(const std::string& payload) {
+  LACB_ASSIGN_OR_RETURN(ChurnMsg msg, DecodeChurnMsg(payload));
+  RangeRuntime* rt = FindRange(msg.range);
+  if (rt == nullptr) {
+    return Status::NotFound("kChurnEvent for unhosted range " +
+                            std::to_string(msg.range));
+  }
+  scenario::ChurnEvent event;
+  event.day = msg.day;
+  event.batch_offset = msg.batch_offset;
+  event.broker = msg.broker;
+  event.kind = static_cast<scenario::ChurnKind>(msg.kind);
+  event.cold_capacity = msg.cold_capacity;
+  return rt->service->ApplyChurn(event);
+}
+
 Status ShardServer::HandleRequestState(const std::string& payload) {
   LACB_ASSIGN_OR_RETURN(auto pair, DecodePair(payload));
   RangeRuntime* rt = FindRange(pair.first);
@@ -271,6 +287,9 @@ Status ShardServer::Run() {
         break;
       case MessageType::kCloseDay:
         s = HandleCloseDay(frame->payload);
+        break;
+      case MessageType::kChurnEvent:
+        s = HandleChurnEvent(frame->payload);
         break;
       case MessageType::kRequestState:
         s = HandleRequestState(frame->payload);

@@ -67,6 +67,7 @@ class ShardServer {
   Status HandleOpenDay(const std::string& payload);
   Status HandleSubmitBatch(const std::string& payload);
   Status HandleCloseDay(const std::string& payload);
+  Status HandleChurnEvent(const std::string& payload);
   Status HandleRequestState(const std::string& payload);
   Status HandleShutdown();
 

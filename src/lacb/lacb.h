@@ -40,6 +40,7 @@
 #include "lacb/matching/hopcroft_karp.h"
 #include "lacb/matching/min_cost_flow.h"
 #include "lacb/matching/selection.h"
+#include "lacb/matching/two_sided.h"
 #include "lacb/nn/mlp.h"
 #include "lacb/nn/optimizer.h"
 #include "lacb/obs/obs.h"
@@ -51,6 +52,9 @@
 #include "lacb/policy/lacb_policy.h"
 #include "lacb/policy/recommendation.h"
 #include "lacb/policy/value_function.h"
+#include "lacb/scenario/engine.h"
+#include "lacb/scenario/runner.h"
+#include "lacb/scenario/spec.h"
 #include "lacb/serve/serve.h"
 #include "lacb/sim/broker.h"
 #include "lacb/sim/dataset.h"

@@ -1,0 +1,96 @@
+// Two-sided capacitated batch matching (docs/scenarios.md).
+//
+// The one-sided pipeline constrains only the broker side: each request
+// takes at most one broker, each broker a bounded daily workload. Xu's
+// two-sided capacitated gig-platform formulation (PAPERS.md) adds a
+// *request side* of constraints: request i carries a matching limit
+// ℓ_i (it may engage up to ℓ_i distinct brokers in the batch) and a
+// budget B_i; broker b carries an engagement cost c_b, and the edge
+// set matched to i must satisfy Σ c_b ≤ B_i. Brokers stay unit-capacity
+// within the batch (each broker engages at most one request — the
+// batch-level analogue of the worker side in the gig formulation; daily
+// broker capacity is still enforced downstream by the usual workload
+// accounting).
+//
+// Both backends solve the b-matching relaxation (limits + eligibility
+// c_b ≤ B_i, dropping the knapsack coupling) and then apply the same
+// deterministic budget truncation: per request, keep matched brokers in
+// (utility desc, broker asc) order while the cumulative cost fits the
+// budget. The result is always feasible (CheckTwoSidedFeasible gates it
+// in tests against a brute-force oracle); when budgets are slack the
+// exact backend's relaxation is tight and matches the oracle.
+//
+//   * TwoSidedExact  — row expansion (request i becomes ℓ_i rows) into
+//     the Jonker–Volgenant KM with per-row skip columns
+//     (MaxWeightAssignmentAllowSkip accepts rows > cols because the
+//     augmented matrix always has n extra skip columns).
+//   * TwoSidedApprox — the transposed b-Suitor: brokers are the
+//     degree-≤1 rows, requests the capacity-ℓ_i columns, ineligible
+//     edges are NaN (missing). Deterministic at any thread count.
+
+#ifndef LACB_MATCHING_TWO_SIDED_H_
+#define LACB_MATCHING_TWO_SIDED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lacb/common/result.h"
+#include "lacb/la/matrix.h"
+#include "lacb/matching/solve_stats.h"
+
+namespace lacb::matching {
+
+/// \brief Request-side constraints of one batch. Sizes must match the
+/// weight matrix: budgets/limits per row (request), costs per column
+/// (broker).
+struct TwoSidedParams {
+  /// B_i: maximum total broker cost request i may engage.
+  std::vector<double> budgets;
+  /// ℓ_i ≥ 1: maximum number of distinct brokers for request i.
+  std::vector<int64_t> limits;
+  /// c_b ≥ 0: cost a broker charges any request that engages it.
+  std::vector<double> costs;
+};
+
+/// \brief A two-sided matching: per request, the engaged brokers.
+struct TwoSidedAssignment {
+  /// brokers_of_row[i] = broker columns engaged by request i, sorted
+  /// ascending; empty when unmatched.
+  std::vector<std::vector<int64_t>> brokers_of_row;
+  /// Σ utility over all kept edges.
+  double total_weight = 0.0;
+  /// Edges dropped by the budget-truncation pass (relaxation edges that
+  /// did not fit the knapsack).
+  size_t truncated_edges = 0;
+};
+
+/// \brief Shape/value validation shared by every entry point.
+Status ValidateTwoSidedParams(const la::Matrix& weights,
+                              const TwoSidedParams& params);
+
+/// \brief Exact-relaxation backend (KM with row expansion + skip).
+Result<TwoSidedAssignment> TwoSidedExact(const la::Matrix& weights,
+                                         const TwoSidedParams& params,
+                                         SolveStats* stats = nullptr);
+
+/// \brief Approximate backend (transposed parallel b-Suitor).
+Result<TwoSidedAssignment> TwoSidedApprox(const la::Matrix& weights,
+                                          const TwoSidedParams& params,
+                                          size_t num_threads = 1,
+                                          SolveStats* stats = nullptr);
+
+/// \brief Feasibility oracle: every engaged broker distinct across the
+/// whole matching, per-request |edges| ≤ ℓ_i and Σ c ≤ B_i, every edge
+/// eligible. Returns InvalidArgument naming the first violation.
+Status CheckTwoSidedFeasible(const la::Matrix& weights,
+                             const TwoSidedParams& params,
+                             const TwoSidedAssignment& assignment);
+
+/// \brief Exhaustive test oracle over all broker→request maps (includes
+/// the budget knapsack, unlike the backends' relaxation). Columns ≤ 8.
+Result<TwoSidedAssignment> BruteForceTwoSided(const la::Matrix& weights,
+                                              const TwoSidedParams& params);
+
+}  // namespace lacb::matching
+
+#endif  // LACB_MATCHING_TWO_SIDED_H_

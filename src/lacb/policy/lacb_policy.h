@@ -72,6 +72,18 @@ class LacbPolicy : public AssignmentPolicy {
   /// \brief Today's capacity estimate per broker (after BeginDay).
   const std::vector<double>& capacities() const { return capacity_; }
 
+  /// \brief Replaces today's capacity estimate for one broker (valid
+  /// after BeginDay). The scenario engine uses this to install the
+  /// cold-start prior on a broker's join day; from the next day on the
+  /// bandit estimate takes over again (docs/scenarios.md).
+  Status OverrideCapacity(size_t broker, double capacity) {
+    if (broker >= capacity_.size()) {
+      return Status::OutOfRange("capacity override: unknown broker");
+    }
+    capacity_[broker] = capacity;
+    return Status::OK();
+  }
+
   /// \brief Fraction of past days broker b exhausted its capacity (f_b).
   double CapacityHitFrequency(size_t broker) const;
 

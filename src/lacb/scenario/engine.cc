@@ -1,0 +1,297 @@
+#include "lacb/scenario/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "lacb/common/rng.h"
+
+namespace lacb::scenario {
+namespace {
+
+// SplitMix64 finalizer: the stateless hash behind every per-entity draw
+// (broker costs, request limits), so constraints depend on identity, not
+// on iteration or batch order.
+uint64_t Mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double HashUnit(uint64_t seed, uint64_t tag, uint64_t x) {
+  uint64_t h = Mix64(seed ^ Mix64(tag ^ Mix64(x)));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+}
+
+// Minimum / maximum broker engagement cost (HashUnit maps into this
+// band); budgets interpolate against these bounds.
+constexpr double kMinCost = 0.5;
+constexpr double kMaxCost = 1.5;
+
+}  // namespace
+
+Result<CompiledScenario> CompiledScenario::Compile(
+    const ScenarioSpec& spec, const sim::DatasetConfig& config) {
+  LACB_RETURN_NOT_OK(spec.Validate());
+  CompiledScenario out;
+  out.spec_ = spec;
+
+  std::vector<double> caps = config.capacity_candidates;
+  if (caps.empty()) {
+    return Status::InvalidArgument(
+        "scenario compilation needs capacity candidates");
+  }
+  std::sort(caps.begin(), caps.end());
+  out.median_capacity_ = caps[caps.size() / 2];
+
+  if (!spec.arrivals.diurnal.empty()) {
+    double sum = 0.0;
+    for (double w : spec.arrivals.diurnal) sum += w;
+    out.diurnal_mean_ = sum / static_cast<double>(spec.arrivals.diurnal.size());
+  }
+
+  const size_t n = config.num_brokers;
+  const size_t days = config.num_days;
+  const size_t batches_per_day = config.BatchesPerDay();
+
+  // Scripted events: validate against roster and horizon.
+  for (const ChurnEvent& ev : spec.churn) {
+    if (ev.broker >= n) {
+      return Status::InvalidArgument("scripted churn broker out of range");
+    }
+    if (ev.day >= days) {
+      return Status::InvalidArgument("scripted churn day past the horizon");
+    }
+    out.timeline_.push_back(ev);
+  }
+
+  // The join pool: the tail of the roster index range is reserved
+  // initially inactive. Stochastic joins consume it front to back.
+  size_t pool_size = static_cast<size_t>(
+      std::floor(spec.stochastic.join_pool_fraction * static_cast<double>(n)));
+  size_t pool_begin = n - pool_size;
+  std::vector<size_t> pool;
+  for (size_t b = pool_begin; b < n; ++b) pool.push_back(b);
+
+  // Stochastic expansion: one forked stream per concern so adding a rate
+  // never shifts another's draws.
+  if (!spec.stochastic.Empty()) {
+    Rng base(spec.seed);
+    Rng join_rng = base.Fork(1);
+    Rng leave_rng = base.Fork(2);
+    Rng fail_rng = base.Fork(3);
+    size_t next_join = 0;
+    for (size_t day = 0; day < days; ++day) {
+      int64_t joins = spec.stochastic.join_rate > 0.0
+                          ? join_rng.Poisson(spec.stochastic.join_rate)
+                          : 0;
+      for (int64_t k = 0; k < joins && next_join < pool.size(); ++k) {
+        ChurnEvent ev;
+        ev.day = day;
+        ev.batch_offset = static_cast<size_t>(join_rng.UniformInt(
+            0, static_cast<int64_t>(batches_per_day) - 1));
+        ev.broker = pool[next_join++];
+        ev.kind = ChurnKind::kJoin;
+        out.timeline_.push_back(ev);
+      }
+      // Leaves and fails target the steady (non-pool) prefix; a repeat
+      // hit on an already-departed broker is a no-op at apply time.
+      int64_t leaves = spec.stochastic.leave_rate > 0.0
+                           ? leave_rng.Poisson(spec.stochastic.leave_rate)
+                           : 0;
+      for (int64_t k = 0; k < leaves && pool_begin > 0; ++k) {
+        ChurnEvent ev;
+        ev.day = day;
+        ev.batch_offset = static_cast<size_t>(leave_rng.UniformInt(
+            0, static_cast<int64_t>(batches_per_day) - 1));
+        ev.broker = static_cast<size_t>(leave_rng.UniformInt(
+            0, static_cast<int64_t>(pool_begin) - 1));
+        ev.kind = ChurnKind::kLeave;
+        out.timeline_.push_back(ev);
+      }
+      int64_t fails = spec.stochastic.fail_rate > 0.0
+                          ? fail_rng.Poisson(spec.stochastic.fail_rate)
+                          : 0;
+      for (int64_t k = 0; k < fails && pool_begin > 0; ++k) {
+        ChurnEvent ev;
+        ev.day = day;
+        ev.batch_offset = static_cast<size_t>(fail_rng.UniformInt(
+            0, static_cast<int64_t>(batches_per_day) - 1));
+        ev.broker = static_cast<size_t>(fail_rng.UniformInt(
+            0, static_cast<int64_t>(pool_begin) - 1));
+        ev.kind = ChurnKind::kFail;
+        out.timeline_.push_back(ev);
+      }
+    }
+  }
+
+  std::stable_sort(out.timeline_.begin(), out.timeline_.end(),
+                   [](const ChurnEvent& a, const ChurnEvent& b) {
+                     if (a.day != b.day) return a.day < b.day;
+                     if (a.batch_offset != b.batch_offset) {
+                       return a.batch_offset < b.batch_offset;
+                     }
+                     return a.broker < b.broker;
+                   });
+
+  // Initially inactive: the whole join pool plus every scripted joiner.
+  std::vector<uint8_t> inactive(n, 0);
+  for (size_t b : pool) inactive[b] = 1;
+  for (const ChurnEvent& ev : out.timeline_) {
+    if (ev.kind == ChurnKind::kJoin) inactive[ev.broker] = 1;
+  }
+  for (size_t b = 0; b < n; ++b) {
+    if (inactive[b]) out.initially_inactive_.push_back(b);
+  }
+  return out;
+}
+
+double CompiledScenario::ColdCapacity(const ChurnEvent& ev) const {
+  return ev.cold_capacity > 0.0 ? ev.cold_capacity : median_capacity_;
+}
+
+Result<std::vector<std::vector<std::vector<sim::Request>>>>
+CompiledScenario::ShapeSchedule(
+    const std::vector<std::vector<std::vector<sim::Request>>>& schedule)
+    const {
+  if (!HasArrivalShaping()) return schedule;
+  const ArrivalShape& ar = spec_.arrivals;
+
+  int64_t max_id = 0;
+  for (const auto& day : schedule) {
+    for (const auto& batch : day) {
+      for (const sim::Request& r : batch) max_id = std::max(max_id, r.id);
+    }
+  }
+  int64_t next_id = max_id + 1;
+
+  std::vector<std::vector<std::vector<sim::Request>>> out(schedule.size());
+  for (size_t day = 0; day < schedule.size(); ++day) {
+    // Flatten the day, then rescale its volume by the day-of-week factor.
+    std::vector<sim::Request> flat;
+    for (const auto& batch : schedule[day]) {
+      flat.insert(flat.end(), batch.begin(), batch.end());
+    }
+    size_t target = flat.size();
+    if (!ar.day_of_week.empty()) {
+      target = static_cast<size_t>(std::llround(
+          ar.day_of_week[day % 7] * static_cast<double>(flat.size())));
+    }
+    if (target < flat.size()) {
+      flat.resize(target);  // truncate the tail
+    } else if (target > flat.size() && !flat.empty()) {
+      // Cyclic cloning with fresh ids: clones keep the template's
+      // district/embedding/pickiness so the day's request mix is scaled,
+      // not resampled.
+      size_t original = flat.size();
+      for (size_t k = 0; flat.size() < target; ++k) {
+        sim::Request clone = flat[k % original];
+        clone.id = next_id++;
+        flat.push_back(clone);
+      }
+    }
+
+    // Redistribute into the same number of batches, weighted by the
+    // diurnal curve (uniform when flat).
+    size_t num_batches = std::max<size_t>(1, schedule[day].size());
+    std::vector<double> weights(num_batches, 1.0);
+    if (!ar.diurnal.empty()) {
+      for (size_t b = 0; b < num_batches; ++b) {
+        double frac = (static_cast<double>(b) + 0.5) /
+                      static_cast<double>(num_batches);
+        size_t slot = std::min(
+            ar.diurnal.size() - 1,
+            static_cast<size_t>(frac * static_cast<double>(ar.diurnal.size())));
+        weights[b] = ar.diurnal[slot];
+      }
+    } else {
+      // Volume scaling only: keep the original batch proportions.
+      for (size_t b = 0; b < num_batches; ++b) {
+        weights[b] = static_cast<double>(schedule[day][b].size()) + 1e-9;
+      }
+    }
+    double wsum = 0.0;
+    for (double w : weights) wsum += w;
+
+    std::vector<size_t> counts(num_batches, 0);
+    size_t assigned = 0;
+    for (size_t b = 0; b < num_batches; ++b) {
+      counts[b] = static_cast<size_t>(std::floor(
+          static_cast<double>(flat.size()) * weights[b] / wsum));
+      assigned += counts[b];
+    }
+    // Distribute the rounding remainder front to back.
+    for (size_t b = 0; assigned < flat.size(); b = (b + 1) % num_batches) {
+      ++counts[b];
+      ++assigned;
+    }
+
+    out[day].resize(num_batches);
+    size_t cursor = 0;
+    for (size_t b = 0; b < num_batches; ++b) {
+      for (size_t k = 0; k < counts[b]; ++k) {
+        sim::Request r = flat[cursor++];
+        r.day = day;
+        r.batch = b;
+        out[day][b].push_back(std::move(r));
+      }
+    }
+  }
+  return out;
+}
+
+double CompiledScenario::PacingMultiplier(size_t day, size_t index,
+                                          size_t total) const {
+  double m = 1.0;
+  const ArrivalShape& ar = spec_.arrivals;
+  double frac = total == 0 ? 0.0
+                           : static_cast<double>(index) /
+                                 static_cast<double>(std::max<size_t>(1, total));
+  if (!ar.diurnal.empty()) {
+    size_t slot = std::min(
+        ar.diurnal.size() - 1,
+        static_cast<size_t>(frac * static_cast<double>(ar.diurnal.size())));
+    m *= ar.diurnal[slot] / diurnal_mean_;
+  }
+  if (!ar.day_of_week.empty()) m *= ar.day_of_week[day % 7];
+  for (const FlashWindow& fw : ar.flash) {
+    if (fw.period > 0 && day % fw.period != fw.phase) continue;
+    if (frac >= fw.start_fraction &&
+        frac < fw.start_fraction + fw.length_fraction) {
+      m *= fw.multiplier;
+    }
+  }
+  return m;
+}
+
+Result<matching::TwoSidedParams> CompiledScenario::DeriveTwoSided(
+    const std::vector<sim::Request>& requests, size_t num_brokers) const {
+  if (!spec_.two_sided.enabled) {
+    return Status::FailedPrecondition("two-sided mode is not enabled");
+  }
+  const TwoSidedSpec& ts = spec_.two_sided;
+  matching::TwoSidedParams params;
+  params.costs.resize(num_brokers);
+  for (size_t b = 0; b < num_brokers; ++b) {
+    params.costs[b] =
+        kMinCost + (kMaxCost - kMinCost) * HashUnit(spec_.seed, 0xc057, b);
+  }
+  params.limits.resize(requests.size());
+  params.budgets.resize(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    uint64_t id = static_cast<uint64_t>(requests[i].id);
+    int64_t limit =
+        1 + static_cast<int64_t>(HashUnit(spec_.seed, 0x11417, id) *
+                                 static_cast<double>(ts.max_limit));
+    limit = std::min(limit, ts.max_limit);
+    params.limits[i] = limit;
+    // tightness 0: budget covers `limit` brokers at maximum cost (the
+    // knapsack never binds); tightness → 1: only the cheapest single
+    // engagement fits.
+    double slack = static_cast<double>(limit) * kMaxCost;
+    params.budgets[i] = kMinCost + (slack - kMinCost) * (1.0 - ts.tightness);
+  }
+  return params;
+}
+
+}  // namespace lacb::scenario

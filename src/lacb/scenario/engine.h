@@ -1,0 +1,102 @@
+// CompiledScenario: a ScenarioSpec bound to a concrete dataset.
+//
+// Compilation is where every stochastic element of a spec is resolved,
+// deterministically, from the spec seed alone:
+//
+//   * stochastic churn rates expand into a concrete, sorted event
+//     timeline (Poisson counts per day, uniform batch offsets, targets
+//     drawn from the steady roster / the reserved join pool);
+//   * scripted events are validated against the roster and horizon and
+//     merged into the same timeline;
+//   * the initially-inactive set (join pool + scripted joiners) is
+//     fixed, so a joining broker occupies a roster slot that existed —
+//     dormant — from day zero (arrays never resize mid-run).
+//
+// The compiled object is immutable and shareable: the offline runner,
+// the serving layer (ServeOptions::scenario), the load generators, and
+// the cluster driver all read the same instance.
+
+#ifndef LACB_SCENARIO_ENGINE_H_
+#define LACB_SCENARIO_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lacb/common/result.h"
+#include "lacb/matching/two_sided.h"
+#include "lacb/scenario/spec.h"
+#include "lacb/sim/dataset.h"
+#include "lacb/sim/request.h"
+
+namespace lacb::scenario {
+
+/// \brief Workload value shown to policies for churned-away brokers: far
+/// beyond any capacity estimate, so capacity-aware policies treat the
+/// broker as saturated and steer around it.
+inline constexpr double kInactiveWorkload = 1e18;
+
+/// \brief A spec resolved against a dataset configuration.
+class CompiledScenario {
+ public:
+  /// \brief Validates `spec` and expands all stochastic elements.
+  static Result<CompiledScenario> Compile(const ScenarioSpec& spec,
+                                          const sim::DatasetConfig& config);
+
+  const ScenarioSpec& spec() const { return spec_; }
+
+  /// \brief All churn events — scripted and expanded — sorted by
+  /// (day, batch_offset, broker).
+  const std::vector<ChurnEvent>& timeline() const { return timeline_; }
+
+  /// \brief Roster slots that start the run inactive (ascending).
+  const std::vector<size_t>& initially_inactive() const {
+    return initially_inactive_;
+  }
+
+  bool HasChurn() const {
+    return !timeline_.empty() || !initially_inactive_.empty();
+  }
+  bool HasArrivalShaping() const {
+    return !spec_.arrivals.day_of_week.empty() ||
+           !spec_.arrivals.diurnal.empty();
+  }
+
+  /// \brief Cold-start capacity prior of a join event: the event's
+  /// explicit value, or the dataset's median capacity candidate.
+  double ColdCapacity(const ChurnEvent& ev) const;
+
+  /// \brief Reshapes a generated request schedule: day-of-week scales
+  /// each day's volume (tail truncation / cyclic cloning with fresh
+  /// ids), diurnal reweights batch sizes within the day. Identity when
+  /// HasArrivalShaping() is false.
+  Result<std::vector<std::vector<std::vector<sim::Request>>>> ShapeSchedule(
+      const std::vector<std::vector<std::vector<sim::Request>>>& schedule)
+      const;
+
+  /// \brief Instantaneous pacing-rate multiplier for open-loop load
+  /// generation at position `index` of `total` within `day`: the
+  /// mean-normalized diurnal weight times every flash window active at
+  /// that point of that day. Returns 1.0 with no shaping.
+  double PacingMultiplier(size_t day, size_t index, size_t total) const;
+
+  /// \brief Pareto tail exponent for inter-arrival gaps (0 = exponential).
+  double ParetoShape() const { return spec_.arrivals.pareto_shape; }
+
+  /// \brief Derives the two-sided parameters of one batch: per-broker
+  /// costs and per-request limits/budgets hashed deterministically from
+  /// the spec seed (request identity, not batch position, so re-driven
+  /// batches see identical constraints).
+  Result<matching::TwoSidedParams> DeriveTwoSided(
+      const std::vector<sim::Request>& requests, size_t num_brokers) const;
+
+ private:
+  ScenarioSpec spec_;
+  std::vector<ChurnEvent> timeline_;
+  std::vector<size_t> initially_inactive_;
+  double median_capacity_ = 0.0;
+  double diurnal_mean_ = 1.0;
+};
+
+}  // namespace lacb::scenario
+
+#endif  // LACB_SCENARIO_ENGINE_H_

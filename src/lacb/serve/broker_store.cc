@@ -30,6 +30,20 @@ void ShardedBrokerStore::SetCapacities(const std::vector<double>& capacities) {
   }
 }
 
+void ShardedBrokerStore::SetBrokerCapacity(size_t broker, double capacity) {
+  if (broker >= slots_.size()) return;
+  std::lock_guard<std::mutex> lock(stripes_[StripeOf(broker)].mu);
+  slots_[broker].capacity = capacity;
+}
+
+void ShardedBrokerStore::RetireBroker(size_t broker) {
+  if (broker >= slots_.size()) return;
+  std::lock_guard<std::mutex> lock(stripes_[StripeOf(broker)].mu);
+  slots_[broker].capacity = 0.0;
+  slots_[broker].workload = 0.0;
+  slots_[broker].day_utility = 0.0;
+}
+
 void ShardedBrokerStore::SnapshotWorkloads(std::vector<double>* out) const {
   out->resize(slots_.size());
   for (size_t s = 0; s < num_stripes_; ++s) {

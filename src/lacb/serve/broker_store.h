@@ -60,6 +60,15 @@ class ShardedBrokerStore {
   /// extra/missing entries are ignored defensively).
   void SetCapacities(const std::vector<double>& capacities);
 
+  /// \brief Overwrites one broker's capacity estimate (scenario churn:
+  /// the cold-start prior of a freshly joined broker — docs/scenarios.md).
+  void SetBrokerCapacity(size_t broker, double capacity);
+
+  /// \brief Churn retirement of one broker: zeroes capacity, workload,
+  /// and day utility so the residual view stops offering it headroom.
+  /// Lifetime counters and feedback caches are kept.
+  void RetireBroker(size_t broker);
+
   /// \brief Copies every broker's current workload into `out` (resized).
   /// Stripe-consistent: each stripe is copied atomically.
   void SnapshotWorkloads(std::vector<double>* out) const;

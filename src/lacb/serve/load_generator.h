@@ -49,6 +49,11 @@ enum class LoadMode {
   kFlashCrowd,      ///< Open-loop arrivals at `flash_base_rate` with a
                     ///< contiguous burst window at a rate multiple —
                     ///< optionally heavy-tailed gaps (see pareto_shape).
+  kScenario,        ///< Open-loop arrivals at `flash_base_rate` modulated
+                    ///< by the compiled scenario's pacing curve (diurnal ×
+                    ///< day-of-week × flash windows) with the spec's
+                    ///< Pareto tail; requires ServeOptions::scenario
+                    ///< (docs/scenarios.md).
 };
 
 /// \brief Options of a served run.

@@ -11,6 +11,7 @@
 
 #include "lacb/common/rng.h"
 #include "lacb/common/stopwatch.h"
+#include "lacb/matching/assignment.h"
 #include "lacb/obs/context.h"
 #include "lacb/persist/serializers.h"
 #include "lacb/policy/lacb_policy.h"
@@ -188,6 +189,22 @@ Result<std::unique_ptr<AssignmentService>> AssignmentService::Create(
     return Status::InvalidArgument("AssignmentService requires >= 1 worker");
   }
   LACB_ASSIGN_OR_RETURN(sim::Platform platform, sim::Platform::Create(config));
+  if (options.scenario != nullptr) {
+    const scenario::CompiledScenario& sc = *options.scenario;
+    if (sc.spec().two_sided.enabled) {
+      return Status::InvalidArgument(
+          "two-sided scenario mode is offline-only (RunPolicyScenario); the "
+          "serve path commits one edge per request");
+    }
+    if (sc.HasArrivalShaping()) {
+      LACB_ASSIGN_OR_RETURN(auto shaped,
+                            sc.ShapeSchedule(platform.all_requests()));
+      LACB_RETURN_NOT_OK(platform.SetRequestSchedule(std::move(shaped)));
+    }
+    for (size_t b : sc.initially_inactive()) {
+      LACB_RETURN_NOT_OK(platform.SetBrokerActive(b, false));
+    }
+  }
   std::vector<std::unique_ptr<policy::AssignmentPolicy>> replicas;
   replicas.reserve(options.num_workers);
   for (size_t i = 0; i < options.num_workers; ++i) {
@@ -523,6 +540,35 @@ Status AssignmentService::DoOpenDay(size_t day, bool log_wal) {
       lacb != nullptr && !lacb->capacities().empty()) {
     store_.SetCapacities(lacb->capacities());
   }
+  if (options_.scenario != nullptr && options_.scenario->HasChurn()) {
+    std::lock_guard<std::mutex> lock(env_mu_);
+    const std::vector<scenario::ChurnEvent>& timeline =
+        options_.scenario->timeline();
+    // Skip events of earlier days without applying them: on a warm restart
+    // the activity mask already arrived inside the checkpointed platform,
+    // and replaying past churn on top of it would double-apply.
+    while (churn_cursor_ < timeline.size() &&
+           timeline[churn_cursor_].day < day) {
+      ++churn_cursor_;
+    }
+    // Day-open events (batch_offset 0) land before the first batch.
+    while (churn_cursor_ < timeline.size() &&
+           timeline[churn_cursor_].day == day &&
+           timeline[churn_cursor_].batch_offset == 0) {
+      bool applied = false;
+      LACB_RETURN_NOT_OK(
+          ApplyChurnEventLocked(timeline[churn_cursor_], &applied));
+      ++churn_cursor_;
+    }
+    // Sync the store to the platform's mask: the lead replica published
+    // capacity estimates for the whole roster above, including brokers
+    // that are currently churned away (initial mask or restored state).
+    if (platform_->AnyBrokerInactive()) {
+      for (size_t b = 0; b < platform_->num_brokers(); ++b) {
+        if (!platform_->BrokerActive(b)) store_.RetireBroker(b);
+      }
+    }
+  }
   current_day_.store(day, std::memory_order_release);
   batch_seq_.store(0, std::memory_order_release);
   commits_today_.store(0, std::memory_order_release);
@@ -614,6 +660,23 @@ Result<sim::DayOutcome> AssignmentService::DoCloseDay(bool log_wal) {
   sim::DayOutcome outcome;
   {
     std::lock_guard<std::mutex> lock(env_mu_);
+    if (options_.scenario != nullptr && options_.scenario->HasChurn()) {
+      // Day-tail churn (batch_offset at/after the day's last commit)
+      // still lands inside the open day, so fail-retirement can void the
+      // broker's in-flight edges before they realize utility.
+      const std::vector<scenario::ChurnEvent>& timeline =
+          options_.scenario->timeline();
+      size_t day = current_day_.load(std::memory_order_acquire);
+      while (churn_cursor_ < timeline.size() &&
+             timeline[churn_cursor_].day <= day) {
+        if (timeline[churn_cursor_].day == day) {
+          bool applied = false;
+          LACB_RETURN_NOT_OK(
+              ApplyChurnEventLocked(timeline[churn_cursor_], &applied));
+        }
+        ++churn_cursor_;
+      }
+    }
     if (log_wal && wal_ != nullptr) {
       // Redo logging: the close is journaled *before* it applies, so a
       // crash between the append and EndDay replays the close instead of
@@ -634,6 +697,76 @@ Result<sim::DayOutcome> AssignmentService::DoCloseDay(bool log_wal) {
   }
   day_open_.store(false, std::memory_order_release);
   return outcome;
+}
+
+Status AssignmentService::ApplyChurn(const scenario::ChurnEvent& event) {
+  if (!day_open_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("churn requires an open day");
+  }
+  std::lock_guard<std::mutex> lock(env_mu_);
+  bool applied = false;
+  return ApplyChurnEventLocked(event, &applied);
+}
+
+Status AssignmentService::ApplyChurnEventLocked(
+    const scenario::ChurnEvent& event, bool* applied) {
+  *applied = false;
+  if (event.broker >= platform_->num_brokers()) {
+    return Status::OutOfRange("churn event names an unknown broker");
+  }
+  switch (event.kind) {
+    case scenario::ChurnKind::kJoin: {
+      if (platform_->BrokerActive(event.broker)) return Status::OK();
+      LACB_RETURN_NOT_OK(platform_->SetBrokerActive(event.broker, true));
+      // Cold-start prior into the store only: replicas are mid-day hot
+      // (workers read them concurrently) and re-estimate at BeginDay.
+      double cold = options_.scenario != nullptr
+                        ? options_.scenario->ColdCapacity(event)
+                        : event.cold_capacity;
+      if (cold > 0.0) store_.SetBrokerCapacity(event.broker, cold);
+      break;
+    }
+    case scenario::ChurnKind::kLeave: {
+      if (!platform_->BrokerActive(event.broker)) return Status::OK();
+      LACB_RETURN_NOT_OK(platform_->SetBrokerActive(event.broker, false));
+      store_.RetireBroker(event.broker);
+      break;
+    }
+    case scenario::ChurnKind::kFail: {
+      if (!platform_->BrokerActive(event.broker)) return Status::OK();
+      LACB_RETURN_NOT_OK(platform_->SetBrokerActive(event.broker, false));
+      store_.RetireBroker(event.broker);
+      LACB_RETURN_NOT_OK(platform_->RetireBrokerDay(event.broker));
+      break;
+    }
+  }
+  *applied = true;
+  churn_events_.fetch_add(1, std::memory_order_relaxed);
+  if (recorder_ != nullptr) recorder_->Instant("serve.churn");
+  return Status::OK();
+}
+
+void AssignmentService::ApplyScenarioChurnDueLocked() {
+  if (options_.scenario == nullptr || !options_.scenario->HasChurn()) return;
+  const std::vector<scenario::ChurnEvent>& timeline =
+      options_.scenario->timeline();
+  size_t day = current_day_.load(std::memory_order_acquire);
+  uint64_t commits = commits_today_.load(std::memory_order_acquire);
+  while (churn_cursor_ < timeline.size()) {
+    const scenario::ChurnEvent& ev = timeline[churn_cursor_];
+    if (ev.day < day) {  // stale after a warm restart: already in the mask
+      ++churn_cursor_;
+      continue;
+    }
+    if (ev.day != day || ev.batch_offset > commits) break;
+    bool applied = false;
+    Status status = ApplyChurnEventLocked(ev, &applied);
+    if (!status.ok()) {
+      SetError(status);
+      return;
+    }
+    ++churn_cursor_;
+  }
 }
 
 void AssignmentService::Shutdown() {
@@ -829,6 +962,23 @@ Status AssignmentService::ProcessBatch(size_t worker_index, MicroBatch batch) {
   }
   std::vector<double> workloads;
   store_.SnapshotWorkloads(&workloads);
+  // Scenario churn steering: the policy sees churned-away brokers as
+  // saturated. The mask copy happens under env_mu_ (churn mutates it at
+  // commit boundaries); with several workers a batch may race the event
+  // one commit either way — the post-solve sanitization below is what
+  // guarantees no assignment ever lands on an inactive broker.
+  std::vector<uint8_t> active_mask;
+  const bool churning =
+      options_.scenario != nullptr && options_.scenario->HasChurn();
+  if (churning) {
+    std::lock_guard<std::mutex> lock(env_mu_);
+    active_mask = platform_->ActiveMaskCopy();
+  }
+  if (!active_mask.empty()) {
+    for (size_t b = 0; b < active_mask.size() && b < workloads.size(); ++b) {
+      if (active_mask[b] == 0) workloads[b] = scenario::kInactiveWorkload;
+    }
+  }
   la::Matrix utility;
   {
     LACB_TRACE_SPAN("serve.utility_matrix");
@@ -891,6 +1041,20 @@ Status AssignmentService::ProcessBatch(size_t worker_index, MicroBatch batch) {
     assignment = GreedyCapacityAssign(
         input, store_.ResidualCapacities(
                    std::numeric_limits<double>::infinity()));
+  }
+  // Sanitize before the commit (and before the WAL append inside it, so a
+  // replayed batch re-commits the already-sanitized assignment): an edge
+  // into an inactive broker becomes terminally unmatched. Catches both the
+  // steered policy solve and the greedy fallback — the fallback treats the
+  // retired broker's unknown capacity (0) as infinite residual.
+  if (!active_mask.empty()) {
+    for (int64_t& a : assignment) {
+      if (a >= 0 && static_cast<size_t>(a) < active_mask.size() &&
+          active_mask[static_cast<size_t>(a)] == 0) {
+        a = matching::kUnmatched;
+        churn_rejected_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
   }
   if (supervisor_ != nullptr) supervisor_->Beat(worker_index);
 
@@ -1102,6 +1266,10 @@ Status AssignmentService::CommitWithRetry(
           commits_applied_.fetch_add(1, std::memory_order_acq_rel);
           commits_since_ckpt_.fetch_add(1, std::memory_order_acq_rel);
           commits_today_.fetch_add(1, std::memory_order_acq_rel);
+          // Mid-day scenario churn lands at commit boundaries: an event
+          // with batch_offset k applies once k batches of its day have
+          // committed, atomically with the commit under env_mu_.
+          ApplyScenarioChurnDueLocked();
         }
         if (fault.action != FaultAction::kTransientErrorAfterApply) {
           *owner = TryClaimTerminalLocked(batch.token);
@@ -1799,6 +1967,10 @@ Status AssignmentService::ReplayWalRecords(
         if (!outcome.duplicate) {
           store_.CommitAccepted(outcome.accepted);
           commits_today_.fetch_add(1, std::memory_order_acq_rel);
+          // Replay advances the churn cursor at the same commit
+          // boundaries as the live run; events whose effect is already in
+          // the restored mask re-apply as no-ops (idempotent).
+          ApplyScenarioChurnDueLocked();
         }
         if (options_.record_replay_log) {
           // Re-derive the batch's disposition for coordinator
@@ -1891,6 +2063,8 @@ ServeStats AssignmentService::Stats() const {
   stats.worker_stalls = stall_counter_->value();
   stats.worker_crashes = crash_counter_->value();
   stats.worker_restarts = restart_counter_->value();
+  stats.churn_events = churn_events_.load(std::memory_order_relaxed);
+  stats.churn_rejected = churn_rejected_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats.assign_seconds = assign_seconds_;

@@ -71,6 +71,7 @@
 #include "lacb/obs/slo.h"
 #include "lacb/obs/trace.h"
 #include "lacb/policy/assignment_policy.h"
+#include "lacb/scenario/engine.h"
 #include "lacb/serve/broker_store.h"
 #include "lacb/serve/fault.h"
 #include "lacb/serve/micro_batcher.h"
@@ -265,6 +266,20 @@ struct ServeOptions {
   /// Predictive capacity observability: saturation horizons, queue-growth
   /// forecasts, burst/drift detectors. Default-off — see ForecastOptions.
   ForecastOptions forecasting;
+
+  // --- Dynamic scenarios (docs/scenarios.md) ---
+
+  /// Compiled scenario driving broker churn (and, via the load generator's
+  /// LoadMode::kScenario, arrival shaping). Null — the default — leaves the
+  /// serve path byte-identical to the pre-scenario build. Two-sided mode is
+  /// offline-only; a scenario with it enabled is rejected at Create().
+  /// Churn semantics: join/leave events flip the platform's activity mask
+  /// at their (day, batch_offset) boundary and sync the broker store (cold
+  /// capacity prior on join, retirement on leave); fail additionally voids
+  /// the broker's in-flight day. Policy replicas are never mutated mid-day
+  /// — they steer around inactive brokers via saturated workloads and pick
+  /// up roster changes at the next BeginDay.
+  std::shared_ptr<const scenario::CompiledScenario> scenario;
 };
 
 /// \brief What Start() recovered from durable state (all-default when
@@ -302,6 +317,10 @@ struct ServeStats {
   uint64_t worker_stalls = 0;     ///< Stall detections.
   uint64_t worker_crashes = 0;    ///< Crash detections.
   uint64_t worker_restarts = 0;   ///< Workers restarted after a crash.
+
+  // --- Scenario churn ledger ---
+  uint64_t churn_events = 0;    ///< Churn events applied (state-changing).
+  uint64_t churn_rejected = 0;  ///< Assignments voided: broker churned away.
 
   /// Aggregate solver introspection across all committed batches (zeroed
   /// unless ServeOptions::solver_introspection is on).
@@ -426,6 +445,13 @@ class AssignmentService {
 
   ServeStats Stats() const;
 
+  /// \brief Applies one churn event to the live service (requires an open
+  /// day). The scenario timeline applies automatically; this entry point
+  /// is for external injection — the cluster coordinator routes churn to
+  /// the owning shard through it. Events that would not change state
+  /// (joining an active broker, dropping an inactive one) are no-ops.
+  Status ApplyChurn(const scenario::ChurnEvent& event);
+
   /// \brief Recomputes every serve.forecast.* gauge from the live
   /// estimators at the current time. Called on each /metrics scrape;
   /// tests and benches may call it directly before reading a snapshot.
@@ -518,6 +544,18 @@ class AssignmentService {
   /// obs.timeline_dropped_events counter (called on scrape and shutdown).
   void SyncTimelineDrops();
 
+  /// Applies one churn event under env_mu_. `*applied` reports whether it
+  /// changed anything (idempotent: joining an active broker or dropping an
+  /// inactive one is a no-op). Policy replicas are not touched — the cold
+  /// capacity prior of a joiner goes into the broker store only, and
+  /// replicas re-sync at the next BeginDay.
+  Status ApplyChurnEventLocked(const scenario::ChurnEvent& event,
+                               bool* applied);
+  /// Advances the scenario churn cursor: applies every timeline event due
+  /// at or before the current commit count of the open day. Requires
+  /// env_mu_ held; no-op without a scenario.
+  void ApplyScenarioChurnDueLocked();
+
   /// Feeds the forecasting plane one batch-commit sample: arrival rate,
   /// queue depth, per-broker residuals, solve latency, shed fraction.
   /// No-op (not even a clock read) unless forecasting is enabled.
@@ -560,6 +598,11 @@ class AssignmentService {
   std::atomic<uint64_t> commits_applied_{0};
   std::atomic<uint64_t> commits_since_ckpt_{0};
   std::atomic<uint64_t> commits_today_{0};  // resets at DoOpenDay
+
+  // --- Scenario churn (timeline cursor guarded by env_mu_) ---
+  size_t churn_cursor_ = 0;
+  std::atomic<uint64_t> churn_events_{0};
+  std::atomic<uint64_t> churn_rejected_{0};
   // Set once by the injected process-kill trigger; afterwards every batch
   // is failed terminally, modeling a dead process.
   std::atomic<bool> killed_{false};

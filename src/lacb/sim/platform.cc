@@ -34,6 +34,53 @@ Result<Platform> Platform::Create(const DatasetConfig& config) {
                   std::move(um), rng.Fork(3));
 }
 
+Status Platform::SetRequestSchedule(
+    std::vector<std::vector<std::vector<Request>>> schedule) {
+  if (day_open_) {
+    return Status::FailedPrecondition(
+        "cannot replace the request schedule while a day is open");
+  }
+  if (schedule.size() != requests_.size()) {
+    return Status::InvalidArgument(
+        "replacement schedule must cover the same number of days");
+  }
+  requests_ = std::move(schedule);
+  return Status::OK();
+}
+
+Status Platform::SetBrokerActive(size_t b, bool active) {
+  if (b >= brokers_.size()) {
+    return Status::OutOfRange("broker index out of range");
+  }
+  if (active_.empty()) {
+    if (active) return Status::OK();  // already the default
+    active_.assign(brokers_.size(), 1);
+  }
+  active_[b] = active ? 1 : 0;
+  any_inactive_ = false;
+  for (uint8_t a : active_) {
+    if (a == 0) {
+      any_inactive_ = true;
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Status Platform::RetireBrokerDay(size_t b) {
+  if (!day_open_) return Status::FailedPrecondition("no day is open");
+  if (b >= brokers_.size()) {
+    return Status::OutOfRange("broker index out of range");
+  }
+  committed_.erase(
+      std::remove_if(committed_.begin(), committed_.end(),
+                     [b](const CommittedEdge& e) { return e.broker == b; }),
+      committed_.end());
+  workloads_today_[b] = 0.0;
+  brokers_[b].workload_today = 0.0;
+  return Status::OK();
+}
+
 Status Platform::StartDay(size_t day) {
   if (day_open_) {
     return Status::FailedPrecondition("previous day is still open");
@@ -341,6 +388,9 @@ Status Platform::SaveState(persist::ByteWriter* w) const {
     WriteWindowsState(w, b.profile.dialogue_rounds);
     WriteWindowsState(w, b.profile.app_consultations);
   }
+  // Churn activity mask (empty = every broker active, the default).
+  w->U64(active_.size());
+  for (uint8_t a : active_) w->Bool(a != 0);
   return Status::OK();
 }
 
@@ -377,6 +427,18 @@ Status Platform::LoadState(persist::ByteReader* r) {
     LACB_RETURN_NOT_OK(ReadWindowsState(r, &b.profile.transactions));
     LACB_RETURN_NOT_OK(ReadWindowsState(r, &b.profile.dialogue_rounds));
     LACB_RETURN_NOT_OK(ReadWindowsState(r, &b.profile.app_consultations));
+  }
+  LACB_ASSIGN_OR_RETURN(uint64_t mask_size, r->U64());
+  if (mask_size != 0 && mask_size != brokers_.size()) {
+    return Status::InvalidArgument("platform activity-mask size mismatch");
+  }
+  active_.clear();
+  any_inactive_ = false;
+  for (uint64_t i = 0; i < mask_size; ++i) {
+    LACB_ASSIGN_OR_RETURN(bool a, r->Bool());
+    if (active_.empty()) active_.assign(brokers_.size(), 1);
+    active_[i] = a ? 1 : 0;
+    if (!a) any_inactive_ = true;
   }
   // External days carry no internal batch schedule; clear it so a restored
   // mid-day platform matches the pre-crash one exactly.

@@ -90,6 +90,44 @@ class Platform {
     return requests_;
   }
 
+  /// \brief Replaces the generated request schedule (scenario arrival
+  /// shaping — docs/scenarios.md). The day count must match the generated
+  /// horizon and no day may be open. The ground-truth models and RNG are
+  /// untouched, so an identical schedule leaves every outcome bit-identical.
+  Status SetRequestSchedule(
+      std::vector<std::vector<std::vector<Request>>> schedule);
+
+  // --- Broker churn (docs/scenarios.md) ---------------------------------
+  //
+  // The roster is a fixed superset: brokers never get added or removed,
+  // they toggle an activity mask. The mask is bookkeeping the scenario
+  // layer enforces at solve time (inactive columns are steered away from
+  // and sanitized out of assignments before commit); the platform only
+  // stores it, persists it, and offers the fail-retirement primitive.
+
+  /// \brief Marks broker `b` active/inactive. The default (no call ever
+  /// made) keeps every broker active with zero bookkeeping.
+  Status SetBrokerActive(size_t b, bool active);
+
+  /// \brief True unless `b` was explicitly deactivated.
+  bool BrokerActive(size_t b) const {
+    return active_.empty() || b >= active_.size() || active_[b] != 0;
+  }
+
+  /// \brief True when any broker is inactive (fast path: scenario-free
+  /// runs never allocate the mask).
+  bool AnyBrokerInactive() const { return any_inactive_; }
+
+  /// \brief Copy of the activity mask (1 = active); empty when no broker
+  /// was ever deactivated.
+  std::vector<uint8_t> ActiveMaskCopy() const { return active_; }
+
+  /// \brief Mid-day hard failure of broker `b`: every edge committed to it
+  /// today is voided (its realized utility is lost) and its daily workload
+  /// is zeroed. Requests stay terminally assigned — conservation ledgers
+  /// are unaffected; only value is destroyed. Requires an open day.
+  Status RetireBrokerDay(size_t b);
+
   /// \brief Opens day `day` (must follow the previously closed day).
   Status StartDay(size_t day);
 
@@ -188,6 +226,10 @@ class Platform {
   std::vector<CommittedEdge> committed_;
   std::vector<Request> appeal_overflow_;  // appeals past the last batch
   size_t appeals_today_ = 0;
+  // Churn activity mask: empty until a broker is first deactivated, so the
+  // scenario-free path carries no per-broker overhead.
+  std::vector<uint8_t> active_;
+  bool any_inactive_ = false;
   // Applied external-commit tokens -> cached outcomes (cleared per day).
   std::unordered_map<uint64_t, ExternalCommitOutcome> external_commits_;
 };

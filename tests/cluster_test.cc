@@ -34,6 +34,7 @@
 #include "lacb/core/policy_suite.h"
 #include "lacb/obs/obs.h"
 #include "lacb/persist/wal.h"
+#include "lacb/scenario/spec.h"
 #include "lacb/serve/serve.h"
 #include "lacb/sim/platform.h"
 
@@ -479,6 +480,50 @@ TEST(ClusterTest, SigkillFailoverConservesAndRecovers) {
   EXPECT_NE(health.detail.find("failovers=1"), std::string::npos)
       << health.detail;
   EXPECT_GT(c->last_failover_unix_seconds(), 0.0);
+}
+
+// Churn landing on a shard mid-day (docs/scenarios.md): the coordinator
+// routes a scenario churn event to the owning shard, whose service
+// deactivates the broker inside the open day — and the fleet-wide
+// conservation identity still holds at shutdown.
+TEST(ClusterTest, MidDayChurnInjectionKeepsFleetConservation) {
+  obs::ScopedTelemetry telemetry;
+  auto coord =
+      cluster::Coordinator::Create(FleetOptions(TempDirFor("churn"), 2));
+  ASSERT_TRUE(coord.ok()) << coord.status().ToString();
+  cluster::Coordinator* c = coord->get();
+  FleetRun run;
+  // After batch 5 of day 1: both ranges hold committed edges and
+  // in-flight work. Broker indices are range-local; broker 0 exists in
+  // every range. A leave stops new work on range 0, a hard fail on
+  // range 1 additionally voids that broker's day.
+  Status s = RunFleet(
+      c, 1, 5,
+      [c] {
+        scenario::ChurnEvent leave;
+        leave.day = 1;
+        leave.broker = 0;
+        leave.kind = scenario::ChurnKind::kLeave;
+        ASSERT_TRUE(c->InjectChurn(0, leave).ok());
+        scenario::ChurnEvent fail;
+        fail.day = 1;
+        fail.broker = 0;
+        fail.kind = scenario::ChurnKind::kFail;
+        ASSERT_TRUE(c->InjectChurn(1, fail).ok());
+        // Unknown range: rejected, not silently dropped.
+        scenario::ChurnEvent bogus;
+        bogus.day = 1;
+        bogus.broker = 0;
+        bogus.kind = scenario::ChurnKind::kLeave;
+        EXPECT_FALSE(c->InjectChurn(99, bogus).ok());
+      },
+      &run);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+
+  ExpectConservation(run.stats);
+  EXPECT_EQ(run.stats.shard_deaths, 0u);
+  ASSERT_EQ(run.daily_utility.size(), 3u);
+  for (double u : run.daily_utility) EXPECT_GT(u, 0.0);
 }
 
 // Gate 3: SIGSTOP leaves the socket open — only the heartbeat deadline
